@@ -1,0 +1,267 @@
+package gesture
+
+// Benchmark harness: one benchmark per experiment of DESIGN.md /
+// EXPERIMENTS.md (the paper has no numbered result tables, so each figure
+// and quantified claim is an experiment), plus micro-benchmarks of the hot
+// paths. Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// and print the human-readable experiment tables with:
+//
+//	go run ./cmd/gesturebench
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"gesturecep/internal/cep"
+	"gesturecep/internal/detect"
+	"gesturecep/internal/experiments"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/learn"
+	"gesturecep/internal/query"
+	"gesturecep/internal/stream"
+	"gesturecep/internal/transform"
+)
+
+// BenchmarkE1SwipeRightDetection regenerates Fig. 1: learn swipe_right,
+// generate the query, detect on fresh sessions.
+func BenchmarkE1SwipeRightDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.E1SwipeRight(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2SampleEfficiency regenerates the "3-5 samples suffice" series
+// (F1 vs sample count 1..6).
+func BenchmarkE2SampleEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.E2SampleEfficiency(6, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLastF1(b, tab, 3)
+	}
+}
+
+// BenchmarkE3TransformAblation regenerates the §3.2 invariance ablation.
+func BenchmarkE3TransformAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E3TransformAblation(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4MaxDistSweep regenerates the §3.3.1 threshold sweep.
+func BenchmarkE4MaxDistSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E4MaxDistSweep(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5ScalingOverlap regenerates the §3.3.2 window-scaling/overlap
+// trade-off.
+func BenchmarkE5ScalingOverlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E5ScalingOverlap(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6EngineThroughput regenerates the engine load series (tuples/s
+// vs deployed queries).
+func BenchmarkE6EngineThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.E6EngineThroughput(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) > 0 {
+			last := tab.Rows[len(tab.Rows)-1]
+			if v, err := strconv.ParseFloat(last[1], 64); err == nil {
+				b.ReportMetric(v, "tuples/s@64q")
+			}
+		}
+	}
+}
+
+// BenchmarkE7Optimization regenerates the §3.3.3 optimization ablation.
+func BenchmarkE7Optimization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E7Optimization(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8Baselines regenerates the learner vs DBSCAN vs DTW comparison.
+func BenchmarkE8Baselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E8Baselines(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9Recorder regenerates the §3.1 recorder segmentation table.
+func BenchmarkE9Recorder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E9Recorder(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func reportLastF1(b *testing.B, tab experiments.Table, col int) {
+	b.Helper()
+	if len(tab.Rows) == 0 {
+		return
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if col < len(last) {
+		if v, err := strconv.ParseFloat(last[col], 64); err == nil {
+			b.ReportMetric(v, "F1")
+		}
+	}
+}
+
+// --- Micro-benchmarks of the hot paths. ---
+
+func benchTime() time.Time { return time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC) }
+
+// BenchmarkNFAProcessTuple measures raw pattern-matching cost per sensor
+// tuple for a 3-pose query that mostly does not match (the steady-state
+// engine workload).
+func BenchmarkNFAProcessTuple(b *testing.B) {
+	pred := func(lo, hi float64) func(stream.Tuple) bool {
+		return func(t stream.Tuple) bool { return t.Fields[0] >= lo && t.Fields[0] < hi }
+	}
+	p := cep.SeqWithin(time.Second,
+		cep.NewAtom("a", pred(0, 10)),
+		cep.NewAtom("b", pred(40, 60)),
+		cep.NewAtom("c", pred(90, 110)),
+	)
+	nfa, err := cep.Compile(p, cep.SelectFirst, cep.ConsumeAll)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tup := stream.Tuple{Ts: benchTime(), Fields: []float64{500}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tup.Ts = tup.Ts.Add(33 * time.Millisecond)
+		nfa.Process(tup)
+	}
+}
+
+// BenchmarkTransformFrame measures the §3.2 transformation per skeleton
+// frame.
+func BenchmarkTransformFrame(b *testing.B) {
+	sim, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.DefaultNoise(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := sim.Idle(benchTime(), time.Second)
+	tr, err := transform.New(transform.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Frame(frames[i%len(frames)])
+	}
+}
+
+// BenchmarkLearnPipeline measures the full §3.3 learning pipeline on 4
+// samples of a swipe.
+func BenchmarkLearnPipeline(b *testing.B) {
+	sim, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.DefaultNoise(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples, err := sim.Samples(kinect.StandardGestures()[kinect.GestureSwipeRight], 4,
+		benchTime(), kinect.PerformOpts{PathJitter: 25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := learn.Learn("swipe_right", samples, learn.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryParse measures parsing of a generated 3-pose query.
+func BenchmarkQueryParse(b *testing.B) {
+	sim, _ := kinect.NewSimulator(kinect.DefaultProfile(), kinect.DefaultNoise(), 1)
+	samples, err := sim.Samples(kinect.StandardGestures()[kinect.GestureSwipeRight], 3,
+		benchTime(), kinect.PerformOpts{PathJitter: 25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := learn.Learn("swipe_right", samples, learn.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(res.QueryText); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndTuple measures the complete per-tuple path: raw tuple →
+// kinect_t transformation → 8 deployed gesture queries.
+func BenchmarkEndToEndTuple(b *testing.B) {
+	h, err := detect.NewHarness(transform.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	gestures := []string{
+		kinect.GestureSwipeRight, kinect.GestureSwipeLeft, kinect.GestureSwipeUp,
+		kinect.GestureSwipeDown, kinect.GesturePush, kinect.GesturePull,
+		kinect.GestureCircle, kinect.GestureRaiseHand,
+	}
+	sim, _ := kinect.NewSimulator(kinect.DefaultProfile(), kinect.DefaultNoise(), 1)
+	for i, g := range gestures {
+		samples, err := sim.Samples(kinect.StandardGestures()[g], 3, benchTime(), kinect.PerformOpts{PathJitter: 25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := learn.Learn(g, samples, learn.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Deploy(res.QueryText); err != nil {
+			b.Fatalf("gesture %d: %v", i, err)
+		}
+	}
+	frames := sim.Idle(benchTime().Add(time.Hour), time.Second)
+	tuples := kinect.ToTuples(frames)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tup := tuples[i%len(tuples)]
+		tup.Ts = benchTime().Add(time.Hour + time.Duration(i)*33*time.Millisecond)
+		if err := h.Raw.Publish(tup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10WindowMode regenerates the window-mode design ablation.
+func BenchmarkE10WindowMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E10WindowMode(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Command gesturedetect deploys gesture queries (from a gesture database
+// file written by gesturelearn, or learned on the fly) and runs a simulated
+// session against them, printing every detection and the final
+// precision/recall evaluation — the testing phase of the paper's workflow
+// (§3.1).
+//
+// Usage:
+//
+//	gesturedetect -db gestures.json -script swipe_right,push,circle -user child
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"gesturecep/internal/anduin"
+	"gesturecep/internal/detect"
+	"gesturecep/internal/gesturedb"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/learn"
+	"gesturecep/internal/transform"
+)
+
+func main() {
+	var (
+		dbPath = flag.String("db", "", "gesture database JSON file (empty: learn the scripted gestures on the fly)")
+		script = flag.String("script", "swipe_right,push,swipe_right",
+			"comma-separated gestures to perform in the test session")
+		user = flag.String("user", "adult", "test user: adult, child or tall")
+		seed = flag.Int64("seed", 42, "simulator random seed")
+		reps = flag.Int("reps", 1, "repetitions of the whole script")
+	)
+	flag.Parse()
+	if err := run(*dbPath, *script, *user, *seed, *reps); err != nil {
+		fmt.Fprintln(os.Stderr, "gesturedetect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbPath, script, user string, seed int64, reps int) error {
+	var profile kinect.Profile
+	switch user {
+	case "adult":
+		profile = kinect.DefaultProfile()
+	case "child":
+		profile = kinect.ChildProfile()
+	case "tall":
+		profile = kinect.TallProfile()
+	default:
+		return fmt.Errorf("unknown user %q", user)
+	}
+	gestures := strings.Split(script, ",")
+	for i := range gestures {
+		gestures[i] = strings.TrimSpace(gestures[i])
+	}
+
+	// Collect the query texts: from the database file, or learned ad hoc.
+	texts := map[string]string{}
+	if dbPath != "" {
+		db, err := gesturedb.Load(dbPath)
+		if err != nil {
+			return err
+		}
+		for _, e := range db.List() {
+			texts[e.Name] = e.QueryText
+		}
+		fmt.Printf("loaded %d gestures from %s\n", len(texts), dbPath)
+	} else {
+		trainSim, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.DefaultNoise(), seed+1000)
+		if err != nil {
+			return err
+		}
+		specs := kinect.StandardGestures()
+		distinct := map[string]bool{}
+		for _, g := range gestures {
+			distinct[g] = true
+		}
+		for g := range distinct {
+			spec, ok := specs[g]
+			if !ok {
+				return fmt.Errorf("unknown gesture %q", g)
+			}
+			samples, err := trainSim.Samples(spec, 4, time.Now(), kinect.PerformOpts{PathJitter: 25})
+			if err != nil {
+				return err
+			}
+			res, err := learn.Learn(g, samples, learn.DefaultConfig())
+			if err != nil {
+				return err
+			}
+			texts[g] = res.QueryText
+		}
+		fmt.Printf("learned %d gestures on the fly (4 samples each)\n", len(texts))
+	}
+
+	h, err := detect.NewHarness(transform.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(texts))
+	for n := range texts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := h.Deploy(texts[n]); err != nil {
+			return fmt.Errorf("deploying %q: %w", n, err)
+		}
+	}
+	h.Engine.Subscribe(func(d anduin.Detection) {
+		fmt.Printf("  [%s] detected %q (gesture spanned %v)\n",
+			d.End.Format("15:04:05.000"), d.Gesture, d.Duration().Round(10*time.Millisecond))
+	})
+
+	// Build and run the test session.
+	sim, err := kinect.NewSimulator(profile, kinect.DefaultNoise(), seed)
+	if err != nil {
+		return err
+	}
+	var items []kinect.ScriptItem
+	items = append(items, kinect.ScriptItem{Idle: time.Second})
+	for r := 0; r < reps; r++ {
+		for _, g := range gestures {
+			items = append(items,
+				kinect.ScriptItem{Gesture: g, Opts: kinect.PerformOpts{PathJitter: 18}},
+				kinect.ScriptItem{Idle: 1500 * time.Millisecond},
+			)
+		}
+	}
+	sess, err := sim.RunScript(items, time.Now(), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %d frames (%v of %s sensor data, user %s)...\n",
+		len(sess.Frames), sess.Duration().Round(time.Second), "30 Hz", profile.Name)
+	outcome, err := h.RunAndEvaluate(sess, detect.DefaultTolerance)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nevaluation:")
+	keys := make([]string, 0, len(outcome))
+	for k := range outcome {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-16s %s\n", k, outcome[k])
+	}
+	all := detect.Overall(outcome)
+	fmt.Printf("  %-16s %s (mean latency %v)\n", "overall", all, all.MeanLatency().Round(time.Millisecond))
+	return nil
+}

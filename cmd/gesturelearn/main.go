@@ -1,0 +1,125 @@
+// Command gesturelearn runs the paper's learning pipeline (§3.3) on
+// simulated recordings of a gesture and prints the generated CEP query.
+// It stands in for the interactive learning tool of Fig. 2, with the
+// Kinect camera replaced by the deterministic simulator.
+//
+// Usage:
+//
+//	gesturelearn -gesture swipe_right -samples 4 -db gestures.json
+//
+// The generated query is printed to stdout; with -db the gesture is also
+// stored in (or added to) a gesture database file that gesturedetect can
+// deploy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gesturecep/internal/gesturedb"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/learn"
+)
+
+func main() {
+	var (
+		gestureName = flag.String("gesture", kinect.GestureSwipeRight,
+			"standard gesture to learn ("+strings.Join(kinect.GestureNames(), ", ")+")")
+		samples  = flag.Int("samples", 4, "number of training samples to record")
+		seed     = flag.Int64("seed", 1, "simulator random seed")
+		jitter   = flag.Float64("jitter", 25, "per-sample path variation (mm)")
+		fraction = flag.Float64("maxdist", 0.22, "relative max_dist sampling threshold (fraction of path deviation)")
+		scale    = flag.Float64("scale", 1.3, "window generalization scale factor")
+		dbPath   = flag.String("db", "", "gesture database JSON file to store the result in")
+		user     = flag.String("user", "adult", "training user: adult, child or tall")
+	)
+	flag.Parse()
+
+	if err := run(*gestureName, *samples, *seed, *jitter, *fraction, *scale, *dbPath, *user); err != nil {
+		fmt.Fprintln(os.Stderr, "gesturelearn:", err)
+		os.Exit(1)
+	}
+}
+
+func profileByName(name string) (kinect.Profile, error) {
+	switch name {
+	case "adult":
+		return kinect.DefaultProfile(), nil
+	case "child":
+		return kinect.ChildProfile(), nil
+	case "tall":
+		return kinect.TallProfile(), nil
+	default:
+		return kinect.Profile{}, fmt.Errorf("unknown user %q (want adult, child or tall)", name)
+	}
+}
+
+func run(gestureName string, samples int, seed int64, jitter, fraction, scale float64, dbPath, user string) error {
+	spec, ok := kinect.StandardGestures()[gestureName]
+	if !ok {
+		return fmt.Errorf("unknown gesture %q; available: %s", gestureName, strings.Join(kinect.GestureNames(), ", "))
+	}
+	profile, err := profileByName(user)
+	if err != nil {
+		return err
+	}
+	sim, err := kinect.NewSimulator(profile, kinect.DefaultNoise(), seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recording %d samples of %q (user %s)...\n", samples, gestureName, profile.Name)
+	recorded, err := sim.Samples(spec, samples, time.Now(), kinect.PerformOpts{PathJitter: jitter})
+	if err != nil {
+		return err
+	}
+
+	cfg := learn.DefaultConfig()
+	cfg.Sampler.RelativeFraction = fraction
+	cfg.ScaleFactor = scale
+	learner, err := learn.NewLearner(gestureName, cfg)
+	if err != nil {
+		return err
+	}
+	for i, s := range recorded {
+		warns, err := learner.AddSample(s)
+		if err != nil {
+			return fmt.Errorf("sample %d: %w", i, err)
+		}
+		for _, w := range warns {
+			fmt.Printf("warning: %s\n", w)
+		}
+	}
+	res, err := learner.Result()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nlearned %d pose windows from %d samples:\n", len(res.Model.Windows), res.Model.Samples)
+	for i, w := range res.Model.Windows {
+		c, h := w.Center(), w.HalfWidth()
+		fmt.Printf("  pose %d: center (%.0f, %.0f, %.0f)  ±(%.0f, %.0f, %.0f)\n",
+			i, c[0], c[1], c[2], h[0], h[1], h[2])
+	}
+	fmt.Printf("\ngenerated query:\n\n%s\n", res.QueryText)
+
+	if dbPath != "" {
+		db := gesturedb.New()
+		if _, err := os.Stat(dbPath); err == nil {
+			db, err = gesturedb.Load(dbPath)
+			if err != nil {
+				return err
+			}
+		}
+		if err := db.Put(gesturedb.Entry{Name: gestureName, QueryText: res.QueryText, Model: res.Model}); err != nil {
+			return err
+		}
+		if err := db.Save(dbPath); err != nil {
+			return err
+		}
+		fmt.Printf("stored in %s (%d gestures)\n", dbPath, db.Len())
+	}
+	return nil
+}

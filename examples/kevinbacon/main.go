@@ -1,0 +1,122 @@
+// Kevin Bacon game: the paper's graph-database scenario ([1]) — detected
+// gestures traverse an actor–movie graph.
+//
+// Gesture bindings:
+//
+//	swipe_right → select next neighbour    swipe_left → select previous
+//	push        → move to selection        pull       → go back
+//	raise_hand  → show Bacon number + shortest path to Kevin Bacon
+//
+// Run with: go run ./examples/kevinbacon
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"gesturecep"
+	"gesturecep/internal/graphdb"
+)
+
+func main() {
+	g, err := graphdb.SampleBaconGraph()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cursor, err := graphdb.NewCursor(g, "Hugh Grant")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys, err := gesture.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer, err := gesture.NewSimulator(gesture.DefaultProfile(), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"swipe_right", "swipe_left", "push", "pull", "raise_hand"} {
+		samples, err := trainer.Samples(gesture.StandardGestures()[name], 4, time.Now(), gesture.PerformOpts{PathJitter: 25})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.Learn(name, samples); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.DeployAll(); err != nil {
+		log.Fatal(err)
+	}
+
+	show := func() {
+		kind, _ := g.Kind(cursor.Current())
+		fmt.Printf("  at %-18s (%s) — selected neighbour: %s\n",
+			cursor.Current(), kind, cursor.Selected())
+	}
+	sys.OnDetection(func(d gesture.Detection) {
+		switch d.Gesture {
+		case "swipe_right":
+			cursor.Next()
+			fmt.Printf("[swipe_right] next neighbour\n")
+		case "swipe_left":
+			cursor.Prev()
+			fmt.Printf("[swipe_left] previous neighbour\n")
+		case "push":
+			if _, err := cursor.Descend(); err != nil {
+				fmt.Println("[push]", err)
+				return
+			}
+			fmt.Printf("[push] moved\n")
+		case "pull":
+			if _, err := cursor.Back(); err != nil {
+				fmt.Println("[pull]", err)
+				return
+			}
+			fmt.Printf("[pull] back\n")
+		case "raise_hand":
+			if n, ok := g.BaconNumber(cursor.Current(), "Kevin Bacon"); ok {
+				path, _ := g.ShortestPath(cursor.Current(), "Kevin Bacon")
+				fmt.Printf("[raise_hand] Bacon number of %s = %d via %s\n",
+					cursor.Current(), n, strings.Join(path, " -> "))
+			}
+			return
+		default:
+			return
+		}
+		show()
+	})
+
+	fmt.Println("start of the Kevin Bacon game:")
+	show()
+
+	player, err := gesture.NewSimulator(gesture.ChildProfile(), 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	script := []gesture.ScriptItem{
+		{Idle: time.Second},
+		{Gesture: "raise_hand"}, // how far is Hugh Grant from Kevin Bacon?
+		{Idle: 1500 * time.Millisecond},
+		{Gesture: "push"}, // into Notting Hill
+		{Idle: 1500 * time.Millisecond},
+		{Gesture: "swipe_right"}, // browse the cast
+		{Idle: 1500 * time.Millisecond},
+		{Gesture: "push"}, // onto Julia Roberts
+		{Idle: 1500 * time.Millisecond},
+		{Gesture: "raise_hand"}, // her Bacon number
+		{Idle: 1500 * time.Millisecond},
+		{Gesture: "pull"}, // back to the movie
+		{Idle: time.Second},
+	}
+	sess, err := player.RunScript(script, time.Now(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Replay(sess.Frames); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("session finished.")
+}

@@ -1,0 +1,127 @@
+// OLAP navigation: the paper's Data³ scenario ([3]) — detected gestures
+// drive drill-down / roll-up / pivot / slice operations on an OLAP cube.
+//
+// Gesture bindings (learned from simulated samples at startup):
+//
+//	swipe_down → drill-down     swipe_up → roll-up
+//	swipe_right → pivot         swipe_left → rotate column dimension
+//	push → slice to DE          pull → remove the slice
+//
+// The user then "performs" a scripted session in front of the camera and
+// every detection mutates the cube view, which is printed after each step —
+// exactly the decoupling the paper advertises: the application only sees
+// gesture names.
+//
+// Run with: go run ./examples/olapnav
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gesturecep"
+	"gesturecep/internal/olap"
+)
+
+func main() {
+	cube, err := olap.SampleSalesCube()
+	if err != nil {
+		log.Fatal(err)
+	}
+	view := olap.NewView(cube)
+
+	sys, err := gesture.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Learn the six control gestures from 4 simulated samples each.
+	trainer, err := gesture.NewSimulator(gesture.DefaultProfile(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := []string{"swipe_down", "swipe_up", "swipe_right", "swipe_left", "push", "pull"}
+	for _, g := range bound {
+		samples, err := trainer.Samples(gesture.StandardGestures()[g], 4, time.Now(), gesture.PerformOpts{PathJitter: 25})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.Learn(g, samples); err != nil {
+			log.Fatalf("learning %s: %v", g, err)
+		}
+	}
+	if err := sys.DeployAll(); err != nil {
+		log.Fatal(err)
+	}
+	// Cross-check the learned set for the §3.3.3 overlap problem.
+	if rep := sys.CrossCheck(0.6); len(rep.FullSequenceConflicts) > 0 {
+		fmt.Println("warning: conflicting gesture pairs:", rep.FullSequenceConflicts)
+	}
+
+	// Application logic: map gesture names to navigation operators.
+	apply := func(name string) {
+		var err error
+		var op string
+		switch name {
+		case "swipe_down":
+			op, err = "drill-down", view.DrillDown()
+		case "swipe_up":
+			op, err = "roll-up", view.RollUp()
+		case "swipe_right":
+			op = "pivot"
+			view.Pivot()
+		case "swipe_left":
+			op = "rotate dimensions"
+			view.RotateDims()
+		case "push":
+			op, err = "slice country=DE", view.Slice("country", "DE")
+		case "pull":
+			op = "unslice country"
+			view.Unslice("country")
+		default:
+			return
+		}
+		if err != nil {
+			fmt.Printf("\n[%s -> %s: %v]\n", name, op, err)
+			return
+		}
+		tab, err := view.Aggregate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n[gesture %q -> %s]\n%s", name, op, tab)
+	}
+	sys.OnDetection(func(d gesture.Detection) { apply(d.Gesture) })
+
+	start, _ := view.Aggregate()
+	fmt.Printf("initial view:\n%s", start)
+
+	// The user navigates: drill into quarters, slice to Germany, pivot,
+	// roll back up.
+	player, err := gesture.NewSimulator(gesture.TallProfile(), 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	script := []gesture.ScriptItem{
+		{Idle: time.Second},
+		{Gesture: "swipe_down"}, // drill time: year -> quarter
+		{Idle: 1500 * time.Millisecond},
+		{Gesture: "push"}, // slice to Germany
+		{Idle: 1500 * time.Millisecond},
+		{Gesture: "pull"}, // full data again
+		{Idle: 1500 * time.Millisecond},
+		{Gesture: "swipe_up"}, // back to years
+		{Idle: 1500 * time.Millisecond},
+		{Gesture: "swipe_right"}, // pivot geo <-> time
+		{Idle: time.Second},
+	}
+	sess, err := player.RunScript(script, time.Now(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Replay(sess.Frames); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsession finished.")
+}

@@ -1,0 +1,74 @@
+// Quickstart: the complete paper workflow in ~60 lines.
+//
+//  1. "Record" a few samples of a gesture (simulated Kinect).
+//  2. Learn a declarative CEP pattern from them (§3.3).
+//  3. Deploy the generated query in the stream engine.
+//  4. Replay a live session — performed by a *different* user — and watch
+//     detections arrive.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gesturecep"
+)
+
+func main() {
+	// 1. Record four samples of swipe_right with the default adult user.
+	trainer, err := gesture.NewSimulator(gesture.DefaultProfile(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := gesture.StandardGestures()["swipe_right"]
+	samples, err := trainer.Samples(spec, 4, time.Now(), gesture.PerformOpts{PathJitter: 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d samples (%d..%d frames each)\n",
+		len(samples), len(samples[0]), len(samples[len(samples)-1]))
+
+	// 2+3. Learn and deploy.
+	sys, err := gesture.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Learn("swipe_right", samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned %d pose windows; generated query:\n\n%s\n", len(res.Model.Windows), res.QueryText)
+	if err := sys.Deploy("swipe_right"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. A child performs the gesture twice in a live session.
+	sys.OnDetection(func(d gesture.Detection) {
+		fmt.Printf(">>> detected %q at %s (movement took %v)\n",
+			d.Gesture, d.End.Format("15:04:05.000"), d.Duration().Round(10*time.Millisecond))
+	})
+	player, err := gesture.NewSimulator(gesture.ChildProfile(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := player.RunScript([]gesture.ScriptItem{
+		{Idle: time.Second},
+		{Gesture: "swipe_right", Opts: gesture.PerformOpts{PathJitter: 15}},
+		{Idle: 2 * time.Second},
+		{Gesture: "circle"}, // a different movement: must stay silent
+		{Idle: time.Second},
+		{Gesture: "swipe_right", Opts: gesture.PerformOpts{PathJitter: 15}},
+		{Idle: time.Second},
+	}, time.Now(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %v of child-user sensor data...\n", sess.Duration().Round(time.Second))
+	if err := sys.Replay(sess.Frames); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("done — the pattern learned from the adult detected the child twice, and ignored the circle.")
+}

@@ -1,0 +1,329 @@
+// Package anduin is the engine facade that plays the role of the AnduIN
+// data-stream management system in the paper: it owns named streams and
+// continuous views (kinect_t), a registry of user-defined operators (RPY
+// angles, dist, …), and the set of deployed gesture detection queries.
+// Detected gestures are fanned out to listeners, which is how the paper's
+// applications receive "swipe_right" result tuples and map them to
+// navigation operations.
+//
+// Queries can be deployed and undeployed at runtime — the property the
+// paper's demo exploits to exchange gesture definitions while applications
+// keep running.
+package anduin
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gesturecep/internal/cep"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/query"
+	"gesturecep/internal/stream"
+	"gesturecep/internal/transform"
+)
+
+// Detection is the result tuple a matched gesture query produces.
+type Detection struct {
+	// Gesture is the query's SELECT output, e.g. "swipe_right".
+	Gesture string
+	// QueryID identifies the deployed query that fired.
+	QueryID int
+	// Start and End are the event times of the first and last contributing
+	// sensor tuple.
+	Start, End time.Time
+	// Measures holds the query's output-measure expressions evaluated on
+	// the final matched tuple (§3.3.4), in declaration order; nil when the
+	// query declares none.
+	Measures []float64
+}
+
+// Duration is the event-time span of the detected gesture.
+func (d Detection) Duration() time.Duration { return d.End.Sub(d.Start) }
+
+// QueryInfo describes one deployed query.
+type QueryInfo struct {
+	ID      int
+	Gesture string
+	Source  string
+	Atoms   int
+	Text    string
+}
+
+// Engine is the DSMS facade. Streams must be fed from a single goroutine at
+// a time (the usual replay/pump pattern); management operations (deploy,
+// subscribe, …) are safe for concurrent use.
+type Engine struct {
+	mu        sync.Mutex
+	streams   map[string]*stream.Stream
+	env       *query.Env
+	queries   map[int]*deployed
+	nextQuery int
+
+	listenMu  sync.RWMutex
+	listeners map[int]func(Detection)
+	nextL     int
+}
+
+type deployed struct {
+	info   QueryInfo
+	nfa    *cep.NFA
+	cancel func()
+}
+
+// New creates an engine with the builtin scalar functions plus the RPY
+// user-defined operators of §3.2 pre-registered.
+func New() *Engine {
+	e := &Engine{
+		streams:   make(map[string]*stream.Stream),
+		env:       query.NewEnv(),
+		queries:   make(map[int]*deployed),
+		listeners: make(map[int]func(Detection)),
+	}
+	for _, udf := range transform.RPYUDFs() {
+		e.env.UDFs[udf.Name] = udf
+	}
+	return e
+}
+
+// RegisterStream creates and registers a new source stream.
+func (e *Engine) RegisterStream(name string, schema *stream.Schema) (*stream.Stream, error) {
+	s, err := stream.New(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.attach(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (e *Engine) attach(s *stream.Stream) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.streams[s.Name()]; dup {
+		return fmt.Errorf("anduin: stream %q already registered", s.Name())
+	}
+	e.streams[s.Name()] = s
+	e.env.Schemas[s.Name()] = s.Schema()
+	return nil
+}
+
+// Stream returns a registered stream by name.
+func (e *Engine) Stream(name string) (*stream.Stream, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.streams[name]
+	return s, ok
+}
+
+// RegisterView derives a continuous view over the named base stream and
+// registers it under its own name so queries can read it.
+func (e *Engine) RegisterView(name, base string, schema *stream.Schema, f func(stream.Tuple) (stream.Tuple, bool)) (*stream.Stream, error) {
+	e.mu.Lock()
+	src, ok := e.streams[base]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("anduin: view %q references unknown stream %q", name, base)
+	}
+	v, err := stream.Derive(src, name, schema, f)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.attach(v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// RegisterUDF adds a scalar function to the query environment.
+func (e *Engine) RegisterUDF(udf query.UDF) error {
+	if udf.Name == "" || udf.Fn == nil {
+		return fmt.Errorf("anduin: UDF needs a name and an implementation")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.env.UDFs[udf.Name]; dup {
+		return fmt.Errorf("anduin: UDF %q already registered", udf.Name)
+	}
+	e.env.UDFs[udf.Name] = udf
+	return nil
+}
+
+// KinectPipeline registers the raw "kinect" stream plus the transformed
+// "kinect_t" view (§3.2) in one call and returns both. This is the standard
+// setup of every example and experiment.
+func (e *Engine) KinectPipeline(cfg transform.Config) (raw, view *stream.Stream, err error) {
+	raw, err = e.RegisterStream("kinect", kinect.Schema())
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := transform.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	view, err = e.RegisterView(transform.ViewName, "kinect", raw.Schema(), tr.Tuple)
+	if err != nil {
+		return nil, nil, err
+	}
+	return raw, view, nil
+}
+
+// DeployText parses, compiles and activates a gesture query, returning its
+// ID. The query starts receiving tuples immediately.
+func (e *Engine) DeployText(text string) (int, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return 0, err
+	}
+	return e.deploy(q, text)
+}
+
+// Deploy activates a parsed query.
+func (e *Engine) Deploy(q *query.Query) (int, error) {
+	return e.deploy(q, query.Print(q))
+}
+
+func (e *Engine) deploy(q *query.Query, text string) (int, error) {
+	e.mu.Lock()
+	compiled, err := query.CompileQuery(q, e.env)
+	if err != nil {
+		e.mu.Unlock()
+		return 0, err
+	}
+	src, ok := e.streams[compiled.Source]
+	if !ok {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("anduin: query %q reads unregistered stream %q", compiled.Output, compiled.Source)
+	}
+	nfa, err := cep.Compile(compiled.Pattern, compiled.Select, compiled.Consume)
+	if err != nil {
+		e.mu.Unlock()
+		return 0, err
+	}
+	id := e.nextQuery
+	e.nextQuery++
+	d := &deployed{
+		info: QueryInfo{
+			ID:      id,
+			Gesture: compiled.Output,
+			Source:  compiled.Source,
+			Atoms:   compiled.NumAtoms,
+			Text:    text,
+		},
+		nfa: nfa,
+	}
+	e.queries[id] = d
+	e.mu.Unlock()
+
+	// Subscribe outside the lock; stream subscription has its own lock.
+	measures := compiled.Measures
+	d.cancel = src.Subscribe(func(t stream.Tuple) {
+		for _, m := range nfa.Process(t) {
+			det := Detection{
+				Gesture: d.info.Gesture,
+				QueryID: id,
+				Start:   m.Start,
+				End:     m.End,
+			}
+			if len(measures) > 0 && len(m.Tuples) > 0 {
+				last := m.Tuples[len(m.Tuples)-1]
+				det.Measures = make([]float64, len(measures))
+				for i, ev := range measures {
+					det.Measures[i] = ev(last)
+				}
+			}
+			e.dispatch(det)
+		}
+	})
+	return id, nil
+}
+
+// Undeploy removes a query; its partial matches are discarded.
+func (e *Engine) Undeploy(id int) error {
+	e.mu.Lock()
+	d, ok := e.queries[id]
+	if ok {
+		delete(e.queries, id)
+	}
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("anduin: no query with id %d", id)
+	}
+	if d.cancel != nil {
+		d.cancel()
+	}
+	return nil
+}
+
+// UndeployAll removes every deployed query.
+func (e *Engine) UndeployAll() {
+	e.mu.Lock()
+	ds := make([]*deployed, 0, len(e.queries))
+	for id, d := range e.queries {
+		ds = append(ds, d)
+		delete(e.queries, id)
+	}
+	e.mu.Unlock()
+	for _, d := range ds {
+		if d.cancel != nil {
+			d.cancel()
+		}
+	}
+}
+
+// Queries lists deployed queries ordered by ID.
+func (e *Engine) Queries() []QueryInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]QueryInfo, 0, len(e.queries))
+	for _, d := range e.queries {
+		out = append(out, d.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// QueryStats returns the NFA counters of one deployed query.
+func (e *Engine) QueryStats(id int) (processed, predCalls, matches, pruned uint64, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d, ok := e.queries[id]
+	if !ok {
+		return 0, 0, 0, 0, fmt.Errorf("anduin: no query with id %d", id)
+	}
+	processed, predCalls, matches, pruned = d.nfa.Stats()
+	return processed, predCalls, matches, pruned, nil
+}
+
+// Subscribe registers a detection listener; the returned function removes
+// it. Listeners run synchronously on the tuple-publishing goroutine — keep
+// them fast.
+func (e *Engine) Subscribe(fn func(Detection)) func() {
+	e.listenMu.Lock()
+	id := e.nextL
+	e.nextL++
+	e.listeners[id] = fn
+	e.listenMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			e.listenMu.Lock()
+			delete(e.listeners, id)
+			e.listenMu.Unlock()
+		})
+	}
+}
+
+func (e *Engine) dispatch(d Detection) {
+	e.listenMu.RLock()
+	fns := make([]func(Detection), 0, len(e.listeners))
+	for _, fn := range e.listeners {
+		fns = append(fns, fn)
+	}
+	e.listenMu.RUnlock()
+	for _, fn := range fns {
+		fn(d)
+	}
+}

@@ -1,0 +1,334 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/learn"
+	"gesturecep/internal/transform"
+)
+
+func t0() time.Time { return time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC) }
+
+func TestDBSCANTwoBlobs(t *testing.T) {
+	var pts [][]float64
+	// Blob A around (0,0), blob B around (100,100), two isolated noise
+	// points.
+	for i := 0; i < 10; i++ {
+		pts = append(pts, []float64{float64(i % 3), float64(i / 3)})
+	}
+	for i := 0; i < 10; i++ {
+		pts = append(pts, []float64{100 + float64(i%3), 100 + float64(i/3)})
+	}
+	pts = append(pts, []float64{500, 500}, []float64{-500, 300})
+
+	labels, err := DBSCAN(pts, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] == Noise || labels[10] == Noise {
+		t.Fatal("core points labelled noise")
+	}
+	if labels[0] == labels[10] {
+		t.Error("distinct blobs merged")
+	}
+	for i := 1; i < 10; i++ {
+		if labels[i] != labels[0] {
+			t.Errorf("blob A point %d got label %d", i, labels[i])
+		}
+		if labels[10+i] != labels[10] {
+			t.Errorf("blob B point %d got label %d", i, labels[10+i])
+		}
+	}
+	if labels[20] != Noise || labels[21] != Noise {
+		t.Error("isolated points not noise")
+	}
+}
+
+func TestDBSCANValidation(t *testing.T) {
+	if _, err := DBSCAN(nil, 0, 1); err == nil {
+		t.Error("eps 0 accepted")
+	}
+	if _, err := DBSCAN(nil, 1, 0); err == nil {
+		t.Error("minPts 0 accepted")
+	}
+	labels, err := DBSCAN(nil, 1, 1)
+	if err != nil || len(labels) != 0 {
+		t.Error("empty input mishandled")
+	}
+}
+
+func TestDBSCANBorderPoints(t *testing.T) {
+	// A dense line with a border point at the end: the border point joins
+	// the cluster even though it is not core.
+	pts := [][]float64{{0}, {1}, {2}, {3}, {4.5}}
+	labels, err := DBSCAN(pts, 1.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if labels[i] != 0 {
+			t.Errorf("point %d label %d", i, labels[i])
+		}
+	}
+}
+
+// lineSample reuses the learn package shape: straight-line right-hand
+// movement.
+func lineSample(n int, length float64) learn.Sample {
+	s := learn.Sample{Joints: []kinect.Joint{kinect.RightHand}}
+	for i := 0; i < n; i++ {
+		x := length * float64(i) / float64(n-1)
+		s.Points = append(s.Points, learn.PathPoint{
+			Index:  i,
+			Ts:     t0().Add(time.Duration(i) * 33 * time.Millisecond),
+			Coords: []float64{x, 0, 0},
+		})
+	}
+	return s
+}
+
+// dwellSample synthesizes a gesture with realistic speed profile: the hand
+// dwells near pose positions and transits quickly between them. DBSCAN can
+// only find pose clusters when transit spacing exceeds eps — a uniformly
+// sampled path is one density-connected chain (see the collapse test
+// below).
+func dwellSample(poses []float64, dwell int, transit int) learn.Sample {
+	s := learn.Sample{Joints: []kinect.Joint{kinect.RightHand}}
+	idx := 0
+	add := func(x float64) {
+		s.Points = append(s.Points, learn.PathPoint{
+			Index: idx, Ts: t0().Add(time.Duration(idx) * 33 * time.Millisecond),
+			Coords: []float64{x, 0, 0},
+		})
+		idx++
+	}
+	for pi, p := range poses {
+		for d := 0; d < dwell; d++ {
+			add(p + float64(d%3)) // tiny jitter inside the dwell region
+		}
+		if pi < len(poses)-1 {
+			for tr := 1; tr <= transit; tr++ {
+				add(p + (poses[pi+1]-p)*float64(tr)/float64(transit+1))
+			}
+		}
+	}
+	return s
+}
+
+func TestDBSCANSamplerOrdersClusters(t *testing.T) {
+	// Three dwell regions 500 mm apart with only 2 fast transit points in
+	// between (250 mm spacing): eps 50 separates the regions.
+	s := dwellSample([]float64{0, 500, 1000}, 10, 2)
+	clusters, err := DBSCANSampler(s, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %d, want 3", len(clusters))
+	}
+	for i := 1; i < len(clusters); i++ {
+		if clusters[i].Centroid[0] <= clusters[i-1].Centroid[0] {
+			t.Error("clusters not ordered along the gesture")
+		}
+	}
+	// Too small eps with a high core requirement: everything noise.
+	if _, err := DBSCANSampler(s, 0.001, 8); err == nil {
+		t.Error("all-noise result not reported")
+	}
+}
+
+func TestDBSCANChainsUniformPath(t *testing.T) {
+	// A uniformly sampled path is one density-connected component: DBSCAN
+	// cannot segment it into poses, unlike the paper's sampler. This is
+	// the structural argument for distance-based sampling.
+	s := lineSample(100, 1000)
+	clusters, err := DBSCANSampler(s, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 {
+		t.Errorf("uniform path produced %d DBSCAN clusters, expected 1 chain", len(clusters))
+	}
+	paper, err := learn.ExtractClusters(s, learn.SamplerConfig{Metric: learn.Euclidean{}, MaxDist: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paper) < 3 {
+		t.Errorf("paper sampler found %d poses on the same path", len(paper))
+	}
+}
+
+func TestDBSCANSamplerCollapsesRevisits(t *testing.T) {
+	// A there-and-back path: DBSCAN merges the outbound and return points
+	// (same region) — the structural weakness vs. the paper's sampler.
+	s := learn.Sample{Joints: []kinect.Joint{kinect.RightHand}}
+	n := 60
+	for i := 0; i < n; i++ {
+		x := float64(i) * 20
+		if i >= n/2 {
+			x = float64(n-1-i) * 20
+		}
+		s.Points = append(s.Points, learn.PathPoint{
+			Index: i, Ts: t0().Add(time.Duration(i) * 33 * time.Millisecond),
+			Coords: []float64{x, 0, 0},
+		})
+	}
+	dbClusters, err := DBSCANSampler(s, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperClusters, err := learn.ExtractClusters(s, learn.SamplerConfig{Metric: learn.Euclidean{}, MaxDist: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's sampler sees the revisit as separate poses; DBSCAN sees
+	// roughly half as many regions.
+	if len(dbClusters) >= len(paperClusters) {
+		t.Errorf("expected DBSCAN to collapse revisited regions: dbscan=%d paper=%d",
+			len(dbClusters), len(paperClusters))
+	}
+}
+
+func TestDTWIdenticalAndShifted(t *testing.T) {
+	a := [][]float64{{0}, {1}, {2}, {3}}
+	if d, err := DTW(a, a, 0); err != nil || d != 0 {
+		t.Errorf("self distance = %v, %v", d, err)
+	}
+	// Time-warped version of the same shape: small distance.
+	b := [][]float64{{0}, {0}, {1}, {1}, {2}, {2}, {3}, {3}}
+	dw, err := DTW(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw != 0 {
+		t.Errorf("warped distance = %v, want 0 (pure time stretching)", dw)
+	}
+	// A different shape is far.
+	c := [][]float64{{10}, {11}, {12}, {13}}
+	dc, err := DTW(a, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc <= 1 {
+		t.Errorf("different shape distance = %v", dc)
+	}
+	if _, err := DTW(nil, a, 0); err == nil {
+		t.Error("empty sequence accepted")
+	}
+}
+
+func TestDTWBand(t *testing.T) {
+	a := [][]float64{{0}, {1}, {2}, {3}, {4}, {5}}
+	b := [][]float64{{0}, {1}, {2}, {3}, {4}, {5}}
+	exact, err := DTW(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banded, err := DTW(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-banded) > 1e-9 {
+		t.Errorf("band changed diagonal alignment: %v vs %v", exact, banded)
+	}
+	// Band narrower than the length difference is widened automatically.
+	short := [][]float64{{0}, {5}}
+	if _, err := DTW(a, short, 1); err != nil {
+		t.Errorf("auto-widened band failed: %v", err)
+	}
+}
+
+func TestDTWClassifier(t *testing.T) {
+	c := NewDTWClassifier(0)
+	if _, _, err := c.Classify([][]float64{{0}}); err == nil {
+		t.Error("empty classifier classified")
+	}
+	if err := c.AddTemplate("", [][]float64{{0}, {1}}); err == nil {
+		t.Error("unnamed template accepted")
+	}
+	if err := c.AddTemplate("x", [][]float64{{0}}); err == nil {
+		t.Error("short template accepted")
+	}
+
+	ramp := [][]float64{{0}, {1}, {2}, {3}, {4}}
+	flat := [][]float64{{2}, {2}, {2}, {2}, {2}}
+	if err := c.AddTemplate("ramp", ramp); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTemplate("flat", flat); err != nil {
+		t.Fatal(err)
+	}
+	if c.TemplateCount() != 2 || len(c.Classes()) != 2 {
+		t.Error("template bookkeeping wrong")
+	}
+	name, d, err := c.Classify([][]float64{{0}, {1.1}, {2}, {2.9}, {4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "ramp" {
+		t.Errorf("classified as %q (d=%v)", name, d)
+	}
+	// Open-set rejection.
+	far := [][]float64{{100}, {101}, {102}}
+	name, _, err = c.ClassifyWithReject(far, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "" {
+		t.Errorf("far query not rejected: %q", name)
+	}
+	if _, _, err := c.Classify(nil); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestDTWClassifierOnSimulatedGestures(t *testing.T) {
+	// Sanity: with 3 templates per gesture, DTW-1NN distinguishes
+	// swipe_right from push in the transformed frame.
+	sim, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.DefaultNoise(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := kinect.StandardGestures()
+	c := NewDTWClassifier(20)
+	for _, g := range []string{kinect.GestureSwipeRight, kinect.GesturePush} {
+		samples, err := sim.Samples(specs[g], 3, t0(), kinect.PerformOpts{PathJitter: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, frames := range samples {
+			tf, err := transform.FrameSlice(transform.DefaultConfig(), frames)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sample, err := learn.SampleFromFrames(tf, []kinect.Joint{kinect.RightHand})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.AddTemplate(g, SampleSequence(sample)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Classify fresh executions.
+	for _, g := range []string{kinect.GestureSwipeRight, kinect.GesturePush} {
+		samples, err := sim.Samples(specs[g], 2, t0().Add(time.Hour), kinect.PerformOpts{PathJitter: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, frames := range samples {
+			tf, _ := transform.FrameSlice(transform.DefaultConfig(), frames)
+			sample, _ := learn.SampleFromFrames(tf, []kinect.Joint{kinect.RightHand})
+			name, d, err := c.Classify(SampleSequence(sample))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name != g {
+				t.Errorf("%s sample %d classified as %q (d=%.1f)", g, i, name, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package baseline implements the two comparison points the paper argues
+// against or builds on:
+//
+//   - DBSCAN (Ester et al., KDD 1996 — the paper's reference [2]): the
+//     density-based clustering algorithm that the distance-based sampler is
+//     "comparable to". Used as an alternative pose-extraction front-end to
+//     quantify what the paper's simpler, order-preserving sampler gives up
+//     or gains.
+//   - A DTW + 1-nearest-neighbour template classifier: the "static models
+//     obtained by applying machine learning algorithms on many training
+//     samples" strawman from §1, to compare sample efficiency and detection
+//     cost against learned CEP patterns.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"gesturecep/internal/geom"
+	"gesturecep/internal/learn"
+)
+
+// Noise is the DBSCAN label for points not assigned to any cluster.
+const Noise = -1
+
+// DBSCAN clusters points with the classic density-based algorithm: a point
+// with at least minPts neighbours within eps is a core point; clusters are
+// maximal sets of density-connected points. It returns one label per input
+// point, Noise (-1) for outliers. Labels are 0-based in discovery order.
+//
+// The implementation is the textbook O(n²) region-query variant — gesture
+// samples are a few hundred points, so no index is warranted.
+func DBSCAN(points [][]float64, eps float64, minPts int) ([]int, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("baseline: eps must be positive, got %g", eps)
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("baseline: minPts must be >= 1, got %d", minPts)
+	}
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	visited := make([]bool, n)
+
+	regionQuery := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if euclid(points[i], points[j]) <= eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+
+	cluster := 0
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		neighbours := regionQuery(i)
+		if len(neighbours) < minPts {
+			continue // noise (may later be absorbed as border point)
+		}
+		labels[i] = cluster
+		// Expand the cluster over the seed set.
+		queue := append([]int(nil), neighbours...)
+		for k := 0; k < len(queue); k++ {
+			j := queue[k]
+			if !visited[j] {
+				visited[j] = true
+				jn := regionQuery(j)
+				if len(jn) >= minPts {
+					queue = append(queue, jn...)
+				}
+			}
+			if labels[j] == Noise {
+				labels[j] = cluster
+			}
+		}
+		cluster++
+	}
+	return labels, nil
+}
+
+func euclid(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// DBSCANSampler extracts pose clusters from a gesture sample using DBSCAN
+// instead of the paper's distance-based sampling, then orders the clusters
+// by their mean timestamp so they can feed the same window-merging step.
+// Noise points are dropped.
+//
+// Note the structural weakness this exposes (and the reason the paper's
+// sampler preserves order instead of clustering globally): a gesture that
+// revisits a region — e.g. a circle ending where it starts — collapses into
+// one cluster and loses its sequence structure.
+func DBSCANSampler(s learn.Sample, eps float64, minPts int) ([]learn.Cluster, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	points := make([][]float64, len(s.Points))
+	for i, p := range s.Points {
+		points[i] = p.Coords
+	}
+	labels, err := DBSCAN(points, eps, minPts)
+	if err != nil {
+		return nil, err
+	}
+
+	type agg struct {
+		sum    []float64
+		bounds geom.MBR
+		count  int
+		first  time.Time
+		last   time.Time
+		// meanIdx orders clusters along the gesture.
+		idxSum int
+	}
+	byLabel := map[int]*agg{}
+	for i, l := range labels {
+		if l == Noise {
+			continue
+		}
+		a, ok := byLabel[l]
+		if !ok {
+			a = &agg{
+				sum:   make([]float64, len(points[i])),
+				first: s.Points[i].Ts,
+				last:  s.Points[i].Ts,
+			}
+			byLabel[l] = a
+		}
+		for d, v := range points[i] {
+			a.sum[d] += v
+		}
+		// Extend never fails here: all sample points share dimensionality.
+		_ = a.bounds.Extend(points[i])
+		a.count++
+		a.idxSum += i
+		if s.Points[i].Ts.Before(a.first) {
+			a.first = s.Points[i].Ts
+		}
+		if s.Points[i].Ts.After(a.last) {
+			a.last = s.Points[i].Ts
+		}
+	}
+	if len(byLabel) == 0 {
+		return nil, fmt.Errorf("baseline: DBSCAN labelled every point noise (eps %g, minPts %d)", eps, minPts)
+	}
+
+	aggs := make([]*agg, 0, len(byLabel))
+	for _, a := range byLabel {
+		aggs = append(aggs, a)
+	}
+	sort.Slice(aggs, func(i, j int) bool {
+		return float64(aggs[i].idxSum)/float64(aggs[i].count) < float64(aggs[j].idxSum)/float64(aggs[j].count)
+	})
+
+	out := make([]learn.Cluster, len(aggs))
+	for i, a := range aggs {
+		centroid := make([]float64, len(a.sum))
+		for d, v := range a.sum {
+			centroid[d] = v / float64(a.count)
+		}
+		out[i] = learn.Cluster{
+			Centroid: centroid,
+			Bounds:   a.bounds,
+			Count:    a.count,
+			Start:    a.first,
+			End:      a.last,
+		}
+	}
+	return out, nil
+}

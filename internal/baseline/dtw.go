@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gesturecep/internal/learn"
+)
+
+// DTW computes the dynamic-time-warping distance between two sequences of
+// equal-dimensional points using Euclidean local cost and an optional
+// Sakoe-Chiba band (band <= 0 disables the constraint). The standard
+// O(len(a)·len(b)) dynamic program with two rolling rows.
+func DTW(a, b [][]float64, band int) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, fmt.Errorf("baseline: DTW over empty sequence")
+	}
+	n, m := len(a), len(b)
+	if band > 0 {
+		// The band must be wide enough to connect the corners.
+		if diff := n - m; diff < 0 && -diff > band || diff > 0 && diff > band {
+			band = abs(n - m)
+		}
+	}
+	const inf = math.MaxFloat64
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		lo, hi := 1, m
+		if band > 0 {
+			lo = max(1, i-band)
+			hi = min(m, i+band)
+		}
+		for j := range cur {
+			cur[j] = inf
+		}
+		for j := lo; j <= hi; j++ {
+			c := euclid(a[i-1], b[j-1])
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			if best == inf {
+				continue
+			}
+			cur[j] = c + best
+		}
+		prev, cur = cur, prev
+	}
+	d := prev[m]
+	if d == math.MaxFloat64 {
+		return 0, fmt.Errorf("baseline: DTW band %d disconnected the alignment", band)
+	}
+	return d, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SampleSequence flattens a learn.Sample into the point sequence DTW
+// consumes.
+func SampleSequence(s learn.Sample) [][]float64 {
+	out := make([][]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Coords
+	}
+	return out
+}
+
+// DTWClassifier is the 1-nearest-neighbour template matcher standing in for
+// the "static ML model" gesture recognizers of §1. Templates are whole
+// recorded samples; classification warps the query against every template.
+type DTWClassifier struct {
+	band      int
+	templates []dtwTemplate
+}
+
+type dtwTemplate struct {
+	name string
+	seq  [][]float64
+}
+
+// NewDTWClassifier creates a classifier with the given Sakoe-Chiba band
+// (0 = unconstrained).
+func NewDTWClassifier(band int) *DTWClassifier {
+	return &DTWClassifier{band: band}
+}
+
+// AddTemplate stores a training sample for the named gesture.
+func (c *DTWClassifier) AddTemplate(name string, seq [][]float64) error {
+	if name == "" {
+		return fmt.Errorf("baseline: template without name")
+	}
+	if len(seq) < 2 {
+		return fmt.Errorf("baseline: template %q too short (%d points)", name, len(seq))
+	}
+	c.templates = append(c.templates, dtwTemplate{name: name, seq: seq})
+	return nil
+}
+
+// TemplateCount returns the number of stored templates.
+func (c *DTWClassifier) TemplateCount() int { return len(c.templates) }
+
+// Classes returns the distinct gesture names with templates, sorted.
+func (c *DTWClassifier) Classes() []string {
+	set := map[string]bool{}
+	for _, t := range c.templates {
+		set[t.name] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Classify returns the gesture of the nearest template (normalized DTW
+// distance: total cost divided by query length) and that distance.
+func (c *DTWClassifier) Classify(seq [][]float64) (string, float64, error) {
+	if len(c.templates) == 0 {
+		return "", 0, fmt.Errorf("baseline: classifier has no templates")
+	}
+	if len(seq) == 0 {
+		return "", 0, fmt.Errorf("baseline: empty query sequence")
+	}
+	bestName, bestDist := "", math.MaxFloat64
+	for _, t := range c.templates {
+		d, err := DTW(seq, t.seq, c.band)
+		if err != nil {
+			return "", 0, err
+		}
+		norm := d / float64(len(seq))
+		if norm < bestDist {
+			bestName, bestDist = t.name, norm
+		}
+	}
+	return bestName, bestDist, nil
+}
+
+// ClassifyWithReject is Classify with an open-set threshold: sequences whose
+// nearest template is farther than maxDist are rejected (returned name "").
+// CEP queries get their selectivity for free from range predicates; the
+// classifier needs this extra knob for a fair comparison on sessions
+// containing unknown movements.
+func (c *DTWClassifier) ClassifyWithReject(seq [][]float64, maxDist float64) (string, float64, error) {
+	name, d, err := c.Classify(seq)
+	if err != nil {
+		return "", 0, err
+	}
+	if d > maxDist {
+		return "", d, nil
+	}
+	return name, d, nil
+}

@@ -1,0 +1,264 @@
+package cep
+
+import (
+	"fmt"
+	"time"
+
+	"gesturecep/internal/stream"
+)
+
+// state is one flattened NFA state: it accepts a single tuple satisfying
+// pred and moves the run forward.
+type state struct {
+	label string
+	pred  func(stream.Tuple) bool
+}
+
+// windowConstraint enforces a `within` clause over the atoms [first, last]
+// (inclusive, indices into the flattened state list): the tuple matched at
+// state `last` must arrive no later than `within` after the tuple matched at
+// state `first`.
+type windowConstraint struct {
+	first, last int
+	within      time.Duration
+}
+
+// NFA is the compiled, executable form of a Pattern. It follows
+// skip-till-next-match semantics: tuples that do not satisfy the next state
+// of a run are ignored (the run waits), which is what makes pose-sequence
+// gesture queries robust against the 30 Hz tuples between poses. Runs are
+// discarded as soon as a window constraint can no longer be met.
+//
+// An NFA is not safe for concurrent use; the engine serializes Process
+// calls per stream.
+type NFA struct {
+	states      []state
+	constraints []windowConstraint
+	sel         SelectPolicy
+	consume     ConsumePolicy
+
+	// maxRuns caps simultaneous partial matches to bound memory under
+	// adversarial input; the oldest run is evicted when exceeded.
+	maxRuns int
+
+	runs []*run
+
+	// stats
+	processed  uint64
+	predCalls  uint64
+	matches    uint64
+	runsPruned uint64
+}
+
+// run is one partial match: next is the state awaiting a tuple, ts[i] holds
+// the match time for state i < next.
+type run struct {
+	next   int
+	ts     []time.Time
+	tuples []stream.Tuple
+}
+
+// DefaultMaxRuns bounds simultaneous partial matches per query.
+const DefaultMaxRuns = 1024
+
+// Compile flattens a validated Pattern into an executable NFA.
+func Compile(p Pattern, sel SelectPolicy, consume ConsumePolicy) (*NFA, error) {
+	if p == nil {
+		return nil, fmt.Errorf("cep: nil pattern")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := &NFA{sel: sel, consume: consume, maxRuns: DefaultMaxRuns}
+	n.flatten(p)
+	if len(n.states) == 0 {
+		return nil, fmt.Errorf("cep: pattern compiled to zero states")
+	}
+	return n, nil
+}
+
+// flatten appends p's states to n and records window constraints. It returns
+// the index range [first, last] of the appended states.
+func (n *NFA) flatten(p Pattern) (first, last int) {
+	switch pt := p.(type) {
+	case *Atom:
+		n.states = append(n.states, state{label: pt.Label, pred: pt.Pred})
+		i := len(n.states) - 1
+		return i, i
+	case *Sequence:
+		first = len(n.states)
+		for _, e := range pt.Elems {
+			_, last = n.flatten(e)
+		}
+		if pt.Within > 0 {
+			n.constraints = append(n.constraints, windowConstraint{first: first, last: last, within: pt.Within})
+		}
+		return first, last
+	default:
+		panic(fmt.Sprintf("cep: unknown pattern type %T", p))
+	}
+}
+
+// Len returns the number of NFA states (atoms in the pattern).
+func (n *NFA) Len() int { return len(n.states) }
+
+// SetMaxRuns adjusts the partial-match cap. Values < 1 are ignored.
+func (n *NFA) SetMaxRuns(max int) {
+	if max >= 1 {
+		n.maxRuns = max
+	}
+}
+
+// ActiveRuns returns the number of live partial matches.
+func (n *NFA) ActiveRuns() int { return len(n.runs) }
+
+// Reset discards all partial matches and statistics.
+func (n *NFA) Reset() {
+	n.runs = nil
+	n.processed, n.predCalls, n.matches, n.runsPruned = 0, 0, 0, 0
+}
+
+// Stats reports counters accumulated since the last Reset.
+func (n *NFA) Stats() (processed, predCalls, matches, pruned uint64) {
+	return n.processed, n.predCalls, n.matches, n.runsPruned
+}
+
+// Process advances the automaton with one tuple and returns any matches it
+// completes. Tuples must arrive in non-decreasing timestamp order.
+func (n *NFA) Process(t stream.Tuple) []Match {
+	n.processed++
+	n.expire(t.Ts)
+
+	var completed []*run
+
+	// Advance existing runs. Each run consumes at most one tuple per step.
+	for _, r := range n.runs {
+		st := n.states[r.next]
+		n.predCalls++
+		if !st.pred(t) {
+			continue
+		}
+		r.ts = append(r.ts, t.Ts)
+		r.tuples = append(r.tuples, t)
+		r.next++
+		if !n.satisfiable(r, t.Ts) {
+			r.next = -1 // mark dead; swept below
+			n.runsPruned++
+			continue
+		}
+		if r.next == len(n.states) {
+			completed = append(completed, r)
+		}
+	}
+
+	// Try to start a fresh run with this tuple.
+	n.predCalls++
+	if n.states[0].pred(t) {
+		r := &run{
+			next:   1,
+			ts:     []time.Time{t.Ts},
+			tuples: []stream.Tuple{t},
+		}
+		if len(n.states) == 1 {
+			completed = append(completed, r)
+		} else if n.satisfiable(r, t.Ts) {
+			n.runs = append(n.runs, r)
+			if len(n.runs) > n.maxRuns {
+				// Evict the oldest partial run to bound memory.
+				n.runs = n.runs[1:]
+				n.runsPruned++
+			}
+		}
+	}
+
+	// Sweep dead and completed runs out of the active set.
+	n.sweep(completed)
+
+	if len(completed) == 0 {
+		return nil
+	}
+
+	// Apply selection policy. Runs complete in activation order, so the
+	// first element is the earliest-started instance.
+	selected := completed
+	if n.sel == SelectFirst {
+		selected = completed[:1]
+	}
+	out := make([]Match, 0, len(selected))
+	for _, r := range selected {
+		out = append(out, Match{
+			Start:  r.ts[0],
+			End:    r.ts[len(r.ts)-1],
+			Tuples: append([]stream.Tuple(nil), r.tuples...),
+		})
+	}
+	n.matches += uint64(len(out))
+
+	if n.consume == ConsumeAll {
+		// Consuming a match invalidates all in-flight partial matches.
+		n.runsPruned += uint64(len(n.runs))
+		n.runs = n.runs[:0]
+	}
+	return out
+}
+
+// satisfiable checks the window constraints that the run has started but not
+// yet finished, plus those fully matched. A constraint whose `first` state
+// is matched imposes a deadline; if the constraint's `last` state is already
+// matched it must hold now, otherwise it must still be reachable.
+func (n *NFA) satisfiable(r *run, now time.Time) bool {
+	for _, c := range n.constraints {
+		if r.next <= c.first {
+			continue // constraint window not entered yet
+		}
+		deadline := r.ts[c.first].Add(c.within)
+		if r.next > c.last {
+			// Fully matched: verify the recorded times.
+			if r.ts[c.last].After(deadline) {
+				return false
+			}
+			continue
+		}
+		// Partially inside the window: the last state will be matched at
+		// some time >= now.
+		if now.After(deadline) {
+			return false
+		}
+	}
+	return true
+}
+
+// expire removes runs whose pending window constraints can no longer be met
+// at time now.
+func (n *NFA) expire(now time.Time) {
+	if len(n.runs) == 0 || len(n.constraints) == 0 {
+		return
+	}
+	kept := n.runs[:0]
+	for _, r := range n.runs {
+		if n.satisfiable(r, now) {
+			kept = append(kept, r)
+		} else {
+			n.runsPruned++
+		}
+	}
+	n.runs = kept
+}
+
+// sweep removes completed and dead runs from the active set.
+func (n *NFA) sweep(completed []*run) {
+	if len(n.runs) == 0 {
+		return
+	}
+	done := make(map[*run]bool, len(completed))
+	for _, r := range completed {
+		done[r] = true
+	}
+	kept := n.runs[:0]
+	for _, r := range n.runs {
+		if r.next >= 0 && r.next < len(n.states) && !done[r] {
+			kept = append(kept, r)
+		}
+	}
+	n.runs = kept
+}

@@ -1,0 +1,220 @@
+package cep
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gesturecep/internal/stream"
+)
+
+// This file checks the NFA against a brute-force reference implementation
+// on randomized inputs: for small tuple sequences, the number and timing of
+// matches under `select first consume all` must equal the greedy
+// left-to-right subsequence search, and under `select all consume none`
+// every valid subsequence must be found.
+
+// bruteForceFirstConsumeAll mimics "select first consume all": repeatedly
+// find the earliest-starting subsequence (indices strictly increasing, one
+// tuple per state, within over the whole span), emit it, and resume the
+// search strictly after the match's last tuple.
+//
+// "Earliest-starting" mirrors run-activation order in the NFA; for each
+// candidate start, the remaining states match greedily at their earliest
+// possible positions (skip-till-next-match).
+func bruteForceFirstConsumeAll(values []float64, times []time.Time, preds []func(float64) bool, within time.Duration) []int {
+	var matchEnds []int
+	from := 0
+	for {
+		end := -1
+		// Try candidate starts in order; the NFA keeps all partial runs,
+		// so the match that completes first wins. Simulate: advance all
+		// candidate runs greedily and take the one completing earliest,
+		// breaking ties by earlier start.
+		bestEnd := -1
+		for s := from; s < len(values); s++ {
+			if !preds[0](values[s]) {
+				continue
+			}
+			idx := s
+			ok := true
+			for p := 1; p < len(preds); p++ {
+				idx++
+				for idx < len(values) {
+					if preds[p](values[idx]) && times[idx].Sub(times[s]) <= within {
+						break
+					}
+					// A run dies when its window can no longer be met.
+					if times[idx].Sub(times[s]) > within {
+						break
+					}
+					idx++
+				}
+				if idx >= len(values) || times[idx].Sub(times[s]) > within || !preds[p](values[idx]) {
+					ok = false
+					break
+				}
+			}
+			if ok && (bestEnd == -1 || idx < bestEnd) {
+				bestEnd = idx
+			}
+		}
+		end = bestEnd
+		if end < 0 {
+			return matchEnds
+		}
+		matchEnds = append(matchEnds, end)
+		from = end + 1
+	}
+}
+
+func TestQuickNFAMatchesBruteForce(t *testing.T) {
+	// Three-state pattern over value classes 0,1,2 (values 0..4; classes
+	// 3,4 are noise).
+	preds := []func(float64) bool{
+		func(v float64) bool { return v == 0 },
+		func(v float64) bool { return v == 1 },
+		func(v float64) bool { return v == 2 },
+	}
+	const within = 500 * time.Millisecond
+
+	f := func(seed int64, rawLen uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawLen%40) + 3
+		values := make([]float64, n)
+		times := make([]time.Time, n)
+		ts := time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC)
+		for i := 0; i < n; i++ {
+			values[i] = float64(rng.Intn(5))
+			// Random gaps 30..330 ms keep some matches inside and some
+			// outside the window.
+			ts = ts.Add(time.Duration(30+rng.Intn(300)) * time.Millisecond)
+			times[i] = ts
+		}
+
+		pattern := SeqWithin(within,
+			NewAtom("s0", func(tp stream.Tuple) bool { return preds[0](tp.Fields[0]) }),
+			NewAtom("s1", func(tp stream.Tuple) bool { return preds[1](tp.Fields[0]) }),
+			NewAtom("s2", func(tp stream.Tuple) bool { return preds[2](tp.Fields[0]) }),
+		)
+		nfa, err := Compile(pattern, SelectFirst, ConsumeAll)
+		if err != nil {
+			return false
+		}
+		var got []int
+		for i := 0; i < n; i++ {
+			ms := nfa.Process(stream.Tuple{Ts: times[i], Fields: []float64{values[i]}})
+			for range ms {
+				got = append(got, i)
+			}
+		}
+		want := bruteForceFirstConsumeAll(values, times, preds, within)
+		if len(got) != len(want) {
+			t.Logf("seed %d: values %v", seed, values)
+			t.Logf("got ends %v, want %v", got, want)
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Logf("seed %d: values %v", seed, values)
+				t.Logf("got ends %v, want %v", got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSelectAllFindsEverySuffixRun verifies under select all / consume
+// none that each match corresponds to a distinct run start and match count
+// equals the number of starts that can complete.
+func TestQuickSelectAllConsumeNone(t *testing.T) {
+	const within = time.Second
+	f := func(seed int64, rawLen uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawLen%25) + 2
+		values := make([]float64, n)
+		times := make([]time.Time, n)
+		ts := time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC)
+		for i := 0; i < n; i++ {
+			values[i] = float64(rng.Intn(3))
+			ts = ts.Add(100 * time.Millisecond)
+			times[i] = ts
+		}
+		pattern := SeqWithin(within,
+			NewAtom("a", func(tp stream.Tuple) bool { return tp.Fields[0] == 0 }),
+			NewAtom("b", func(tp stream.Tuple) bool { return tp.Fields[0] == 1 }),
+		)
+		nfa, err := Compile(pattern, SelectAll, ConsumeNone)
+		if err != nil {
+			return false
+		}
+		var matches int
+		for i := 0; i < n; i++ {
+			matches += len(nfa.Process(stream.Tuple{Ts: times[i], Fields: []float64{values[i]}}))
+		}
+		// Reference: each index i with value 0 completes at the first
+		// following index j with value 1 and times[j]-times[i] <= within.
+		want := 0
+		for i := 0; i < n; i++ {
+			if values[i] != 0 {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if times[j].Sub(times[i]) > within {
+					break
+				}
+				if values[j] == 1 {
+					want++
+					break
+				}
+			}
+		}
+		if matches != want {
+			t.Logf("seed %d values %v: matches %d want %d", seed, values, matches, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNoMatchWithoutCompleteSubsequence: streams lacking one of the
+// value classes can never match.
+func TestQuickNoMatchWithoutCompleteSubsequence(t *testing.T) {
+	f := func(seed int64, rawLen uint8, missing uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		skip := float64(missing % 3)
+		n := int(rawLen%30) + 1
+		pattern := Seq(
+			NewAtom("a", func(tp stream.Tuple) bool { return tp.Fields[0] == 0 }),
+			NewAtom("b", func(tp stream.Tuple) bool { return tp.Fields[0] == 1 }),
+			NewAtom("c", func(tp stream.Tuple) bool { return tp.Fields[0] == 2 }),
+		)
+		nfa, err := Compile(pattern, SelectFirst, ConsumeAll)
+		if err != nil {
+			return false
+		}
+		ts := time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC)
+		for i := 0; i < n; i++ {
+			v := float64(rng.Intn(3))
+			if v == skip {
+				v = 3 // replace the missing class with noise
+			}
+			ts = ts.Add(33 * time.Millisecond)
+			if got := nfa.Process(stream.Tuple{Ts: ts, Fields: []float64{v}}); len(got) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

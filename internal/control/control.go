@@ -1,0 +1,244 @@
+// Package control implements the "Controller" of the paper's Fig. 2: the
+// learning tool is itself gesture-controlled (§3.1). Pre-defined — but
+// configurable — control gestures drive the interactive loop:
+//
+//   - a wave arms the recorder for the next training sample ("when the user
+//     wants to record a new sample for a gesture, he triggers the process
+//     with a wave gesture");
+//   - the §3.1 stillness protocol segments the actual sample;
+//   - a swipe with both hands finalizes the learning process and hands the
+//     generated query to the application for deployment and testing.
+//
+// The controller is engine-agnostic: the embedding application deploys the
+// control queries (ControlQueries) on its engine, forwards control
+// detections via HandleDetection and raw frames via HandleFrame, and
+// receives Events.
+package control
+
+import (
+	"fmt"
+	"time"
+
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/learn"
+)
+
+// Control gesture names used by the pre-defined queries.
+const (
+	// WaveGesture arms sample recording.
+	WaveGesture = "ctl_wave"
+	// FinalizeGesture ends the learning session.
+	FinalizeGesture = "ctl_finalize"
+)
+
+// ControlQueries returns the pre-defined control queries in the paper's
+// dialect, written against the transformed kinect_t stream. The wave is a
+// left-right-left oscillation of the raised right hand; finalize is both
+// hands swiping upward together.
+func ControlQueries() []string {
+	wave := `
+SELECT "ctl_wave"
+MATCHING (
+  kinect_t(rHand_y > 330 and rHand_x < 310) ->
+  kinect_t(rHand_y > 330 and rHand_x > 360)
+  within 1 seconds
+) ->
+kinect_t(rHand_y > 330 and rHand_x < 310)
+within 2 seconds select first consume all;
+`
+	finalize := `
+SELECT "ctl_finalize"
+MATCHING kinect_t(rHand_y < 120 and lHand_y < 120 and rHand_y > -150 and lHand_y > -150 and rHand_z < -150 and lHand_z < -150) ->
+kinect_t(rHand_y > 300 and lHand_y > 300)
+within 2 seconds select first consume all;
+`
+	return []string{wave, finalize}
+}
+
+// Phase is the controller state.
+type Phase int
+
+const (
+	// PhaseIdle: waiting for the wave control gesture.
+	PhaseIdle Phase = iota
+	// PhaseArmed: the recorder is running; the next segmented movement
+	// becomes a training sample.
+	PhaseArmed
+	// PhaseDone: the session was finalized.
+	PhaseDone
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseArmed:
+		return "armed"
+	case PhaseDone:
+		return "done"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// EventKind classifies controller events.
+type EventKind int
+
+const (
+	// EventArmed: a wave was detected, recording is armed.
+	EventArmed EventKind = iota
+	// EventSampleRecorded: a sample was segmented and merged.
+	EventSampleRecorded
+	// EventSampleRejected: a segmented movement was too short to be a
+	// sample.
+	EventSampleRejected
+	// EventWarning: the merged sample deviates from prior ones (§3.3.2).
+	EventWarning
+	// EventFinalized: the session ended; Result carries the outcome.
+	EventFinalized
+)
+
+// Event is a controller notification.
+type Event struct {
+	Kind EventKind
+	// Samples is the number of samples accepted so far.
+	Samples int
+	// Warning is set for EventWarning.
+	Warning *learn.Warning
+	// Result is set for EventFinalized.
+	Result *learn.Result
+	// Err is set when finalization failed (e.g. no samples).
+	Err error
+}
+
+// Config tunes the controller.
+type Config struct {
+	// Learn is the learning pipeline configuration.
+	Learn learn.Config
+	// Recorder is the §3.1 segmentation configuration.
+	Recorder kinect.RecorderConfig
+	// MinSampleDuration filters out approach movements the recorder
+	// captures before the actual gesture (the automated version of the
+	// paper's visual sample review).
+	MinSampleDuration time.Duration
+}
+
+// DefaultConfig returns standard controller settings.
+func DefaultConfig() Config {
+	return Config{
+		Learn:             learn.DefaultConfig(),
+		Recorder:          kinect.DefaultRecorderConfig(),
+		MinSampleDuration: 600 * time.Millisecond,
+	}
+}
+
+// Controller drives one interactive learning session for one new gesture.
+type Controller struct {
+	cfg      Config
+	learner  *learn.Learner
+	recorder *kinect.Recorder
+	phase    Phase
+	samples  int
+	events   func(Event)
+}
+
+// New creates a controller for learning the named gesture. events receives
+// every notification (may be nil).
+func New(gestureName string, cfg Config, events func(Event)) (*Controller, error) {
+	learner, err := learn.NewLearner(gestureName, cfg.Learn)
+	if err != nil {
+		return nil, err
+	}
+	if events == nil {
+		events = func(Event) {}
+	}
+	return &Controller{
+		cfg:     cfg,
+		learner: learner,
+		phase:   PhaseIdle,
+		events:  events,
+	}, nil
+}
+
+// Phase returns the current controller phase.
+func (c *Controller) Phase() Phase { return c.phase }
+
+// Samples returns the number of accepted training samples.
+func (c *Controller) Samples() int { return c.samples }
+
+// HandleDetection feeds a control-gesture detection (by output name) into
+// the controller state machine.
+func (c *Controller) HandleDetection(name string) {
+	switch name {
+	case WaveGesture:
+		if c.phase != PhaseIdle {
+			return
+		}
+		rec, err := kinect.NewRecorder(c.cfg.Recorder)
+		if err != nil {
+			// Recorder config was validated implicitly at first use; a
+			// failure here is a programming error worth surfacing.
+			panic(err)
+		}
+		c.recorder = rec
+		c.phase = PhaseArmed
+		c.events(Event{Kind: EventArmed, Samples: c.samples})
+	case FinalizeGesture:
+		if c.phase == PhaseDone {
+			return
+		}
+		c.finalize()
+	}
+}
+
+// HandleFrame feeds a raw camera frame. While armed, frames run through the
+// recorder; completed segments become training samples.
+func (c *Controller) HandleFrame(f kinect.Frame) {
+	if c.phase != PhaseArmed || c.recorder == nil {
+		return
+	}
+	sample := c.recorder.Feed(f)
+	if sample == nil {
+		return
+	}
+	dur := sample[len(sample)-1].Ts.Sub(sample[0].Ts)
+	if dur < c.cfg.MinSampleDuration {
+		c.events(Event{Kind: EventSampleRejected, Samples: c.samples})
+		return
+	}
+	warns, err := c.learner.AddSample(sample)
+	if err != nil {
+		c.events(Event{Kind: EventSampleRejected, Samples: c.samples, Err: err})
+		return
+	}
+	c.samples++
+	for i := range warns {
+		w := warns[i]
+		c.events(Event{Kind: EventWarning, Samples: c.samples, Warning: &w})
+	}
+	c.events(Event{Kind: EventSampleRecorded, Samples: c.samples})
+}
+
+// finalize produces the learning result and emits EventFinalized.
+func (c *Controller) finalize() {
+	c.phase = PhaseDone
+	c.recorder = nil
+	res, err := c.learner.Result()
+	c.events(Event{Kind: EventFinalized, Samples: c.samples, Result: res, Err: err})
+}
+
+// Finalize ends the session programmatically (equivalent to the finalize
+// control gesture) and returns the result.
+func (c *Controller) Finalize() (*learn.Result, error) {
+	if c.phase == PhaseDone {
+		return nil, fmt.Errorf("control: session already finalized")
+	}
+	c.phase = PhaseDone
+	c.recorder = nil
+	res, err := c.learner.Result()
+	if err != nil {
+		return nil, err
+	}
+	c.events(Event{Kind: EventFinalized, Samples: c.samples, Result: res})
+	return res, nil
+}

@@ -1,0 +1,149 @@
+// Package experiments implements the reproduction experiments E1–E10 from
+// DESIGN.md. Each experiment returns a Table whose rows are the series the
+// paper's figures/claims describe; cmd/gesturebench prints them and
+// bench_test.go wraps them as benchmarks.
+//
+// The paper is a demo paper without numbered result tables, so the
+// experiments quantify its figures and prose claims: Fig. 1 (E1), the
+// "3-5 samples suffice" claim (E2), the §3.2 invariance transformation
+// (E3), the max_dist sampling threshold (E4), the window-scaling/overlap
+// trade-off (E5), the 30 Hz real-time requirement (E6), the §3.3.3
+// optimizations (E7), baselines (E8), the §3.1 recorder (E9) and the
+// window-mode design ablation (E10).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gesturecep/internal/detect"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/learn"
+	"gesturecep/internal/transform"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as fixed-width text.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// baseTime anchors all synthetic sessions.
+func baseTime() time.Time { return time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC) }
+
+// trainSamples records n samples of a gesture with the given user.
+func trainSamples(profile kinect.Profile, gestureName string, n int, seed int64) ([][]kinect.Frame, error) {
+	sim, err := kinect.NewSimulator(profile, kinect.DefaultNoise(), seed)
+	if err != nil {
+		return nil, err
+	}
+	spec, ok := kinect.StandardGestures()[gestureName]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown gesture %q", gestureName)
+	}
+	return sim.Samples(spec, n, baseTime(), kinect.PerformOpts{PathJitter: 25})
+}
+
+// testSession builds a labelled session containing reps repetitions of each
+// listed gesture interleaved with idle periods.
+func testSession(profile kinect.Profile, gestures []string, reps int, seed int64) (kinect.Session, error) {
+	sim, err := kinect.NewSimulator(profile, kinect.DefaultNoise(), seed)
+	if err != nil {
+		return kinect.Session{}, err
+	}
+	var script []kinect.ScriptItem
+	script = append(script, kinect.ScriptItem{Idle: time.Second})
+	for r := 0; r < reps; r++ {
+		for _, g := range gestures {
+			script = append(script,
+				kinect.ScriptItem{Gesture: g, Opts: kinect.PerformOpts{PathJitter: 18}},
+				kinect.ScriptItem{Idle: 1500 * time.Millisecond},
+			)
+		}
+	}
+	return sim.RunScript(script, baseTime().Add(time.Hour), nil)
+}
+
+// learnQueries learns each gesture from n samples and returns the generated
+// query texts in order.
+func learnQueries(profile kinect.Profile, gestures []string, n int, seed int64, cfg learn.Config) (map[string]*learn.Result, error) {
+	out := make(map[string]*learn.Result, len(gestures))
+	for i, g := range gestures {
+		samples, err := trainSamples(profile, g, n, seed+int64(i)*101)
+		if err != nil {
+			return nil, err
+		}
+		res, err := learn.Learn(g, samples, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: learning %q: %w", g, err)
+		}
+		out[g] = res
+	}
+	return out, nil
+}
+
+// runDetection deploys the queries in a fresh harness with the given
+// transform config and evaluates the session.
+func runDetection(cfg transform.Config, queryTexts []string, sess kinect.Session) (map[string]detect.Outcome, error) {
+	h, err := detect.NewHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Deploy(queryTexts...); err != nil {
+		return nil, err
+	}
+	return h.RunAndEvaluate(sess, detect.DefaultTolerance)
+}
+
+func f2(v float64) string          { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string          { return fmt.Sprintf("%.0f", v) }
+func iStr(v int) string            { return fmt.Sprintf("%d", v) }
+func durMs(d time.Duration) string { return fmt.Sprintf("%dms", d.Milliseconds()) }

@@ -1,0 +1,364 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// MBR is a minimal bounding rectangle in an arbitrary number of dimensions.
+// The paper expresses each gesture pose as a multi-dimensional rectangle
+// ("window", §3.3) with a center point determined by the involved joint
+// coordinates and a width per dimension representing allowed deviations;
+// MBRs over cluster centroids of several samples form the final pose
+// description (§3.3.2).
+//
+// An MBR is stored as inclusive [Min, Max] bounds per dimension. The zero
+// value is an empty MBR with no dimensions; use NewMBR or FromPoint to
+// construct one.
+type MBR struct {
+	Min []float64
+	Max []float64
+}
+
+// NewMBR constructs an MBR with the given inclusive bounds. It returns an
+// error if the slices differ in length or any min exceeds the corresponding
+// max.
+func NewMBR(min, max []float64) (MBR, error) {
+	if len(min) != len(max) {
+		return MBR{}, fmt.Errorf("geom: MBR bounds length mismatch: %d vs %d", len(min), len(max))
+	}
+	for i := range min {
+		if min[i] > max[i] {
+			return MBR{}, fmt.Errorf("geom: MBR dimension %d inverted: min %g > max %g", i, min[i], max[i])
+		}
+	}
+	m := MBR{Min: append([]float64(nil), min...), Max: append([]float64(nil), max...)}
+	return m, nil
+}
+
+// FromPoint returns a degenerate MBR containing exactly the given point.
+func FromPoint(p []float64) MBR {
+	return MBR{
+		Min: append([]float64(nil), p...),
+		Max: append([]float64(nil), p...),
+	}
+}
+
+// FromCenterWidth constructs an MBR from a center point and per-dimension
+// full widths, matching how windows appear in generated queries:
+// abs(coord - center) < width/2 in each dimension.
+func FromCenterWidth(center, width []float64) (MBR, error) {
+	if len(center) != len(width) {
+		return MBR{}, fmt.Errorf("geom: center/width length mismatch: %d vs %d", len(center), len(width))
+	}
+	min := make([]float64, len(center))
+	max := make([]float64, len(center))
+	for i := range center {
+		if width[i] < 0 {
+			return MBR{}, fmt.Errorf("geom: negative width %g in dimension %d", width[i], i)
+		}
+		min[i] = center[i] - width[i]/2
+		max[i] = center[i] + width[i]/2
+	}
+	return MBR{Min: min, Max: max}, nil
+}
+
+// Dims returns the number of dimensions.
+func (m MBR) Dims() int { return len(m.Min) }
+
+// IsEmpty reports whether the MBR has no dimensions.
+func (m MBR) IsEmpty() bool { return len(m.Min) == 0 }
+
+// Clone returns a deep copy of m.
+func (m MBR) Clone() MBR {
+	return MBR{
+		Min: append([]float64(nil), m.Min...),
+		Max: append([]float64(nil), m.Max...),
+	}
+}
+
+// Center returns the center point of the MBR.
+func (m MBR) Center() []float64 {
+	c := make([]float64, len(m.Min))
+	for i := range m.Min {
+		c[i] = (m.Min[i] + m.Max[i]) / 2
+	}
+	return c
+}
+
+// Width returns the full extent per dimension (Max - Min).
+func (m MBR) Width() []float64 {
+	w := make([]float64, len(m.Min))
+	for i := range m.Min {
+		w[i] = m.Max[i] - m.Min[i]
+	}
+	return w
+}
+
+// HalfWidth returns half the extent per dimension, i.e. the deviation bound
+// that appears in generated range predicates.
+func (m MBR) HalfWidth() []float64 {
+	w := m.Width()
+	for i := range w {
+		w[i] /= 2
+	}
+	return w
+}
+
+// Volume returns the product of all widths. Degenerate dimensions contribute
+// factor 0.
+func (m MBR) Volume() float64 {
+	if m.IsEmpty() {
+		return 0
+	}
+	vol := 1.0
+	for i := range m.Min {
+		vol *= m.Max[i] - m.Min[i]
+	}
+	return vol
+}
+
+// Margin returns the sum of all widths (the L1 analogue of volume, useful
+// when many dimensions are degenerate).
+func (m MBR) Margin() float64 {
+	var sum float64
+	for i := range m.Min {
+		sum += m.Max[i] - m.Min[i]
+	}
+	return sum
+}
+
+// Contains reports whether the point p lies inside the MBR (inclusive).
+func (m MBR) Contains(p []float64) bool {
+	if len(p) != len(m.Min) {
+		return false
+	}
+	for i := range p {
+		if p[i] < m.Min[i] || p[i] > m.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsMBR reports whether o lies fully inside m (inclusive).
+func (m MBR) ContainsMBR(o MBR) bool {
+	if len(o.Min) != len(m.Min) {
+		return false
+	}
+	for i := range m.Min {
+		if o.Min[i] < m.Min[i] || o.Max[i] > m.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Extend grows m in place so it contains the point p. It returns an error if
+// dimensions mismatch (an empty MBR adopts p's dimensionality).
+func (m *MBR) Extend(p []float64) error {
+	if m.IsEmpty() {
+		*m = FromPoint(p)
+		return nil
+	}
+	if len(p) != len(m.Min) {
+		return fmt.Errorf("geom: Extend dimension mismatch: MBR has %d, point has %d", len(m.Min), len(p))
+	}
+	for i := range p {
+		if p[i] < m.Min[i] {
+			m.Min[i] = p[i]
+		}
+		if p[i] > m.Max[i] {
+			m.Max[i] = p[i]
+		}
+	}
+	return nil
+}
+
+// Union returns the smallest MBR containing both m and o. An empty operand
+// yields a clone of the other.
+func (m MBR) Union(o MBR) (MBR, error) {
+	if m.IsEmpty() {
+		return o.Clone(), nil
+	}
+	if o.IsEmpty() {
+		return m.Clone(), nil
+	}
+	if len(m.Min) != len(o.Min) {
+		return MBR{}, fmt.Errorf("geom: Union dimension mismatch: %d vs %d", len(m.Min), len(o.Min))
+	}
+	u := m.Clone()
+	for i := range u.Min {
+		u.Min[i] = math.Min(u.Min[i], o.Min[i])
+		u.Max[i] = math.Max(u.Max[i], o.Max[i])
+	}
+	return u, nil
+}
+
+// Intersects reports whether m and o overlap in every dimension (touching
+// boundaries count as intersecting). MBRs of different dimensionality never
+// intersect.
+func (m MBR) Intersects(o MBR) bool {
+	if m.IsEmpty() || o.IsEmpty() || len(m.Min) != len(o.Min) {
+		return false
+	}
+	for i := range m.Min {
+		if m.Max[i] < o.Min[i] || o.Max[i] < m.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersection returns the overlapping region of m and o and whether it is
+// non-empty.
+func (m MBR) Intersection(o MBR) (MBR, bool) {
+	if !m.Intersects(o) {
+		return MBR{}, false
+	}
+	r := MBR{Min: make([]float64, len(m.Min)), Max: make([]float64, len(m.Min))}
+	for i := range m.Min {
+		r.Min[i] = math.Max(m.Min[i], o.Min[i])
+		r.Max[i] = math.Min(m.Max[i], o.Max[i])
+	}
+	return r, true
+}
+
+// OverlapFraction returns the volume of the intersection divided by the
+// volume of the smaller operand. It is the overlap measure used by the
+// validation step (§3.3.3) to flag the "overlapping problem". For MBRs with
+// degenerate (zero-width) dimensions the margin ratio is used instead so the
+// result stays meaningful.
+func (m MBR) OverlapFraction(o MBR) float64 {
+	inter, ok := m.Intersection(o)
+	if !ok {
+		return 0
+	}
+	mv, ov, iv := m.Volume(), o.Volume(), inter.Volume()
+	smaller := math.Min(mv, ov)
+	if smaller > 0 {
+		return iv / smaller
+	}
+	// Fall back to margins when a dimension is degenerate.
+	sm := math.Min(m.Margin(), o.Margin())
+	if sm == 0 {
+		return 1 // both degenerate and touching: treat as full overlap
+	}
+	return inter.Margin() / sm
+}
+
+// ScaleWidth returns a copy of m whose width in every dimension is
+// multiplied by factor, keeping the center fixed. This is the
+// generalization scaling step of §3.3.2. factor must be non-negative.
+func (m MBR) ScaleWidth(factor float64) (MBR, error) {
+	if factor < 0 {
+		return MBR{}, fmt.Errorf("geom: negative scale factor %g", factor)
+	}
+	c := m.Center()
+	w := m.Width()
+	for i := range w {
+		w[i] *= factor
+	}
+	return FromCenterWidth(c, w)
+}
+
+// EnsureMinWidth returns a copy of m where every dimension is at least
+// minWidth wide, growing symmetrically around the center. The learner uses
+// this so that degenerate windows (from identical samples) still tolerate
+// sensor jitter.
+func (m MBR) EnsureMinWidth(minWidth float64) MBR {
+	c := m.Center()
+	w := m.Width()
+	for i := range w {
+		if w[i] < minWidth {
+			w[i] = minWidth
+		}
+	}
+	r, err := FromCenterWidth(c, w)
+	if err != nil {
+		// Unreachable: widths are non-negative by construction.
+		panic(err)
+	}
+	return r
+}
+
+// DropDims returns a copy of m with the listed dimension indices removed.
+// Indices must be valid and strictly increasing. Used by the coordinate
+// elimination optimization (§3.3.3).
+func (m MBR) DropDims(drop []int) (MBR, error) {
+	keep := make([]bool, len(m.Min))
+	for i := range keep {
+		keep[i] = true
+	}
+	last := -1
+	for _, d := range drop {
+		if d <= last {
+			return MBR{}, fmt.Errorf("geom: DropDims indices must be strictly increasing, got %v", drop)
+		}
+		if d < 0 || d >= len(m.Min) {
+			return MBR{}, fmt.Errorf("geom: DropDims index %d out of range [0,%d)", d, len(m.Min))
+		}
+		keep[d] = false
+		last = d
+	}
+	var min, max []float64
+	for i := range m.Min {
+		if keep[i] {
+			min = append(min, m.Min[i])
+			max = append(max, m.Max[i])
+		}
+	}
+	return MBR{Min: min, Max: max}, nil
+}
+
+// ApproxEqual reports whether m and o have the same bounds within eps.
+func (m MBR) ApproxEqual(o MBR, eps float64) bool {
+	if len(m.Min) != len(o.Min) {
+		return false
+	}
+	for i := range m.Min {
+		if math.Abs(m.Min[i]-o.Min[i]) > eps || math.Abs(m.Max[i]-o.Max[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer, rendering center±halfwidth per dimension.
+func (m MBR) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	c := m.Center()
+	h := m.HalfWidth()
+	for i := range c {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.1f±%.1f", c[i], h[i])
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// MBRFromPoints returns the minimal bounding rectangle of the given points.
+// All points must share the same dimensionality.
+func MBRFromPoints(pts [][]float64) (MBR, error) {
+	var m MBR
+	for _, p := range pts {
+		if err := m.Extend(p); err != nil {
+			return MBR{}, err
+		}
+	}
+	return m, nil
+}
+
+// MBRFromVec3 returns the 3-dimensional MBR of the given points.
+func MBRFromVec3(pts []Vec3) MBR {
+	var m MBR
+	for _, p := range pts {
+		// Extend never fails for consistent 3D input.
+		_ = m.Extend([]float64{p.X, p.Y, p.Z})
+	}
+	return m
+}

@@ -1,0 +1,314 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustMBR(t *testing.T, min, max []float64) MBR {
+	t.Helper()
+	m, err := NewMBR(min, max)
+	if err != nil {
+		t.Fatalf("NewMBR: %v", err)
+	}
+	return m
+}
+
+func TestNewMBRValidation(t *testing.T) {
+	if _, err := NewMBR([]float64{0, 0}, []float64{1}); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if _, err := NewMBR([]float64{2}, []float64{1}); err == nil {
+		t.Error("inverted bounds not rejected")
+	}
+	m := mustMBR(t, []float64{0, -1}, []float64{1, 1})
+	if m.Dims() != 2 {
+		t.Errorf("Dims = %d", m.Dims())
+	}
+}
+
+func TestFromCenterWidth(t *testing.T) {
+	m, err := FromCenterWidth([]float64{10, 20}, []float64{4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Min[0] != 8 || m.Max[0] != 12 || m.Min[1] != 20 || m.Max[1] != 20 {
+		t.Errorf("bounds = %v..%v", m.Min, m.Max)
+	}
+	if _, err := FromCenterWidth([]float64{0}, []float64{-1}); err == nil {
+		t.Error("negative width not rejected")
+	}
+	if _, err := FromCenterWidth([]float64{0, 0}, []float64{1}); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+}
+
+func TestMBRCenterWidthVolume(t *testing.T) {
+	m := mustMBR(t, []float64{0, 10}, []float64{4, 20})
+	c := m.Center()
+	if c[0] != 2 || c[1] != 15 {
+		t.Errorf("Center = %v", c)
+	}
+	w := m.Width()
+	if w[0] != 4 || w[1] != 10 {
+		t.Errorf("Width = %v", w)
+	}
+	h := m.HalfWidth()
+	if h[0] != 2 || h[1] != 5 {
+		t.Errorf("HalfWidth = %v", h)
+	}
+	if m.Volume() != 40 {
+		t.Errorf("Volume = %v", m.Volume())
+	}
+	if m.Margin() != 14 {
+		t.Errorf("Margin = %v", m.Margin())
+	}
+	if (MBR{}).Volume() != 0 {
+		t.Error("empty MBR volume should be 0")
+	}
+}
+
+func TestMBRContains(t *testing.T) {
+	m := mustMBR(t, []float64{0, 0}, []float64{10, 10})
+	cases := []struct {
+		p    []float64
+		want bool
+	}{
+		{[]float64{5, 5}, true},
+		{[]float64{0, 0}, true},   // inclusive
+		{[]float64{10, 10}, true}, // inclusive
+		{[]float64{-0.1, 5}, false},
+		{[]float64{5, 10.1}, false},
+		{[]float64{5}, false}, // dim mismatch
+	}
+	for _, c := range cases {
+		if got := m.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestMBRExtendUnion(t *testing.T) {
+	var m MBR
+	if err := m.Extend([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Extend([]float64{-1, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Min[0] != -1 || m.Max[0] != 1 || m.Min[1] != 2 || m.Max[1] != 5 {
+		t.Errorf("after extends: %v..%v", m.Min, m.Max)
+	}
+	if err := m.Extend([]float64{0}); err == nil {
+		t.Error("dim mismatch not rejected")
+	}
+
+	o := mustMBR(t, []float64{10, 10}, []float64{11, 11})
+	u, err := m.Union(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.ContainsMBR(m) || !u.ContainsMBR(o) {
+		t.Error("union does not contain operands")
+	}
+	if _, err := m.Union(mustMBR(t, []float64{0}, []float64{1})); err == nil {
+		t.Error("union dim mismatch not rejected")
+	}
+	// Union with empty returns clone of other.
+	u2, err := (MBR{}).Union(m)
+	if err != nil || !u2.ApproxEqual(m, 0) {
+		t.Errorf("union with empty = %v, err %v", u2, err)
+	}
+}
+
+func TestMBRIntersection(t *testing.T) {
+	a := mustMBR(t, []float64{0, 0}, []float64{10, 10})
+	b := mustMBR(t, []float64{5, 5}, []float64{15, 15})
+	c := mustMBR(t, []float64{11, 11}, []float64{12, 12})
+
+	if !a.Intersects(b) {
+		t.Error("a should intersect b")
+	}
+	if a.Intersects(c) {
+		t.Error("a should not intersect c")
+	}
+	inter, ok := a.Intersection(b)
+	if !ok {
+		t.Fatal("no intersection")
+	}
+	if inter.Min[0] != 5 || inter.Max[0] != 10 {
+		t.Errorf("intersection = %v..%v", inter.Min, inter.Max)
+	}
+	if _, ok := a.Intersection(c); ok {
+		t.Error("disjoint intersection reported")
+	}
+	// Touching boundaries intersect.
+	d := mustMBR(t, []float64{10, 0}, []float64{20, 10})
+	if !a.Intersects(d) {
+		t.Error("touching MBRs should intersect")
+	}
+}
+
+func TestMBROverlapFraction(t *testing.T) {
+	a := mustMBR(t, []float64{0, 0}, []float64{10, 10})
+	b := mustMBR(t, []float64{0, 0}, []float64{5, 10})
+	if f := a.OverlapFraction(b); math.Abs(f-1) > 1e-12 {
+		t.Errorf("contained overlap fraction = %v, want 1", f)
+	}
+	c := mustMBR(t, []float64{5, 0}, []float64{15, 10})
+	if f := a.OverlapFraction(c); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("half overlap fraction = %v, want 0.5", f)
+	}
+	far := mustMBR(t, []float64{100, 100}, []float64{101, 101})
+	if f := a.OverlapFraction(far); f != 0 {
+		t.Errorf("disjoint overlap fraction = %v, want 0", f)
+	}
+	// Degenerate dimension: fall back to margins.
+	d1 := mustMBR(t, []float64{0, 5}, []float64{10, 5})
+	d2 := mustMBR(t, []float64{5, 5}, []float64{15, 5})
+	if f := d1.OverlapFraction(d2); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("degenerate overlap fraction = %v, want 0.5", f)
+	}
+}
+
+func TestMBRScaleWidth(t *testing.T) {
+	m := mustMBR(t, []float64{0, 0}, []float64{10, 20})
+	s, err := m.ScaleWidth(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min[0] != -5 || s.Max[0] != 15 || s.Min[1] != -10 || s.Max[1] != 30 {
+		t.Errorf("scaled = %v..%v", s.Min, s.Max)
+	}
+	cs, ss := m.Center(), s.Center()
+	for i := range cs {
+		if math.Abs(cs[i]-ss[i]) > 1e-12 {
+			t.Error("scaling moved the center")
+		}
+	}
+	if _, err := m.ScaleWidth(-1); err == nil {
+		t.Error("negative factor not rejected")
+	}
+}
+
+func TestMBREnsureMinWidth(t *testing.T) {
+	m := FromPoint([]float64{5, 5})
+	g := m.EnsureMinWidth(10)
+	w := g.Width()
+	if w[0] != 10 || w[1] != 10 {
+		t.Errorf("width after EnsureMinWidth = %v", w)
+	}
+	if c := g.Center(); c[0] != 5 || c[1] != 5 {
+		t.Errorf("center moved: %v", c)
+	}
+	// Already-wide dimensions stay untouched.
+	m2 := mustMBR(t, []float64{0}, []float64{100})
+	if got := m2.EnsureMinWidth(10).Width()[0]; got != 100 {
+		t.Errorf("wide dim changed to %v", got)
+	}
+}
+
+func TestMBRDropDims(t *testing.T) {
+	m := mustMBR(t, []float64{0, 1, 2}, []float64{10, 11, 12})
+	d, err := m.DropDims([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dims() != 2 || d.Min[1] != 2 || d.Max[1] != 12 {
+		t.Errorf("DropDims = %v..%v", d.Min, d.Max)
+	}
+	if _, err := m.DropDims([]int{2, 1}); err == nil {
+		t.Error("non-increasing indices not rejected")
+	}
+	if _, err := m.DropDims([]int{3}); err == nil {
+		t.Error("out-of-range index not rejected")
+	}
+}
+
+func TestMBRFromPoints(t *testing.T) {
+	m, err := MBRFromPoints([][]float64{{0, 5}, {10, -5}, {5, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Min[0] != 0 || m.Max[0] != 10 || m.Min[1] != -5 || m.Max[1] != 5 {
+		t.Errorf("MBRFromPoints = %v..%v", m.Min, m.Max)
+	}
+	if _, err := MBRFromPoints([][]float64{{0}, {0, 1}}); err == nil {
+		t.Error("ragged points not rejected")
+	}
+	v := MBRFromVec3([]Vec3{V(0, 0, 0), V(1, 2, 3)})
+	if v.Dims() != 3 || v.Max[2] != 3 {
+		t.Errorf("MBRFromVec3 = %v", v)
+	}
+}
+
+// Property: Union contains both operands and is commutative.
+func TestQuickUnionProperties(t *testing.T) {
+	f := func(a1, a2, b1, b2, c1, c2, d1, d2 float64) bool {
+		m := boxFrom(a1, a2, b1, b2)
+		o := boxFrom(c1, c2, d1, d2)
+		u, err := m.Union(o)
+		if err != nil {
+			return false
+		}
+		u2, err := o.Union(m)
+		if err != nil {
+			return false
+		}
+		return u.ContainsMBR(m) && u.ContainsMBR(o) && u.ApproxEqual(u2, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a point used to extend an MBR is contained afterwards.
+func TestQuickExtendContains(t *testing.T) {
+	f := func(a1, a2, b1, b2, px, py float64) bool {
+		m := boxFrom(a1, a2, b1, b2)
+		p := []float64{clampF(px), clampF(py)}
+		if err := m.Extend(p); err != nil {
+			return false
+		}
+		return m.Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection is symmetric and contained in both operands.
+func TestQuickIntersectionProperties(t *testing.T) {
+	f := func(a1, a2, b1, b2, c1, c2, d1, d2 float64) bool {
+		m := boxFrom(a1, a2, b1, b2)
+		o := boxFrom(c1, c2, d1, d2)
+		i1, ok1 := m.Intersection(o)
+		i2, ok2 := o.Intersection(m)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		return i1.ApproxEqual(i2, 0) && m.ContainsMBR(i1) && o.ContainsMBR(i1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampF(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}
+
+// boxFrom builds a valid 2D MBR from four arbitrary floats.
+func boxFrom(x1, y1, x2, y2 float64) MBR {
+	x1, y1, x2, y2 = clampF(x1), clampF(y1), clampF(x2), clampF(y2)
+	m := FromPoint([]float64{x1, y1})
+	_ = m.Extend([]float64{x2, y2})
+	return m
+}

@@ -1,0 +1,193 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat3 is a 3×3 matrix in row-major order, used for coordinate-frame
+// rotations (§3.2, Fig. 3: aligning the user's viewing direction with the
+// X-axis of an East-North-Up frame).
+type Mat3 [3][3]float64
+
+// Identity returns the identity matrix.
+func Identity() Mat3 {
+	return Mat3{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+}
+
+// RotX returns the rotation matrix about the X axis by angle (radians).
+func RotX(angle float64) Mat3 {
+	s, c := math.Sin(angle), math.Cos(angle)
+	return Mat3{
+		{1, 0, 0},
+		{0, c, -s},
+		{0, s, c},
+	}
+}
+
+// RotY returns the rotation matrix about the Y axis by angle (radians).
+func RotY(angle float64) Mat3 {
+	s, c := math.Sin(angle), math.Cos(angle)
+	return Mat3{
+		{c, 0, s},
+		{0, 1, 0},
+		{-s, 0, c},
+	}
+}
+
+// RotZ returns the rotation matrix about the Z axis by angle (radians).
+func RotZ(angle float64) Mat3 {
+	s, c := math.Sin(angle), math.Cos(angle)
+	return Mat3{
+		{c, -s, 0},
+		{s, c, 0},
+		{0, 0, 1},
+	}
+}
+
+// Mul returns the matrix product m × n.
+func (m Mat3) Mul(n Mat3) Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var sum float64
+			for k := 0; k < 3; k++ {
+				sum += m[i][k] * n[k][j]
+			}
+			r[i][j] = sum
+		}
+	}
+	return r
+}
+
+// Apply returns m × v.
+func (m Mat3) Apply(v Vec3) Vec3 {
+	return Vec3{
+		X: m[0][0]*v.X + m[0][1]*v.Y + m[0][2]*v.Z,
+		Y: m[1][0]*v.X + m[1][1]*v.Y + m[1][2]*v.Z,
+		Z: m[2][0]*v.X + m[2][1]*v.Y + m[2][2]*v.Z,
+	}
+}
+
+// Transpose returns the transpose of m. For rotation matrices this is the
+// inverse.
+func (m Mat3) Transpose() Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r[i][j] = m[j][i]
+		}
+	}
+	return r
+}
+
+// ApproxEqual reports whether all entries of m and n agree within eps.
+func (m Mat3) ApproxEqual(n Mat3, eps float64) bool {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(m[i][j]-n[i][j]) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RPY holds Roll-Pitch-Yaw angles (radians) in an East-North-Up ground
+// reference frame as used for land vehicles: the user's viewing direction is
+// the X (East) axis, yaw rotates about the Up axis, pitch about the North
+// axis, roll about the East axis. The paper implements the RPY calculation
+// as user-defined operators in AnduIN (§3.2); here it is a library function
+// registered as a UDF by the engine facade.
+type RPY struct {
+	Roll, Pitch, Yaw float64
+}
+
+// Matrix returns the rotation matrix R = Rz(yaw) × Ry(pitch) × Rx(roll)
+// mapping body-frame vectors to the ENU ground frame. In the ENU convention
+// used here the Up axis is Z, so yaw is a rotation about Z, pitch about Y,
+// and roll about X.
+func (a RPY) Matrix() Mat3 {
+	return RotZ(a.Yaw).Mul(RotY(a.Pitch)).Mul(RotX(a.Roll))
+}
+
+// RPYFromMatrix extracts Roll-Pitch-Yaw angles from a rotation matrix
+// following the Rz·Ry·Rx convention. In the gimbal-lock case (|pitch| = 90°)
+// roll is set to zero and yaw absorbs the remaining rotation.
+func RPYFromMatrix(m Mat3) RPY {
+	// m = Rz(yaw) Ry(pitch) Rx(roll)
+	// m[2][0] = -sin(pitch)
+	sp := -m[2][0]
+	if sp > 1 {
+		sp = 1
+	} else if sp < -1 {
+		sp = -1
+	}
+	pitch := math.Asin(sp)
+	const eps = 1e-9
+	if math.Abs(math.Cos(pitch)) < eps {
+		// Gimbal lock: only yaw±roll observable.
+		return RPY{
+			Roll:  0,
+			Pitch: pitch,
+			Yaw:   math.Atan2(-m[0][1], m[1][1]),
+		}
+	}
+	return RPY{
+		Roll:  math.Atan2(m[2][1], m[2][2]),
+		Pitch: pitch,
+		Yaw:   math.Atan2(m[1][0], m[0][0]),
+	}
+}
+
+// YawFromDirection returns the yaw angle (rotation about the camera's
+// vertical Y axis) of a horizontal direction vector in the camera frame.
+// The Kinect camera frame has X right, Y up, Z towards the user; a user
+// facing the camera has viewing direction (0, 0, -1)… but since gestures are
+// defined in the user's own frame, what matters is consistency: yaw 0 means
+// the user faces straight at the camera.
+func YawFromDirection(dir Vec3) float64 {
+	// Project onto the horizontal (XZ) plane; yaw measured from -Z towards +X.
+	return math.Atan2(dir.X, -dir.Z)
+}
+
+// DirectionFromYaw is the inverse of YawFromDirection: it returns the unit
+// horizontal viewing direction in the camera frame for the given yaw.
+func DirectionFromYaw(yaw float64) Vec3 {
+	return Vec3{X: math.Sin(yaw), Y: 0, Z: -math.Cos(yaw)}
+}
+
+// YawRotationY returns the rotation matrix about the camera Y axis that maps
+// a user-local vector into the camera frame for a user standing with the
+// given yaw, and whose transpose maps camera-frame offsets back into the
+// user-local frame. This is the rotation the kinect_t view applies (§3.2) to
+// make gesture definitions independent of the user's orientation.
+func YawRotationY(yaw float64) Mat3 {
+	return RotY(yaw)
+}
+
+// NormalizeAngle maps an angle to the range (-π, π].
+func NormalizeAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a > math.Pi {
+		a -= 2 * math.Pi
+	} else if a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// AngleDiff returns the smallest signed difference a-b normalized to
+// (-π, π].
+func AngleDiff(a, b float64) float64 { return NormalizeAngle(a - b) }
+
+// Degrees converts radians to degrees.
+func Degrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Radians converts degrees to radians.
+func Radians(deg float64) float64 { return deg * math.Pi / 180 }
+
+// String implements fmt.Stringer.
+func (a RPY) String() string {
+	return fmt.Sprintf("rpy(%.1f°, %.1f°, %.1f°)", Degrees(a.Roll), Degrees(a.Pitch), Degrees(a.Yaw))
+}

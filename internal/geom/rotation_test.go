@@ -1,0 +1,161 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	v := V(1, 2, 3)
+	if got := Identity().Apply(v); got != v {
+		t.Errorf("Identity.Apply = %v", got)
+	}
+}
+
+func TestRotZ90(t *testing.T) {
+	got := RotZ(math.Pi / 2).Apply(V(1, 0, 0))
+	if !got.ApproxEqual(V(0, 1, 0), 1e-12) {
+		t.Errorf("RotZ(90°)·x = %v, want y", got)
+	}
+}
+
+func TestRotX90(t *testing.T) {
+	got := RotX(math.Pi / 2).Apply(V(0, 1, 0))
+	if !got.ApproxEqual(V(0, 0, 1), 1e-12) {
+		t.Errorf("RotX(90°)·y = %v, want z", got)
+	}
+}
+
+func TestRotY90(t *testing.T) {
+	got := RotY(math.Pi / 2).Apply(V(0, 0, 1))
+	if !got.ApproxEqual(V(1, 0, 0), 1e-12) {
+		t.Errorf("RotY(90°)·z = %v, want x", got)
+	}
+}
+
+func TestTransposeIsInverse(t *testing.T) {
+	r := RotZ(0.7).Mul(RotY(-0.3)).Mul(RotX(1.1))
+	if !r.Mul(r.Transpose()).ApproxEqual(Identity(), 1e-12) {
+		t.Error("R·Rᵀ != I")
+	}
+}
+
+func TestMatMulAssociativity(t *testing.T) {
+	a, b, c := RotX(0.3), RotY(0.5), RotZ(0.9)
+	left := a.Mul(b).Mul(c)
+	right := a.Mul(b.Mul(c))
+	if !left.ApproxEqual(right, 1e-12) {
+		t.Error("matrix multiplication not associative")
+	}
+}
+
+func TestRPYRoundTrip(t *testing.T) {
+	cases := []RPY{
+		{0, 0, 0},
+		{0.1, 0.2, 0.3},
+		{-1.2, 0.7, 2.9},
+		{0, 0, math.Pi / 2},
+		{math.Pi / 4, -math.Pi / 4, -math.Pi / 2},
+	}
+	for _, want := range cases {
+		got := RPYFromMatrix(want.Matrix())
+		if math.Abs(AngleDiff(got.Roll, want.Roll)) > 1e-9 ||
+			math.Abs(AngleDiff(got.Pitch, want.Pitch)) > 1e-9 ||
+			math.Abs(AngleDiff(got.Yaw, want.Yaw)) > 1e-9 {
+			t.Errorf("round trip %v -> %v", want, got)
+		}
+	}
+}
+
+func TestRPYGimbalLock(t *testing.T) {
+	// pitch = 90° collapses roll/yaw into one rotation; the extraction
+	// convention puts everything into yaw.
+	in := RPY{Roll: 0.4, Pitch: math.Pi / 2, Yaw: 0.9}
+	out := RPYFromMatrix(in.Matrix())
+	if math.Abs(out.Pitch-math.Pi/2) > 1e-9 {
+		t.Errorf("pitch = %v, want π/2", out.Pitch)
+	}
+	if out.Roll != 0 {
+		t.Errorf("roll = %v, want 0 in gimbal lock", out.Roll)
+	}
+	// The combined rotation must still reproduce the same matrix.
+	if !out.Matrix().ApproxEqual(in.Matrix(), 1e-9) {
+		t.Error("gimbal-lock extraction does not reproduce the matrix")
+	}
+}
+
+func TestYawDirectionRoundTrip(t *testing.T) {
+	for _, yaw := range []float64{0, 0.5, -0.5, math.Pi / 2, 3, -3} {
+		dir := DirectionFromYaw(yaw)
+		if math.Abs(dir.Norm()-1) > 1e-12 {
+			t.Errorf("direction not unit length for yaw %v", yaw)
+		}
+		got := YawFromDirection(dir)
+		if math.Abs(AngleDiff(got, yaw)) > 1e-9 {
+			t.Errorf("yaw round trip %v -> %v", yaw, got)
+		}
+	}
+	// Facing the camera (viewing direction -Z) is yaw 0.
+	if got := YawFromDirection(V(0, 0, -1)); math.Abs(got) > 1e-12 {
+		t.Errorf("facing camera yaw = %v, want 0", got)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi}, // -π maps to +π in (-π, π]
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-0.5, -0.5},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDegreesRadians(t *testing.T) {
+	if Degrees(math.Pi) != 180 {
+		t.Error("Degrees(π) != 180")
+	}
+	if math.Abs(Radians(90)-math.Pi/2) > 1e-12 {
+		t.Error("Radians(90) != π/2")
+	}
+}
+
+// Property: rotations preserve vector length.
+func TestQuickRotationPreservesNorm(t *testing.T) {
+	f := func(roll, pitch, yaw, x, y, z float64) bool {
+		a := RPY{clampAngle(roll), clampAngle(pitch), clampAngle(yaw)}
+		v := clampVec(V(x, y, z))
+		got := a.Matrix().Apply(v)
+		return math.Abs(got.Norm()-v.Norm()) < 1e-6*math.Max(1, v.Norm())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: YawRotationY transpose undoes the rotation.
+func TestQuickYawRotationInverse(t *testing.T) {
+	f := func(yaw, x, y, z float64) bool {
+		r := YawRotationY(clampAngle(yaw))
+		v := clampVec(V(x, y, z))
+		back := r.Transpose().Apply(r.Apply(v))
+		return back.ApproxEqual(v, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampAngle(a float64) float64 {
+	if math.IsNaN(a) || math.IsInf(a, 0) {
+		return 0
+	}
+	return math.Mod(a, math.Pi)
+}

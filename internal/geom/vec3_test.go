@@ -1,0 +1,191 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasicOps(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(4, -5, 6)
+
+	if got := a.Add(b); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Neg(); got != V(-1, -2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.Mul(b); got != V(4, -10, 18) {
+		t.Errorf("Mul = %v", got)
+	}
+}
+
+func TestVecCross(t *testing.T) {
+	x, y, z := V(1, 0, 0), V(0, 1, 0), V(0, 0, 1)
+	if got := x.Cross(y); !got.ApproxEqual(z, 1e-12) {
+		t.Errorf("x×y = %v, want z", got)
+	}
+	if got := y.Cross(z); !got.ApproxEqual(x, 1e-12) {
+		t.Errorf("y×z = %v, want x", got)
+	}
+	if got := z.Cross(x); !got.ApproxEqual(y, 1e-12) {
+		t.Errorf("z×x = %v, want y", got)
+	}
+}
+
+func TestVecNormDist(t *testing.T) {
+	v := V(3, 4, 0)
+	if v.Norm() != 5 {
+		t.Errorf("Norm = %v, want 5", v.Norm())
+	}
+	if v.NormSq() != 25 {
+		t.Errorf("NormSq = %v, want 25", v.NormSq())
+	}
+	if d := V(1, 1, 1).Dist(V(1, 1, 1)); d != 0 {
+		t.Errorf("Dist to self = %v", d)
+	}
+	if d := V(0, 0, 0).Dist(V(0, 3, 4)); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+}
+
+func TestVecUnit(t *testing.T) {
+	u := V(0, 0, 10).Unit()
+	if !u.ApproxEqual(V(0, 0, 1), 1e-12) {
+		t.Errorf("Unit = %v", u)
+	}
+	if !V(0, 0, 0).Unit().IsZero() {
+		t.Error("Unit of zero vector should stay zero")
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a, b := V(0, 0, 0), V(10, -10, 20)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); !got.ApproxEqual(V(5, -5, 10), 1e-12) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestVecCoordAccess(t *testing.T) {
+	v := V(7, 8, 9)
+	for i, want := range []float64{7, 8, 9} {
+		if got := v.Coord(i); got != want {
+			t.Errorf("Coord(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if got := v.SetCoord(1, 42); got != V(7, 42, 9) {
+		t.Errorf("SetCoord = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Coord(3) should panic")
+		}
+	}()
+	v.Coord(3)
+}
+
+func TestVecIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if V(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	if got := PathLength(nil); got != 0 {
+		t.Errorf("PathLength(nil) = %v", got)
+	}
+	if got := PathLength([]Vec3{V(0, 0, 0)}); got != 0 {
+		t.Errorf("PathLength(single) = %v", got)
+	}
+	pts := []Vec3{V(0, 0, 0), V(3, 4, 0), V(3, 4, 12)}
+	if got := PathLength(pts); got != 17 {
+		t.Errorf("PathLength = %v, want 17", got)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if !Centroid(nil).IsZero() {
+		t.Error("Centroid(nil) should be zero")
+	}
+	pts := []Vec3{V(0, 0, 0), V(2, 4, 6)}
+	if got := Centroid(pts); !got.ApproxEqual(V(1, 2, 3), 1e-12) {
+		t.Errorf("Centroid = %v", got)
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	got := V(0, 0, 0).Midpoint(V(2, 2, 2))
+	if !got.ApproxEqual(V(1, 1, 1), 1e-12) {
+		t.Errorf("Midpoint = %v", got)
+	}
+}
+
+// Property: triangle inequality for Dist.
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz float64) bool {
+		a, b, c := clampVec(V(ax, ay, az)), clampVec(V(bx, by, bz)), clampVec(V(cx, cy, cz))
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sub then Add round-trips.
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := clampVec(V(ax, ay, az)), clampVec(V(bx, by, bz))
+		return a.Sub(b).Add(b).ApproxEqual(a, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: unit vectors have length 1 (unless zero).
+func TestQuickUnitLength(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		v := clampVec(V(x, y, z))
+		if v.IsZero() {
+			return true
+		}
+		return math.Abs(v.Unit().Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampVec maps arbitrary quick-generated floats into a sane finite range so
+// properties are not voided by Inf/NaN overflow artifacts.
+func clampVec(v Vec3) Vec3 {
+	c := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0
+		}
+		return math.Mod(x, 1e6)
+	}
+	return V(c(v.X), c(v.Y), c(v.Z))
+}

@@ -1,0 +1,224 @@
+// Package gesturedb stores learned gesture definitions — models, generated
+// query texts and bookkeeping — with JSON persistence. In the paper's
+// architecture (Fig. 2) this is the "Gesture Database" between the learner
+// and the CEP engine: gestures are learned once, stored, and deployed (or
+// exchanged at runtime) from here.
+package gesturedb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"gesturecep/internal/learn"
+)
+
+// Entry is one stored gesture definition.
+type Entry struct {
+	// Name is the gesture identifier (unique per database).
+	Name string `json:"name"`
+	// QueryText is the generated CEP query in the paper's dialect.
+	QueryText string `json:"query"`
+	// Model is the merged learning result the query was generated from;
+	// kept so patterns can be re-generalized or re-validated later without
+	// re-recording samples.
+	Model learn.Model `json:"model"`
+	// Created is when the entry was stored.
+	Created time.Time `json:"created"`
+	// Notes holds free-form remarks (e.g. manual tuning applied).
+	Notes string `json:"notes,omitempty"`
+}
+
+// Validate reports structural problems.
+func (e Entry) Validate() error {
+	if e.Name == "" {
+		return fmt.Errorf("gesturedb: entry without name")
+	}
+	if e.QueryText == "" {
+		return fmt.Errorf("gesturedb: entry %q without query text", e.Name)
+	}
+	if err := e.Model.Validate(); err != nil {
+		return fmt.Errorf("gesturedb: entry %q: %w", e.Name, err)
+	}
+	if e.Model.Name != e.Name {
+		return fmt.Errorf("gesturedb: entry %q wraps model %q", e.Name, e.Model.Name)
+	}
+	return nil
+}
+
+// DB is an in-memory gesture store with JSON persistence. Safe for
+// concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{entries: make(map[string]Entry)}
+}
+
+// Put stores an entry, replacing any previous definition of the same
+// gesture (the runtime-exchange workflow).
+func (db *DB) Put(e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if e.Created.IsZero() {
+		e.Created = time.Now().UTC()
+	}
+	db.mu.Lock()
+	db.entries[e.Name] = e
+	db.mu.Unlock()
+	return nil
+}
+
+// Add stores an entry, failing if the gesture already exists.
+func (db *DB) Add(e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.entries[e.Name]; dup {
+		return fmt.Errorf("gesturedb: gesture %q already stored", e.Name)
+	}
+	if e.Created.IsZero() {
+		e.Created = time.Now().UTC()
+	}
+	db.entries[e.Name] = e
+	return nil
+}
+
+// Get returns a stored entry.
+func (db *DB) Get(name string) (Entry, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.entries[name]
+	return e, ok
+}
+
+// Delete removes a gesture; it reports whether it existed.
+func (db *DB) Delete(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, ok := db.entries[name]
+	delete(db.entries, name)
+	return ok
+}
+
+// Len returns the number of stored gestures.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// List returns all entries sorted by name.
+func (db *DB) List() []Entry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Entry, 0, len(db.entries))
+	for _, e := range db.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Models returns all stored models sorted by name — the input to the
+// cross-checking step (§3.3.3).
+func (db *DB) Models() []learn.Model {
+	entries := db.List()
+	out := make([]learn.Model, len(entries))
+	for i, e := range entries {
+		out[i] = e.Model
+	}
+	return out
+}
+
+// fileFormat is the persisted representation.
+type fileFormat struct {
+	Version int     `json:"version"`
+	Entries []Entry `json:"gestures"`
+}
+
+const currentVersion = 1
+
+// Export serializes the database as JSON.
+func (db *DB) Export(w io.Writer) error {
+	f := fileFormat{Version: currentVersion, Entries: db.List()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("gesturedb: encode: %w", err)
+	}
+	return nil
+}
+
+// Import replaces the database content with the JSON document from r.
+func (db *DB) Import(r io.Reader) error {
+	var f fileFormat
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("gesturedb: decode: %w", err)
+	}
+	if f.Version != currentVersion {
+		return fmt.Errorf("gesturedb: unsupported file version %d", f.Version)
+	}
+	fresh := make(map[string]Entry, len(f.Entries))
+	for _, e := range f.Entries {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		if _, dup := fresh[e.Name]; dup {
+			return fmt.Errorf("gesturedb: duplicate gesture %q in file", e.Name)
+		}
+		fresh[e.Name] = e
+	}
+	db.mu.Lock()
+	db.entries = fresh
+	db.mu.Unlock()
+	return nil
+}
+
+// Save writes the database to a file (atomically via a temp file rename).
+func (db *DB) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("gesturedb: save: %w", err)
+	}
+	if err := db.Export(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("gesturedb: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("gesturedb: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database file written by Save.
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("gesturedb: load: %w", err)
+	}
+	defer f.Close()
+	db := New()
+	if err := db.Import(f); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,197 @@
+package gesturedb
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gesturecep/internal/geom"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/learn"
+)
+
+func testEntry(t *testing.T, name string) Entry {
+	t.Helper()
+	w, err := geom.FromCenterWidth([]float64{0, 150, -120}, []float64{100, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := geom.FromCenterWidth([]float64{700, 150, -120}, []float64{100, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Entry{
+		Name:      name,
+		QueryText: `SELECT "` + name + `" MATCHING kinect_t(abs(rHand_x - 0) < 50);`,
+		Model: learn.Model{
+			Name:          name,
+			Joints:        []kinect.Joint{kinect.RightHand},
+			Windows:       []geom.MBR{w, w2},
+			StepDurations: []time.Duration{300 * time.Millisecond},
+			TotalDuration: 300 * time.Millisecond,
+			Samples:       3,
+		},
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db := New()
+	e := testEntry(t, "swipe_right")
+	if err := db.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := db.Get("swipe_right")
+	if !ok || got.Name != "swipe_right" {
+		t.Fatal("Get failed")
+	}
+	if got.Created.IsZero() {
+		t.Error("Created not stamped")
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	// Put replaces.
+	e2 := testEntry(t, "swipe_right")
+	e2.Notes = "v2"
+	if err := db.Put(e2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = db.Get("swipe_right")
+	if got.Notes != "v2" {
+		t.Error("Put did not replace")
+	}
+	if !db.Delete("swipe_right") {
+		t.Error("Delete missed")
+	}
+	if db.Delete("swipe_right") {
+		t.Error("Delete of absent entry reported true")
+	}
+}
+
+func TestAddRejectsDuplicates(t *testing.T) {
+	db := New()
+	if err := db.Add(testEntry(t, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(testEntry(t, "a")); err == nil {
+		t.Error("duplicate Add accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	db := New()
+	bad := []Entry{
+		{},
+		{Name: "x"},
+		{Name: "x", QueryText: "q"}, // invalid model
+	}
+	for i, e := range bad {
+		if err := db.Put(e); err == nil {
+			t.Errorf("bad entry %d accepted", i)
+		}
+	}
+	// Name mismatch between entry and model.
+	e := testEntry(t, "a")
+	e.Model.Name = "b"
+	if err := db.Put(e); err == nil {
+		t.Error("name mismatch accepted")
+	}
+}
+
+func TestListAndModelsSorted(t *testing.T) {
+	db := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := db.Put(testEntry(t, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := db.List()
+	if len(list) != 3 || list[0].Name != "alpha" || list[2].Name != "zeta" {
+		t.Errorf("List order: %v", []string{list[0].Name, list[1].Name, list[2].Name})
+	}
+	models := db.Models()
+	if len(models) != 3 || models[0].Name != "alpha" {
+		t.Error("Models order wrong")
+	}
+}
+
+func TestRoundTripJSON(t *testing.T) {
+	db := New()
+	_ = db.Put(testEntry(t, "swipe_right"))
+	_ = db.Put(testEntry(t, "circle"))
+	var buf bytes.Buffer
+	if err := db.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"swipe_right"`) {
+		t.Error("serialized JSON missing gesture")
+	}
+	db2 := New()
+	if err := db2.Import(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != 2 {
+		t.Fatalf("reloaded %d entries", db2.Len())
+	}
+	got, ok := db2.Get("swipe_right")
+	if !ok {
+		t.Fatal("swipe_right lost")
+	}
+	if len(got.Model.Windows) != 2 {
+		t.Error("model windows lost")
+	}
+	if got.Model.Windows[0].Min[0] != -50 {
+		t.Errorf("window bounds corrupted: %v", got.Model.Windows[0].Min)
+	}
+	if got.Model.StepDurations[0] != 300*time.Millisecond {
+		t.Error("durations corrupted")
+	}
+}
+
+func TestReadFromErrors(t *testing.T) {
+	db := New()
+	if err := db.Import(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := db.Import(strings.NewReader(`{"version": 99, "gestures": []}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	// A file with two entries of the same name is rejected. Build it by
+	// serializing one entry and doubling the array element.
+	var buf bytes.Buffer
+	src := New()
+	_ = src.Put(testEntry(t, "a"))
+	if err := src.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	start := strings.Index(text, "[")
+	end := strings.LastIndex(text, "]")
+	element := strings.TrimSpace(text[start+1 : end])
+	doubled := text[:start+1] + element + ",\n" + element + text[end:]
+	if err := db.Import(strings.NewReader(doubled)); err == nil {
+		t.Error("duplicate gesture names in file accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gestures.json")
+	db := New()
+	_ = db.Put(testEntry(t, "push"))
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != 1 {
+		t.Errorf("loaded %d entries", db2.Len())
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,233 @@
+// Package graphdb is a miniature in-memory property graph with the
+// traversal operations of the paper's "Kevin Bacon game" demo ([1],
+// BTW 2013): cursor-based navigation over neighbours, path history, and
+// BFS shortest paths (Bacon numbers). The examples bind detected gestures
+// to these operations.
+package graphdb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected labelled graph. Nodes are identified by string
+// IDs; edges carry an optional label (e.g. the movie connecting two
+// actors).
+type Graph struct {
+	nodes map[string]string            // id -> kind ("actor", "movie", …)
+	adj   map[string]map[string]string // from -> to -> edge label
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[string]string),
+		adj:   make(map[string]map[string]string),
+	}
+}
+
+// AddNode inserts a node; re-adding updates the kind.
+func (g *Graph) AddNode(id, kind string) error {
+	if id == "" {
+		return fmt.Errorf("graphdb: empty node id")
+	}
+	g.nodes[id] = kind
+	if g.adj[id] == nil {
+		g.adj[id] = make(map[string]string)
+	}
+	return nil
+}
+
+// AddEdge connects two existing nodes (undirected) with a label.
+func (g *Graph) AddEdge(a, b, label string) error {
+	if _, ok := g.nodes[a]; !ok {
+		return fmt.Errorf("graphdb: unknown node %q", a)
+	}
+	if _, ok := g.nodes[b]; !ok {
+		return fmt.Errorf("graphdb: unknown node %q", b)
+	}
+	if a == b {
+		return fmt.Errorf("graphdb: self loop on %q", a)
+	}
+	g.adj[a][b] = label
+	g.adj[b][a] = label
+	return nil
+}
+
+// Has reports whether the node exists.
+func (g *Graph) Has(id string) bool {
+	_, ok := g.nodes[id]
+	return ok
+}
+
+// Kind returns a node's kind.
+func (g *Graph) Kind(id string) (string, bool) {
+	k, ok := g.nodes[id]
+	return k, ok
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Neighbors returns the sorted neighbour IDs of a node.
+func (g *Graph) Neighbors(id string) []string {
+	out := make([]string, 0, len(g.adj[id]))
+	for n := range g.adj[id] {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgeLabel returns the label of the edge between two nodes.
+func (g *Graph) EdgeLabel(a, b string) (string, bool) {
+	l, ok := g.adj[a][b]
+	return l, ok
+}
+
+// ShortestPath returns a BFS shortest path between two nodes (inclusive),
+// or ok=false when disconnected.
+func (g *Graph) ShortestPath(from, to string) ([]string, bool) {
+	if !g.Has(from) || !g.Has(to) {
+		return nil, false
+	}
+	if from == to {
+		return []string{from}, true
+	}
+	prev := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range g.Neighbors(cur) {
+			if _, seen := prev[n]; seen {
+				continue
+			}
+			prev[n] = cur
+			if n == to {
+				var path []string
+				for at := to; at != from; at = prev[at] {
+					path = append(path, at)
+				}
+				path = append(path, from)
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path, true
+			}
+			queue = append(queue, n)
+		}
+	}
+	return nil, false
+}
+
+// BaconNumber returns the shortest-path hop count between an actor and the
+// reference node, counting only actor-to-actor steps (two graph hops via a
+// movie = one Bacon step in the classic bipartite actor-movie graph).
+func (g *Graph) BaconNumber(actor, reference string) (int, bool) {
+	path, ok := g.ShortestPath(actor, reference)
+	if !ok {
+		return 0, false
+	}
+	return (len(path) - 1) / 2, true
+}
+
+// Cursor is the gesture-driven navigation state: a current node, a
+// selection index over its neighbours, and a history stack for going back.
+type Cursor struct {
+	g       *Graph
+	current string
+	sel     int
+	history []string
+}
+
+// NewCursor starts navigation at the given node.
+func NewCursor(g *Graph, start string) (*Cursor, error) {
+	if !g.Has(start) {
+		return nil, fmt.Errorf("graphdb: unknown start node %q", start)
+	}
+	return &Cursor{g: g, current: start}, nil
+}
+
+// Current returns the node the cursor is on.
+func (c *Cursor) Current() string { return c.current }
+
+// Selected returns the currently selected neighbour ("" when the node has
+// none).
+func (c *Cursor) Selected() string {
+	ns := c.g.Neighbors(c.current)
+	if len(ns) == 0 {
+		return ""
+	}
+	return ns[((c.sel%len(ns))+len(ns))%len(ns)]
+}
+
+// Next moves the neighbour selection forward (swipe right).
+func (c *Cursor) Next() string {
+	c.sel++
+	return c.Selected()
+}
+
+// Prev moves the neighbour selection backward (swipe left).
+func (c *Cursor) Prev() string {
+	c.sel--
+	return c.Selected()
+}
+
+// Descend moves onto the selected neighbour (push gesture), pushing the
+// previous node onto the history.
+func (c *Cursor) Descend() (string, error) {
+	target := c.Selected()
+	if target == "" {
+		return "", fmt.Errorf("graphdb: node %q has no neighbours", c.current)
+	}
+	c.history = append(c.history, c.current)
+	c.current = target
+	c.sel = 0
+	return target, nil
+}
+
+// Back returns to the previously visited node (pull gesture).
+func (c *Cursor) Back() (string, error) {
+	if len(c.history) == 0 {
+		return "", fmt.Errorf("graphdb: history is empty")
+	}
+	c.current = c.history[len(c.history)-1]
+	c.history = c.history[:len(c.history)-1]
+	c.sel = 0
+	return c.current, nil
+}
+
+// HistoryDepth returns how many nodes are on the back stack.
+func (c *Cursor) HistoryDepth() int { return len(c.history) }
+
+// SampleBaconGraph builds the actor–movie graph for the Kevin Bacon game
+// demo: a bipartite graph where actors connect through shared movies.
+func SampleBaconGraph() (*Graph, error) {
+	g := New()
+	movies := map[string][]string{
+		"Apollo 13":      {"Kevin Bacon", "Tom Hanks", "Bill Paxton"},
+		"Footloose":      {"Kevin Bacon", "Lori Singer", "John Lithgow"},
+		"A Few Good Men": {"Kevin Bacon", "Tom Cruise", "Jack Nicholson", "Demi Moore"},
+		"Cast Away":      {"Tom Hanks", "Helen Hunt"},
+		"The Terminal":   {"Tom Hanks", "Catherine Zeta-Jones"},
+		"Top Gun":        {"Tom Cruise", "Val Kilmer", "Meg Ryan"},
+		"Twister":        {"Bill Paxton", "Helen Hunt"},
+		"Ocean's Twelve": {"Catherine Zeta-Jones", "George Clooney", "Julia Roberts"},
+		"Notting Hill":   {"Julia Roberts", "Hugh Grant"},
+	}
+	for movie, cast := range movies {
+		if err := g.AddNode(movie, "movie"); err != nil {
+			return nil, err
+		}
+		for _, actor := range cast {
+			if err := g.AddNode(actor, "actor"); err != nil {
+				return nil, err
+			}
+			if err := g.AddEdge(actor, movie, "acted_in"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}

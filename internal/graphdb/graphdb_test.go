@@ -1,0 +1,155 @@
+package graphdb
+
+import "testing"
+
+func bacon(t *testing.T) *Graph {
+	t.Helper()
+	g, err := SampleBaconGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAddNodeEdgeValidation(t *testing.T) {
+	g := New()
+	if err := g.AddNode("", "x"); err == nil {
+		t.Error("empty id accepted")
+	}
+	_ = g.AddNode("a", "actor")
+	if err := g.AddEdge("a", "missing", "l"); err == nil {
+		t.Error("edge to missing node accepted")
+	}
+	if err := g.AddEdge("a", "a", "l"); err == nil {
+		t.Error("self loop accepted")
+	}
+	_ = g.AddNode("b", "actor")
+	if err := g.AddEdge("a", "b", "knows"); err != nil {
+		t.Fatal(err)
+	}
+	if l, ok := g.EdgeLabel("b", "a"); !ok || l != "knows" {
+		t.Error("undirected edge label missing")
+	}
+	if k, ok := g.Kind("a"); !ok || k != "actor" {
+		t.Error("kind lost")
+	}
+	if g.Len() != 2 {
+		t.Errorf("len = %d", g.Len())
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := bacon(t)
+	ns := g.Neighbors("Kevin Bacon")
+	if len(ns) != 3 {
+		t.Fatalf("Kevin Bacon in %d movies", len(ns))
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i] < ns[i-1] {
+			t.Error("neighbours not sorted")
+		}
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := bacon(t)
+	path, ok := g.ShortestPath("Kevin Bacon", "Tom Hanks")
+	if !ok {
+		t.Fatal("no path")
+	}
+	// Kevin Bacon -> Apollo 13 -> Tom Hanks.
+	if len(path) != 3 || path[0] != "Kevin Bacon" || path[2] != "Tom Hanks" {
+		t.Errorf("path = %v", path)
+	}
+	if _, ok := g.ShortestPath("Kevin Bacon", "missing"); ok {
+		t.Error("path to missing node")
+	}
+	self, ok := g.ShortestPath("Kevin Bacon", "Kevin Bacon")
+	if !ok || len(self) != 1 {
+		t.Error("self path wrong")
+	}
+}
+
+func TestBaconNumbers(t *testing.T) {
+	g := bacon(t)
+	cases := []struct {
+		actor string
+		want  int
+	}{
+		{"Kevin Bacon", 0},
+		{"Tom Hanks", 1},
+		{"Helen Hunt", 2},     // via Twister/Bill Paxton or Cast Away/Tom Hanks
+		{"George Clooney", 3}, // Clooney - Zeta-Jones - Hanks - Bacon
+		{"Hugh Grant", 4},
+	}
+	for _, c := range cases {
+		got, ok := g.BaconNumber(c.actor, "Kevin Bacon")
+		if !ok {
+			t.Errorf("%s: disconnected", c.actor)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: bacon number = %d, want %d", c.actor, got, c.want)
+		}
+	}
+}
+
+func TestCursorNavigation(t *testing.T) {
+	g := bacon(t)
+	if _, err := NewCursor(g, "missing"); err == nil {
+		t.Error("cursor on missing node accepted")
+	}
+	c, err := NewCursor(g, "Kevin Bacon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Current() != "Kevin Bacon" {
+		t.Error("wrong start")
+	}
+	first := c.Selected()
+	second := c.Next()
+	if first == second {
+		t.Error("Next did not advance")
+	}
+	if back := c.Prev(); back != first {
+		t.Errorf("Prev = %q, want %q", back, first)
+	}
+	// Selection wraps around.
+	for i := 0; i < 10; i++ {
+		c.Next()
+	}
+	if c.Selected() == "" {
+		t.Error("selection lost after wrapping")
+	}
+	// Descend and go back.
+	target := c.Selected()
+	got, err := c.Descend()
+	if err != nil || got != target {
+		t.Fatalf("Descend = %q, %v", got, err)
+	}
+	if c.HistoryDepth() != 1 {
+		t.Errorf("history depth = %d", c.HistoryDepth())
+	}
+	back, err := c.Back()
+	if err != nil || back != "Kevin Bacon" {
+		t.Fatalf("Back = %q, %v", back, err)
+	}
+	if _, err := c.Back(); err == nil {
+		t.Error("Back on empty history accepted")
+	}
+}
+
+func TestCursorIsolatedNode(t *testing.T) {
+	g := New()
+	_ = g.AddNode("lonely", "actor")
+	c, err := NewCursor(g, "lonely")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Selected() != "" {
+		t.Error("isolated node has a selection")
+	}
+	if _, err := c.Descend(); err == nil {
+		t.Error("descend from isolated node accepted")
+	}
+}

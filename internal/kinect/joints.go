@@ -1,0 +1,100 @@
+// Package kinect simulates the sensor substrate of the paper: a Microsoft
+// Kinect camera with OpenNI-style skeleton tracking delivering a 30 Hz
+// stream of joint positions (millimetres, camera coordinate frame).
+//
+// The simulator is deterministic (seeded) and parametric: user anthropometry
+// (height, forearm length), stand-off position and facing direction, sensor
+// jitter and dropout are all configurable, which is exactly what the
+// evaluation harness varies to probe the position/scale invariance claims of
+// §3.2. A motion-detection recorder reproduces the sample capture protocol
+// of §3.1 (recording starts after the user holds the start pose and stops at
+// the end pose).
+package kinect
+
+import (
+	"fmt"
+	"time"
+
+	"gesturecep/internal/geom"
+)
+
+// Joint identifies one tracked skeleton joint. The set matches OpenNI's
+// 15-joint skeleton profile, which the paper's middleware stack (OpenNI)
+// delivers; the paper's queries reference the torso, right hand and right
+// elbow.
+type Joint int
+
+const (
+	Head Joint = iota
+	Neck
+	Torso
+	LeftShoulder
+	LeftElbow
+	LeftHand
+	RightShoulder
+	RightElbow
+	RightHand
+	LeftHip
+	LeftKnee
+	LeftFoot
+	RightHip
+	RightKnee
+	RightFoot
+
+	NumJoints int = iota
+)
+
+// jointNames uses the attribute prefixes that appear in the paper's queries
+// (torso, rHand, …).
+var jointNames = [NumJoints]string{
+	"head", "neck", "torso",
+	"lShoulder", "lElbow", "lHand",
+	"rShoulder", "rElbow", "rHand",
+	"lHip", "lKnee", "lFoot",
+	"rHip", "rKnee", "rFoot",
+}
+
+// String implements fmt.Stringer.
+func (j Joint) String() string {
+	if j >= 0 && int(j) < NumJoints {
+		return jointNames[j]
+	}
+	return fmt.Sprintf("Joint(%d)", int(j))
+}
+
+// JointByName resolves a joint from its attribute prefix ("rHand" →
+// RightHand).
+func JointByName(name string) (Joint, bool) {
+	for i, n := range jointNames {
+		if n == name {
+			return Joint(i), true
+		}
+	}
+	return 0, false
+}
+
+// AllJoints returns every joint in schema order.
+func AllJoints() []Joint {
+	out := make([]Joint, NumJoints)
+	for i := range out {
+		out[i] = Joint(i)
+	}
+	return out
+}
+
+// Frame is one skeleton snapshot: the position of every joint at one sensor
+// tick.
+type Frame struct {
+	Ts     time.Time
+	Seq    uint64
+	Joints [NumJoints]geom.Vec3
+}
+
+// Pos returns the position of joint j.
+func (f Frame) Pos(j Joint) geom.Vec3 { return f.Joints[j] }
+
+// FrameRate is the Kinect sensor frequency (tuples per second, §3.3.1).
+const FrameRate = 30
+
+// FramePeriod is the time between consecutive sensor frames.
+const FramePeriod = time.Second / FrameRate

@@ -1,0 +1,460 @@
+package kinect
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gesturecep/internal/geom"
+)
+
+func t0() time.Time { return time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC) }
+
+func newSim(t *testing.T, p Profile, n NoiseModel) *Simulator {
+	t.Helper()
+	s, err := NewSimulator(p, n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestJointNames(t *testing.T) {
+	if Torso.String() != "torso" || RightHand.String() != "rHand" {
+		t.Errorf("joint names: %s, %s", Torso, RightHand)
+	}
+	if Joint(99).String() == "" {
+		t.Error("out-of-range joint should render")
+	}
+	j, ok := JointByName("rElbow")
+	if !ok || j != RightElbow {
+		t.Errorf("JointByName(rElbow) = %v, %v", j, ok)
+	}
+	if _, ok := JointByName("nope"); ok {
+		t.Error("unknown joint resolved")
+	}
+	if len(AllJoints()) != NumJoints {
+		t.Error("AllJoints wrong length")
+	}
+}
+
+func TestSchemaLayout(t *testing.T) {
+	s := Schema()
+	if s.Len() != NumJoints*3 {
+		t.Fatalf("schema has %d fields", s.Len())
+	}
+	idx, ok := s.Index("rHand_x")
+	if !ok {
+		t.Fatal("rHand_x missing")
+	}
+	if idx != FieldIndex(RightHand, 0) {
+		t.Errorf("rHand_x at %d, FieldIndex says %d", idx, FieldIndex(RightHand, 0))
+	}
+	if FieldName(Torso, 2) != "torso_z" {
+		t.Errorf("FieldName = %s", FieldName(Torso, 2))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid FieldIndex should panic")
+		}
+	}()
+	FieldIndex(Joint(99), 0)
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	var f Frame
+	f.Ts = t0()
+	f.Seq = 7
+	for j := 0; j < NumJoints; j++ {
+		f.Joints[j] = geom.V(float64(j), float64(j)+0.5, -float64(j))
+	}
+	tup := ToTuple(f)
+	got, err := FromTuple(tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ts != f.Ts || got.Seq != f.Seq {
+		t.Error("metadata lost")
+	}
+	for j := 0; j < NumJoints; j++ {
+		if got.Joints[j] != f.Joints[j] {
+			t.Errorf("joint %d: %v != %v", j, got.Joints[j], f.Joints[j])
+		}
+	}
+	if _, err := FromTuple(ToTuples([]Frame{f})[0]); err != nil {
+		t.Error(err)
+	}
+	bad := tup
+	bad.Fields = bad.Fields[:3]
+	if _, err := FromTuple(bad); err == nil {
+		t.Error("short tuple accepted")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := DefaultProfile()
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := good
+	bad.Height = 100
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny height accepted")
+	}
+	bad = good
+	bad.Position.Z = 100
+	if err := bad.Validate(); err == nil {
+		t.Error("too-close user accepted")
+	}
+	bad = good
+	bad.Yaw = 10
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range yaw accepted")
+	}
+	for _, p := range []Profile{DefaultProfile(), ChildProfile(), TallProfile()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestLocalCameraRoundTrip(t *testing.T) {
+	for _, p := range []Profile{DefaultProfile(), ChildProfile(), TallProfile()} {
+		pts := []geom.Vec3{{}, {X: 100, Y: 200, Z: -300}, {X: -50, Y: 0, Z: 10}}
+		for _, local := range pts {
+			cam := p.LocalToCamera(local)
+			back := p.CameraToLocal(cam)
+			if !back.ApproxEqual(local, 1e-9) {
+				t.Errorf("%s: round trip %v -> %v", p.Name, local, back)
+			}
+		}
+		// Torso maps to the profile position.
+		if !p.LocalToCamera(geom.Vec3{}).ApproxEqual(p.Position, 1e-9) {
+			t.Errorf("%s: torso not at position", p.Name)
+		}
+	}
+}
+
+func TestScaleFactorAndForearm(t *testing.T) {
+	p := DefaultProfile()
+	if p.ScaleFactor() != 1 || p.Forearm() != ReferenceForearm {
+		t.Error("default profile should be the reference scale")
+	}
+	c := ChildProfile()
+	if c.Forearm() >= p.Forearm() {
+		t.Error("child forearm should be shorter")
+	}
+}
+
+func TestStandardGesturesValid(t *testing.T) {
+	specs := StandardGestures()
+	if len(specs) != 10 {
+		t.Errorf("standard library has %d gestures", len(specs))
+	}
+	for name, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if spec.Name != name {
+			t.Errorf("map key %q != spec name %q", name, spec.Name)
+		}
+	}
+	if len(GestureNames()) != len(specs) {
+		t.Error("GestureNames length mismatch")
+	}
+	// Primary joint of the two-hand swipe is deterministic.
+	two := specs[GestureTwoHandSwipe]
+	pj := two.PrimaryJoint()
+	if pj != LeftHand && pj != RightHand {
+		t.Errorf("two-hand primary joint = %v", pj)
+	}
+}
+
+func TestGestureSpecValidate(t *testing.T) {
+	bad := []GestureSpec{
+		{},
+		{Name: "g"},
+		{Name: "g", Duration: time.Second},
+		{Name: "g", Duration: time.Second, Paths: map[Joint][]geom.Vec3{RightHand: {{X: 1}}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestPerformShape(t *testing.T) {
+	sim := newSim(t, DefaultProfile(), NoNoise())
+	spec := StandardGestures()[GestureSwipeRight]
+	perf, err := sim.Perform(spec, t0(), PerformOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perf.Frames) == 0 {
+		t.Fatal("no frames")
+	}
+	if !perf.PathStart.Before(perf.PathEnd) {
+		t.Error("path interval inverted")
+	}
+	// Frames are 30 Hz spaced and ordered.
+	for i := 1; i < len(perf.Frames); i++ {
+		if gap := perf.Frames[i].Ts.Sub(perf.Frames[i-1].Ts); gap != FramePeriod {
+			t.Fatalf("frame %d gap = %v", i, gap)
+		}
+	}
+	// The hand starts near rest, ends near the final control point.
+	p := DefaultProfile()
+	first := perf.Frames[0].Pos(RightHand)
+	wantFirst := p.LocalToCamera(RestLocal(RightHand))
+	if first.Dist(wantFirst) > 80 {
+		t.Errorf("first hand pos %v far from rest %v", first, wantFirst)
+	}
+	last := perf.Frames[len(perf.Frames)-1].Pos(RightHand)
+	wantLast := p.LocalToCamera(spec.Paths[RightHand][2])
+	if last.Dist(wantLast) > 80 {
+		t.Errorf("final hand pos %v far from end control point %v", last, wantLast)
+	}
+}
+
+func TestPerformForearmConstant(t *testing.T) {
+	// The §3.2 scale factor depends on dist(elbow, hand) staying constant
+	// while the hand moves; the IK must guarantee it.
+	for _, prof := range []Profile{DefaultProfile(), ChildProfile(), TallProfile()} {
+		sim := newSim(t, prof, NoNoise())
+		perf, err := sim.Perform(StandardGestures()[GestureCircle], t0(), PerformOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := prof.Forearm()
+		for i, f := range perf.Frames {
+			got := f.Pos(RightElbow).Dist(f.Pos(RightHand))
+			if math.Abs(got-want) > 1.5 {
+				t.Fatalf("%s frame %d: forearm %.2f, want %.2f", prof.Name, i, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestPerformSpeedAndJitterOptions(t *testing.T) {
+	sim := newSim(t, DefaultProfile(), NoNoise())
+	spec := StandardGestures()[GesturePush]
+	slow, err := sim.Perform(spec, t0(), PerformOpts{Speed: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := sim.Perform(spec, t0(), PerformOpts{Speed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowDur := slow.PathEnd.Sub(slow.PathStart)
+	fastDur := fast.PathEnd.Sub(fast.PathStart)
+	if slowDur <= fastDur*2 {
+		t.Errorf("slow path %v not ~4x fast path %v", slowDur, fastDur)
+	}
+	// Jittered repetitions differ.
+	a, _ := sim.Perform(spec, t0(), PerformOpts{PathJitter: 30})
+	b, _ := sim.Perform(spec, t0(), PerformOpts{PathJitter: 30})
+	if a.Frames[len(a.Frames)-1].Pos(RightHand) == b.Frames[len(b.Frames)-1].Pos(RightHand) {
+		t.Error("path jitter produced identical end poses")
+	}
+	// Invalid options rejected.
+	if _, err := sim.Perform(spec, t0(), PerformOpts{Speed: -1}); err == nil {
+		t.Error("negative speed accepted")
+	}
+	if _, err := sim.Perform(spec, t0(), PerformOpts{PathJitter: -1}); err == nil {
+		t.Error("negative jitter accepted")
+	}
+}
+
+func TestNoiseModelValidate(t *testing.T) {
+	if err := DefaultNoise().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (NoiseModel{Jitter: -1}).Validate(); err == nil {
+		t.Error("negative jitter accepted")
+	}
+	if err := (NoiseModel{DropoutProb: 1}).Validate(); err == nil {
+		t.Error("dropout prob 1 accepted")
+	}
+	if _, err := NewSimulator(DefaultProfile(), NoiseModel{Jitter: -1}, 1); err == nil {
+		t.Error("NewSimulator accepted bad noise")
+	}
+	if _, err := NewSimulator(Profile{Height: 1}, NoNoise(), 1); err == nil {
+		t.Error("NewSimulator accepted bad profile")
+	}
+}
+
+func TestSimulatorDeterminism(t *testing.T) {
+	mk := func() []Frame {
+		sim, _ := NewSimulator(DefaultProfile(), DefaultNoise(), 1234)
+		perf, _ := sim.Perform(StandardGestures()[GestureSwipeRight], t0(), PerformOpts{PathJitter: 20})
+		return perf.Frames
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Joints != b[i].Joints {
+			t.Fatalf("frame %d differs despite identical seed", i)
+		}
+	}
+}
+
+func TestIdle(t *testing.T) {
+	sim := newSim(t, DefaultProfile(), NoNoise())
+	frames := sim.Idle(t0(), time.Second)
+	if len(frames) != FrameRate {
+		t.Errorf("idle frames = %d, want %d", len(frames), FrameRate)
+	}
+	// Hands stay at rest.
+	rest := DefaultProfile().LocalToCamera(RestLocal(RightHand))
+	for _, f := range frames {
+		if f.Pos(RightHand).Dist(rest) > 1 {
+			t.Error("idle hand moved")
+		}
+	}
+}
+
+func TestRunScript(t *testing.T) {
+	sim := newSim(t, DefaultProfile(), DefaultNoise())
+	sess, err := sim.RunScript([]ScriptItem{
+		{Idle: time.Second},
+		{Gesture: GestureSwipeRight},
+		{Idle: 500 * time.Millisecond},
+		{Gesture: GesturePush},
+	}, t0(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Truth) != 2 {
+		t.Fatalf("truth intervals = %d", len(sess.Truth))
+	}
+	if sess.Truth[0].Name != GestureSwipeRight || sess.Truth[1].Name != GesturePush {
+		t.Error("truth names wrong")
+	}
+	// Timestamps strictly increase across the whole session.
+	for i := 1; i < len(sess.Frames); i++ {
+		if !sess.Frames[i].Ts.After(sess.Frames[i-1].Ts) {
+			t.Fatalf("timestamps not increasing at %d", i)
+		}
+	}
+	if sess.Duration() <= 0 {
+		t.Error("non-positive session duration")
+	}
+	if _, err := sim.RunScript([]ScriptItem{{Gesture: "nope"}}, t0(), nil); err == nil {
+		t.Error("unknown gesture accepted")
+	}
+	// Extra specs override.
+	custom := GestureSpec{Name: "custom", Duration: 500 * time.Millisecond,
+		Paths: map[Joint][]geom.Vec3{RightHand: {{X: 0, Y: 0, Z: -100}, {X: 100, Y: 0, Z: -100}}}}
+	if _, err := sim.RunScript([]ScriptItem{{Gesture: "custom"}}, t0(), map[string]GestureSpec{"custom": custom}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamples(t *testing.T) {
+	sim := newSim(t, DefaultProfile(), DefaultNoise())
+	samples, err := sim.Samples(StandardGestures()[GestureSwipeRight], 3, t0(), PerformOpts{PathJitter: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	for i, s := range samples {
+		if len(s) < 10 {
+			t.Errorf("sample %d too short: %d frames", i, len(s))
+		}
+	}
+	if _, err := sim.Samples(StandardGestures()[GestureSwipeRight], 0, t0(), PerformOpts{}); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestRecorderSegmentsGesture(t *testing.T) {
+	sim := newSim(t, DefaultProfile(), DefaultNoise())
+	sess, err := sim.RunScript([]ScriptItem{
+		{Idle: time.Second},
+		{Gesture: GestureSwipeRight},
+		{Idle: time.Second},
+		{Gesture: GestureCircle},
+		{Idle: time.Second},
+	}, t0(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := SegmentFrames(DefaultRecorderConfig(), sess.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recorder should find one segment per performed gesture. The
+	// approach movement and path may merge or split into approach+path;
+	// accept 2-4 segments but require that each truth interval is covered
+	// by some segment.
+	if len(samples) < 2 {
+		t.Fatalf("recorder found %d segments, want >= 2", len(samples))
+	}
+	for _, truth := range sess.Truth {
+		covered := false
+		for _, seg := range samples {
+			if len(seg) == 0 {
+				continue
+			}
+			s, e := seg[0].Ts, seg[len(seg)-1].Ts
+			if !s.After(truth.Start.Add(300*time.Millisecond)) && !e.Before(truth.End.Add(-300*time.Millisecond)) {
+				covered = true
+			}
+		}
+		if !covered {
+			t.Errorf("truth interval %s [%v..%v] not covered by any segment",
+				truth.Name, truth.Start, truth.End)
+		}
+	}
+}
+
+func TestRecorderIgnoresIdle(t *testing.T) {
+	sim := newSim(t, DefaultProfile(), DefaultNoise())
+	frames := sim.Idle(t0(), 5*time.Second)
+	samples, err := SegmentFrames(DefaultRecorderConfig(), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 0 {
+		t.Errorf("recorder produced %d samples from pure idle", len(samples))
+	}
+}
+
+func TestRecorderConfigValidate(t *testing.T) {
+	bad := []RecorderConfig{
+		{StillSpeed: 0, StillDuration: time.Second, MaxGestureDuration: time.Second},
+		{StillSpeed: 10, StillDuration: 0, MaxGestureDuration: time.Second},
+		{StillSpeed: 10, StillDuration: time.Second, MinGestureDuration: 2 * time.Second, MaxGestureDuration: time.Second},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewRecorder(RecorderConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	r, err := NewRecorder(DefaultRecorderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.State() != "wait-still" {
+		t.Errorf("initial state = %s", r.State())
+	}
+}
+
+func TestPathCenter(t *testing.T) {
+	sim := newSim(t, DefaultProfile(), NoNoise())
+	frames := sim.Idle(t0(), time.Second)
+	c := PathCenter(frames, Torso)
+	if c.Dist(DefaultProfile().Position) > 1 {
+		t.Errorf("idle torso center = %v", c)
+	}
+}

@@ -1,0 +1,236 @@
+package kinect
+
+import (
+	"fmt"
+	"time"
+
+	"gesturecep/internal/geom"
+)
+
+// RecorderConfig tunes the motion-detection segmentation of §3.1: after
+// recording is armed (in the paper: by the wave control gesture), the user
+// moves to the start pose and holds still; recording begins when stillness
+// is observed for StillDuration and lasts until the user is still again at
+// the end pose. "Everything in between is regarded as part of the gesture."
+type RecorderConfig struct {
+	// Joints to monitor for motion; empty means both hands.
+	Joints []Joint
+	// StillSpeed is the speed (mm/s) below which a monitored joint counts
+	// as still.
+	StillSpeed float64
+	// StillDuration is how long all monitored joints must stay still to
+	// arm/stop the recording.
+	StillDuration time.Duration
+	// MinGestureDuration discards recordings shorter than this (spurious
+	// twitches).
+	MinGestureDuration time.Duration
+	// MaxGestureDuration aborts runaway recordings.
+	MaxGestureDuration time.Duration
+}
+
+// DefaultRecorderConfig matches the simulator's hold periods.
+func DefaultRecorderConfig() RecorderConfig {
+	return RecorderConfig{
+		Joints:             []Joint{LeftHand, RightHand},
+		StillSpeed:         220, // mm/s; sensor jitter at 30 Hz stays well below
+		StillDuration:      400 * time.Millisecond,
+		MinGestureDuration: 200 * time.Millisecond,
+		MaxGestureDuration: 10 * time.Second,
+	}
+}
+
+// Validate reports configuration errors.
+func (c RecorderConfig) Validate() error {
+	if c.StillSpeed <= 0 {
+		return fmt.Errorf("kinect: StillSpeed must be positive")
+	}
+	if c.StillDuration <= 0 {
+		return fmt.Errorf("kinect: StillDuration must be positive")
+	}
+	if c.MinGestureDuration < 0 || c.MaxGestureDuration <= c.MinGestureDuration {
+		return fmt.Errorf("kinect: invalid gesture duration bounds [%v, %v]",
+			c.MinGestureDuration, c.MaxGestureDuration)
+	}
+	return nil
+}
+
+// recorderState is the segmentation state machine phase.
+type recorderState int
+
+const (
+	// stateWaitStill: waiting for the user to settle at the start pose.
+	stateWaitStill recorderState = iota
+	// stateStill: user is still; recording starts at the next movement.
+	stateStill
+	// stateRecording: gesture in progress; ends at the next stillness.
+	stateRecording
+)
+
+// speedWindow is the number of past frames the speed estimate spans.
+// Differencing consecutive 30 Hz frames would amplify sensor jitter into
+// hundreds of mm/s of apparent speed; a ~100 ms baseline low-passes the
+// jitter while real gesture motion (>1 m/s mid-path) remains obvious.
+const speedWindow = 5
+
+// Recorder segments a frame stream into gesture samples following the §3.1
+// protocol. Feed frames in order with Feed; completed samples are returned
+// as they finish.
+type Recorder struct {
+	cfg   RecorderConfig
+	state recorderState
+
+	recent     []Frame // last speedWindow+1 frames, newest last
+	stillSince time.Time
+	hasStill   bool
+
+	recStart time.Time
+	buf      []Frame
+	// moveFrames tracks sustained movement to avoid triggering on a single
+	// noisy frame.
+	moveFrames int
+}
+
+// NewRecorder validates the config and returns a recorder in the
+// wait-for-stillness state.
+func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Joints) == 0 {
+		cfg.Joints = []Joint{LeftHand, RightHand}
+	}
+	return &Recorder{cfg: cfg}, nil
+}
+
+// State exposes the current phase for UI feedback ("hold still", "go",
+// "recording…").
+func (r *Recorder) State() string {
+	switch r.state {
+	case stateWaitStill:
+		return "wait-still"
+	case stateStill:
+		return "armed"
+	case stateRecording:
+		return "recording"
+	}
+	return "unknown"
+}
+
+// speed returns the fastest monitored-joint speed between two frames in
+// mm/s.
+func (r *Recorder) speed(a, b Frame) float64 {
+	dt := b.Ts.Sub(a.Ts).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	var worst float64
+	for _, j := range r.cfg.Joints {
+		v := b.Joints[j].Dist(a.Joints[j]) / dt
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Feed advances the state machine with one frame and returns a completed
+// gesture sample when one just finished (nil otherwise).
+func (r *Recorder) Feed(f Frame) []Frame {
+	r.recent = append(r.recent, f)
+	if len(r.recent) > speedWindow+1 {
+		r.recent = r.recent[1:]
+	}
+	if len(r.recent) == 1 {
+		r.stillSince = f.Ts
+		r.hasStill = true
+		return nil
+	}
+	prev := r.recent[len(r.recent)-2]
+	moving := r.speed(r.recent[0], f) > r.cfg.StillSpeed
+	if moving {
+		r.hasStill = false
+		r.moveFrames++
+	} else {
+		if !r.hasStill {
+			r.hasStill = true
+			r.stillSince = f.Ts
+		}
+		r.moveFrames = 0
+	}
+	stillFor := time.Duration(0)
+	if r.hasStill {
+		stillFor = f.Ts.Sub(r.stillSince)
+	}
+
+	switch r.state {
+	case stateWaitStill:
+		if r.hasStill && stillFor >= r.cfg.StillDuration {
+			r.state = stateStill
+		}
+		return nil
+
+	case stateStill:
+		// Require two consecutive moving frames so one jitter spike does
+		// not start a recording.
+		if r.moveFrames >= 2 {
+			r.state = stateRecording
+			r.recStart = prev.Ts
+			r.buf = append(r.buf[:0], prev, f)
+		}
+		return nil
+
+	case stateRecording:
+		r.buf = append(r.buf, f)
+		dur := f.Ts.Sub(r.recStart)
+		if dur > r.cfg.MaxGestureDuration {
+			// Runaway: drop and re-arm via stillness.
+			r.state = stateWaitStill
+			r.buf = nil
+			return nil
+		}
+		if r.hasStill && stillFor >= r.cfg.StillDuration {
+			// The gesture ended when stillness began; trim the trailing
+			// still frames.
+			var sample []Frame
+			for _, bf := range r.buf {
+				if bf.Ts.Before(r.stillSince) {
+					sample = append(sample, bf)
+				}
+			}
+			r.state = stateStill
+			r.buf = nil
+			if len(sample) > 1 && sample[len(sample)-1].Ts.Sub(sample[0].Ts) >= r.cfg.MinGestureDuration {
+				return sample
+			}
+			return nil
+		}
+		return nil
+	}
+	return nil
+}
+
+// SegmentFrames runs a whole frame sequence through a fresh recorder and
+// returns all completed samples.
+func SegmentFrames(cfg RecorderConfig, frames []Frame) ([][]Frame, error) {
+	r, err := NewRecorder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]Frame
+	for _, f := range frames {
+		if sample := r.Feed(f); sample != nil {
+			out = append(out, sample)
+		}
+	}
+	return out, nil
+}
+
+// PathCenter returns the centroid of a joint's positions over a sample —
+// handy for recorder diagnostics.
+func PathCenter(sample []Frame, j Joint) geom.Vec3 {
+	pts := make([]geom.Vec3, len(sample))
+	for i, f := range sample {
+		pts[i] = f.Joints[j]
+	}
+	return geom.Centroid(pts)
+}

@@ -1,0 +1,72 @@
+package kinect
+
+import (
+	"fmt"
+
+	"gesturecep/internal/geom"
+	"gesturecep/internal/stream"
+)
+
+// Schema returns the tuple schema of the raw kinect stream: three attributes
+// per joint, named <joint>_x, <joint>_y, <joint>_z in joint order — the flat
+// layout sketched at the right of the paper's Fig. 1.
+func Schema() *stream.Schema {
+	fields := make([]string, 0, NumJoints*3)
+	for j := 0; j < NumJoints; j++ {
+		n := jointNames[j]
+		fields = append(fields, n+"_x", n+"_y", n+"_z")
+	}
+	return stream.MustSchema(fields...)
+}
+
+// FieldIndex returns the tuple index of the given joint coordinate
+// (coord 0 = x, 1 = y, 2 = z).
+func FieldIndex(j Joint, coord int) int {
+	if j < 0 || int(j) >= NumJoints || coord < 0 || coord > 2 {
+		panic(fmt.Sprintf("kinect: invalid joint/coord %d/%d", j, coord))
+	}
+	return int(j)*3 + coord
+}
+
+// FieldName returns the attribute name of the given joint coordinate, e.g.
+// FieldName(RightHand, 0) == "rHand_x".
+func FieldName(j Joint, coord int) string {
+	suffix := [3]string{"_x", "_y", "_z"}
+	if j < 0 || int(j) >= NumJoints || coord < 0 || coord > 2 {
+		panic(fmt.Sprintf("kinect: invalid joint/coord %d/%d", j, coord))
+	}
+	return jointNames[j] + suffix[coord]
+}
+
+// ToTuple flattens a frame into a stream tuple under Schema().
+func ToTuple(f Frame) stream.Tuple {
+	fields := make([]float64, NumJoints*3)
+	for j := 0; j < NumJoints; j++ {
+		p := f.Joints[j]
+		fields[j*3+0] = p.X
+		fields[j*3+1] = p.Y
+		fields[j*3+2] = p.Z
+	}
+	return stream.Tuple{Ts: f.Ts, Seq: f.Seq, Fields: fields}
+}
+
+// FromTuple reassembles a frame from a tuple produced by ToTuple.
+func FromTuple(t stream.Tuple) (Frame, error) {
+	if len(t.Fields) != NumJoints*3 {
+		return Frame{}, fmt.Errorf("kinect: tuple has %d fields, want %d", len(t.Fields), NumJoints*3)
+	}
+	f := Frame{Ts: t.Ts, Seq: t.Seq}
+	for j := 0; j < NumJoints; j++ {
+		f.Joints[j] = geom.V(t.Fields[j*3], t.Fields[j*3+1], t.Fields[j*3+2])
+	}
+	return f, nil
+}
+
+// ToTuples converts a frame sequence to tuples.
+func ToTuples(frames []Frame) []stream.Tuple {
+	out := make([]stream.Tuple, len(frames))
+	for i, f := range frames {
+		out[i] = ToTuple(f)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package kinect
+
+import (
+	"fmt"
+	"time"
+)
+
+// ScriptItem is one step of a simulated session: either an idle period
+// (Gesture == "") or a gesture performance.
+type ScriptItem struct {
+	Gesture string
+	Idle    time.Duration
+	Opts    PerformOpts
+}
+
+// TruthInterval is a ground-truth annotation: the named gesture's path was
+// performed during [Start, End].
+type TruthInterval struct {
+	Name  string
+	Start time.Time
+	End   time.Time
+}
+
+// Session is a synthesized skeleton stream with ground-truth labels, the
+// input to the detection evaluation harness.
+type Session struct {
+	Frames []Frame
+	Truth  []TruthInterval
+}
+
+// Duration returns the time span covered by the session frames.
+func (s Session) Duration() time.Duration {
+	if len(s.Frames) == 0 {
+		return 0
+	}
+	return s.Frames[len(s.Frames)-1].Ts.Sub(s.Frames[0].Ts) + FramePeriod
+}
+
+// RunScript synthesizes a full session from the script, using the standard
+// gesture library extended (or overridden) by extra specs. Unknown gesture
+// names fail.
+func (s *Simulator) RunScript(script []ScriptItem, start time.Time, extra map[string]GestureSpec) (Session, error) {
+	specs := StandardGestures()
+	for n, sp := range extra {
+		specs[n] = sp
+	}
+	var out Session
+	ts := start
+	for i, item := range script {
+		if item.Idle > 0 {
+			frames := s.Idle(ts, item.Idle)
+			out.Frames = append(out.Frames, frames...)
+			if len(frames) > 0 {
+				ts = frames[len(frames)-1].Ts.Add(FramePeriod)
+			}
+		}
+		if item.Gesture == "" {
+			continue
+		}
+		spec, ok := specs[item.Gesture]
+		if !ok {
+			return Session{}, fmt.Errorf("kinect: script item %d references unknown gesture %q", i, item.Gesture)
+		}
+		perf, err := s.Perform(spec, ts, item.Opts)
+		if err != nil {
+			return Session{}, fmt.Errorf("kinect: script item %d: %w", i, err)
+		}
+		out.Frames = append(out.Frames, perf.Frames...)
+		out.Truth = append(out.Truth, TruthInterval{Name: item.Gesture, Start: perf.PathStart, End: perf.PathEnd})
+		if len(perf.Frames) > 0 {
+			ts = perf.Frames[len(perf.Frames)-1].Ts.Add(FramePeriod)
+		}
+	}
+	return out, nil
+}
+
+// Samples synthesizes n independent recordings of one gesture and returns
+// just the path portion of each (what the §3.1 recorder would deliver to
+// the learner). Each repetition uses fresh jitter so samples differ like
+// real human repetitions.
+func (s *Simulator) Samples(spec GestureSpec, n int, start time.Time, opts PerformOpts) ([][]Frame, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("kinect: sample count must be positive, got %d", n)
+	}
+	var out [][]Frame
+	ts := start
+	for i := 0; i < n; i++ {
+		perf, err := s.Perform(spec, ts, opts)
+		if err != nil {
+			return nil, err
+		}
+		var path []Frame
+		for _, f := range perf.Frames {
+			if !f.Ts.Before(perf.PathStart) && !f.Ts.After(perf.PathEnd) {
+				path = append(path, f)
+			}
+		}
+		if len(path) == 0 {
+			return nil, fmt.Errorf("kinect: performance %d produced an empty path", i)
+		}
+		out = append(out, path)
+		ts = perf.Frames[len(perf.Frames)-1].Ts.Add(2 * time.Second)
+	}
+	return out, nil
+}

@@ -1,0 +1,360 @@
+package kinect
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"gesturecep/internal/geom"
+)
+
+// NoiseModel configures sensor imperfections applied to every synthesized
+// frame.
+type NoiseModel struct {
+	// Jitter is the standard deviation (mm) of Gaussian noise added to
+	// every joint coordinate. Real Kinect skeletons jitter by a few mm.
+	Jitter float64
+	// DropoutProb is the probability that the tracker misses a frame and
+	// repeats the previous skeleton (a common OpenNI failure mode).
+	DropoutProb float64
+}
+
+// DefaultNoise approximates a well-lit Kinect setup.
+func DefaultNoise() NoiseModel { return NoiseModel{Jitter: 4, DropoutProb: 0.01} }
+
+// NoNoise disables all sensor imperfections (useful for deterministic
+// unit tests).
+func NoNoise() NoiseModel { return NoiseModel{} }
+
+// Validate reports configuration errors.
+func (n NoiseModel) Validate() error {
+	if n.Jitter < 0 {
+		return fmt.Errorf("kinect: negative jitter %g", n.Jitter)
+	}
+	if n.DropoutProb < 0 || n.DropoutProb >= 1 {
+		return fmt.Errorf("kinect: dropout probability %g outside [0, 1)", n.DropoutProb)
+	}
+	return nil
+}
+
+// PerformOpts vary one gesture performance, producing the natural
+// sample-to-sample differences the window-merging step must absorb
+// (§3.3.2).
+type PerformOpts struct {
+	// Speed scales playback: 1 performs in the spec duration, 0.5 takes
+	// twice as long. Defaults to 1.
+	Speed float64
+	// PathJitter perturbs each control point by a uniform offset up to
+	// this magnitude (mm), making repetitions differ like human motion.
+	PathJitter float64
+	// HoldStart / HoldEnd are stillness periods at the start and end pose,
+	// which the §3.1 recorder keys on. Both default to 600 ms.
+	HoldStart, HoldEnd time.Duration
+}
+
+func (o PerformOpts) withDefaults() PerformOpts {
+	if o.Speed == 0 {
+		o.Speed = 1
+	}
+	if o.HoldStart == 0 {
+		o.HoldStart = 600 * time.Millisecond
+	}
+	if o.HoldEnd == 0 {
+		o.HoldEnd = 600 * time.Millisecond
+	}
+	return o
+}
+
+// Validate reports option errors.
+func (o PerformOpts) Validate() error {
+	if o.Speed < 0 {
+		return fmt.Errorf("kinect: negative speed %g", o.Speed)
+	}
+	if o.PathJitter < 0 {
+		return fmt.Errorf("kinect: negative path jitter %g", o.PathJitter)
+	}
+	if o.HoldStart < 0 || o.HoldEnd < 0 {
+		return fmt.Errorf("kinect: negative hold duration")
+	}
+	return nil
+}
+
+// Performance is one synthesized gesture execution: the frame sequence
+// (approach → hold → path → hold) plus the ground-truth interval of the
+// actual gesture path, which the evaluation harness scores detections
+// against.
+type Performance struct {
+	Frames    []Frame
+	PathStart time.Time
+	PathEnd   time.Time
+}
+
+// Simulator synthesizes skeleton streams for one user. It is deterministic
+// for a given seed.
+type Simulator struct {
+	profile Profile
+	noise   NoiseModel
+	rng     *rand.Rand
+	seq     uint64
+	last    *Frame // previous emitted frame, for dropout repetition
+}
+
+// NewSimulator validates the configuration and returns a simulator.
+func NewSimulator(profile Profile, noise NoiseModel, seed int64) (*Simulator, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	if err := noise.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		profile: profile,
+		noise:   noise,
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Profile returns the simulated user.
+func (s *Simulator) Profile() Profile { return s.profile }
+
+// RestLocal returns the user-local rest position of joint j in reference
+// millimetres.
+func RestLocal(j Joint) geom.Vec3 { return restPose()[j] }
+
+// frameAt assembles a camera-frame skeleton for the given user-local joint
+// overrides, applying IK for elbows of moved hands, then noise.
+func (s *Simulator) frameAt(ts time.Time, overrides map[Joint]geom.Vec3) Frame {
+	local := restPose()
+	for j, p := range overrides {
+		local[j] = p
+	}
+	// Elbows are always IK-derived from the hand targets so that
+	// dist(elbow, hand) — the §3.2 scale factor — is exactly the forearm
+	// length in every frame, moving or at rest.
+	local[RightElbow], local[RightHand] = solveElbow(local[RightShoulder], local[RightHand])
+	local[LeftElbow], local[LeftHand] = solveElbow(local[LeftShoulder], local[LeftHand])
+
+	var f Frame
+	f.Ts = ts
+	f.Seq = s.seq
+	s.seq++
+	for j := 0; j < NumJoints; j++ {
+		f.Joints[j] = s.profile.LocalToCamera(local[j])
+	}
+
+	// Sensor dropout: repeat the previous skeleton (timestamps advance).
+	if s.last != nil && s.noise.DropoutProb > 0 && s.rng.Float64() < s.noise.DropoutProb {
+		f.Joints = s.last.Joints
+	} else if s.noise.Jitter > 0 {
+		for j := 0; j < NumJoints; j++ {
+			f.Joints[j] = f.Joints[j].Add(geom.V(
+				s.rng.NormFloat64()*s.noise.Jitter,
+				s.rng.NormFloat64()*s.noise.Jitter,
+				s.rng.NormFloat64()*s.noise.Jitter,
+			))
+		}
+	}
+	s.last = &f
+	return f
+}
+
+// referenceArm are the reference-user arm segment lengths (mm) used for the
+// analytic elbow IK, consistent with restPose and Profile proportions.
+const (
+	refUpperArm = 280.0
+	refForearm  = ReferenceForearm
+)
+
+// solveElbow places the elbow for a given shoulder and desired hand target
+// using two-bone IK with a downward pole vector (human elbows hang down).
+// If the target is out of reach the hand is clamped to the reachable
+// sphere. It returns (elbow, actualHand); forearm length is exact by
+// construction.
+func solveElbow(shoulder, hand geom.Vec3) (geom.Vec3, geom.Vec3) {
+	a, f := refUpperArm, refForearm
+	dir := hand.Sub(shoulder)
+	d := dir.Norm()
+	min, max := math.Abs(a-f)+1, a+f-1
+	if d < min {
+		d = min
+	} else if d > max {
+		d = max
+	}
+	if dir.IsZero() {
+		dir = geom.V(0, -1, 0)
+	}
+	u := dir.Unit()
+	target := shoulder.Add(u.Scale(d))
+	// Distance from shoulder to the elbow's projection on the
+	// shoulder→hand axis.
+	d1 := (a*a - f*f + d*d) / (2 * d)
+	h2 := a*a - d1*d1
+	if h2 < 0 {
+		h2 = 0
+	}
+	h := math.Sqrt(h2)
+	// Pole vector: elbow bends downward; fall back to backwards (+Z) when
+	// the arm itself points straight down.
+	pole := geom.V(0, -1, 0)
+	perp := pole.Sub(u.Scale(pole.Dot(u)))
+	if perp.Norm() < 1e-6 {
+		pole = geom.V(0, 0, 1)
+		perp = pole.Sub(u.Scale(pole.Dot(u)))
+	}
+	elbow := shoulder.Add(u.Scale(d1)).Add(perp.Unit().Scale(h))
+	return elbow, target
+}
+
+// catmullRom evaluates the centripetal-flavoured Catmull-Rom spline through
+// the control points at global parameter t in [0, 1] with uniform knot
+// spacing, clamping the ends.
+func catmullRom(pts []geom.Vec3, t float64) geom.Vec3 {
+	n := len(pts)
+	if n == 1 {
+		return pts[0]
+	}
+	if t <= 0 {
+		return pts[0]
+	}
+	if t >= 1 {
+		return pts[n-1]
+	}
+	seg := t * float64(n-1)
+	i := int(seg)
+	if i >= n-1 {
+		i = n - 2
+	}
+	u := seg - float64(i)
+	p1, p2 := pts[i], pts[i+1]
+	p0 := p1
+	if i > 0 {
+		p0 = pts[i-1]
+	}
+	p3 := p2
+	if i+2 < n {
+		p3 = pts[i+2]
+	}
+	u2, u3 := u*u, u*u*u
+	w0 := -0.5*u3 + u2 - 0.5*u
+	w1 := 1.5*u3 - 2.5*u2 + 1
+	w2 := -1.5*u3 + 2*u2 + 0.5*u
+	w3 := 0.5*u3 - 0.5*u2
+	return p0.Scale(w0).Add(p1.Scale(w1)).Add(p2.Scale(w2)).Add(p3.Scale(w3))
+}
+
+// smoothstep eases the global path parameter so motion accelerates from the
+// start pose and decelerates into the end pose.
+func smoothstep(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= 1 {
+		return 1
+	}
+	return t * t * (3 - 2*t)
+}
+
+// Perform synthesizes one execution of the gesture: the moved joints travel
+// from their rest position to the path start (approach), hold still
+// (HoldStart), traverse the control-point path over Duration/Speed, then
+// hold the end pose (HoldEnd). The returned Performance records the
+// ground-truth path interval.
+func (s *Simulator) Perform(spec GestureSpec, start time.Time, opts PerformOpts) (Performance, error) {
+	if err := spec.Validate(); err != nil {
+		return Performance{}, err
+	}
+	if err := opts.Validate(); err != nil {
+		return Performance{}, err
+	}
+	opts = opts.withDefaults()
+
+	// Perturb control points per performance for natural variation.
+	paths := make(map[Joint][]geom.Vec3, len(spec.Paths))
+	for j, pts := range spec.Paths {
+		cp := make([]geom.Vec3, len(pts))
+		for i, p := range pts {
+			if opts.PathJitter > 0 {
+				p = p.Add(geom.V(
+					(s.rng.Float64()*2-1)*opts.PathJitter,
+					(s.rng.Float64()*2-1)*opts.PathJitter,
+					(s.rng.Float64()*2-1)*opts.PathJitter,
+				))
+			}
+			cp[i] = p
+		}
+		paths[j] = cp
+	}
+
+	var frames []Frame
+	ts := start
+	emit := func(overrides map[Joint]geom.Vec3) {
+		frames = append(frames, s.frameAt(ts, overrides))
+		ts = ts.Add(FramePeriod)
+	}
+	frameCount := func(d time.Duration) int {
+		n := int(d / FramePeriod)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+
+	// Approach: interpolate each moved joint from rest to its path start.
+	const approach = 500 * time.Millisecond
+	nApproach := frameCount(approach)
+	for i := 0; i < nApproach; i++ {
+		u := smoothstep(float64(i+1) / float64(nApproach))
+		ov := make(map[Joint]geom.Vec3, len(paths))
+		for j, cp := range paths {
+			ov[j] = RestLocal(j).Lerp(cp[0], u)
+		}
+		emit(ov)
+	}
+
+	// Hold the start pose.
+	startPose := make(map[Joint]geom.Vec3, len(paths))
+	for j, cp := range paths {
+		startPose[j] = cp[0]
+	}
+	for i := 0; i < frameCount(opts.HoldStart); i++ {
+		emit(startPose)
+	}
+
+	// Traverse the path.
+	pathStart := ts
+	dur := time.Duration(float64(spec.Duration) / opts.Speed)
+	nPath := frameCount(dur)
+	for i := 0; i < nPath; i++ {
+		u := smoothstep(float64(i+1) / float64(nPath))
+		ov := make(map[Joint]geom.Vec3, len(paths))
+		for j, cp := range paths {
+			ov[j] = catmullRom(cp, u)
+		}
+		emit(ov)
+	}
+	pathEnd := ts.Add(-FramePeriod)
+
+	// Hold the end pose.
+	endPose := make(map[Joint]geom.Vec3, len(paths))
+	for j, cp := range paths {
+		endPose[j] = cp[len(cp)-1]
+	}
+	for i := 0; i < frameCount(opts.HoldEnd); i++ {
+		emit(endPose)
+	}
+
+	return Performance{Frames: frames, PathStart: pathStart, PathEnd: pathEnd}, nil
+}
+
+// Idle synthesizes d worth of rest-pose frames (with sensor noise).
+func (s *Simulator) Idle(start time.Time, d time.Duration) []Frame {
+	n := int(d / FramePeriod)
+	frames := make([]Frame, 0, n)
+	ts := start
+	for i := 0; i < n; i++ {
+		frames = append(frames, s.frameAt(ts, nil))
+		ts = ts.Add(FramePeriod)
+	}
+	return frames
+}

@@ -1,0 +1,181 @@
+package learn
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gesturecep/internal/cep"
+	"gesturecep/internal/geom"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/query"
+	"gesturecep/internal/transform"
+)
+
+// GenConfig tunes query generation (§3.3.4).
+type GenConfig struct {
+	// Source is the stream the query reads; defaults to "kinect_t".
+	Source string
+	// WithinSlack multiplies the measured step durations before they
+	// become `within` constraints, giving users temporal headroom.
+	// Defaults to 2.5.
+	WithinSlack float64
+	// WithinRounding rounds each within constraint up to a multiple of
+	// this duration. The paper's generated queries use whole seconds;
+	// defaults to 1 s.
+	WithinRounding time.Duration
+	// MinHalfWidth is the smallest half-width (mm) a range predicate may
+	// get; degenerate windows are widened to it. Defaults to 50, the
+	// half-width of the paper's Fig. 1 windows.
+	MinHalfWidth float64
+}
+
+// DefaultGenConfig returns the defaults described on GenConfig.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Source:         transform.ViewName,
+		WithinSlack:    2.5,
+		WithinRounding: time.Second,
+		MinHalfWidth:   50,
+	}
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Source == "" {
+		c.Source = transform.ViewName
+	}
+	if c.WithinSlack == 0 {
+		c.WithinSlack = 2.5
+	}
+	if c.WithinRounding == 0 {
+		c.WithinRounding = time.Second
+	}
+	if c.MinHalfWidth == 0 {
+		c.MinHalfWidth = 50
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c GenConfig) Validate() error {
+	if c.WithinSlack < 0 || c.WithinRounding < 0 || c.MinHalfWidth < 0 {
+		return fmt.Errorf("learn: negative generation parameter")
+	}
+	return nil
+}
+
+// GenerateQuery turns a merged gesture model into a detection query AST in
+// the paper's dialect. For every pose window it emits the conjunction
+//
+//	⋀_{j∈joints, i∈{x,y,z}}  abs(center_{j,i} - coord_{j,i}) < width_{j,i}
+//
+// (§3.3.4) and joins poses with nested sequence operators, each nesting
+// level carrying the cumulative `within` constraint, mirroring the
+// structure of Fig. 1. The outermost level gets `select first consume all`.
+func GenerateQuery(m Model, cfg GenConfig) (*query.Query, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	atoms := make([]*query.Term, len(m.Windows))
+	for i, w := range m.Windows {
+		pred, err := windowPredicate(w, m.Joints, cfg.MinHalfWidth)
+		if err != nil {
+			return nil, fmt.Errorf("learn: pose %d: %w", i, err)
+		}
+		atoms[i] = &query.Term{Atom: &query.EventAtom{Source: cfg.Source, Pred: pred}}
+	}
+
+	// Left-nested sequence: ((p0 -> p1 within d1) -> p2 within d2) ...
+	// where dk covers the cumulative duration of poses 0..k (with slack).
+	node := &query.PatternNode{Terms: []*query.Term{atoms[0]}}
+	var cumulative time.Duration
+	for i := 1; i < len(atoms); i++ {
+		cumulative += m.StepDurations[i-1]
+		within := roundUp(time.Duration(float64(cumulative)*cfg.WithinSlack), cfg.WithinRounding)
+		node.Terms = append(node.Terms, atoms[i])
+		node.HasWithin = true
+		node.Within = within
+		if i < len(atoms)-1 {
+			node = &query.PatternNode{Terms: []*query.Term{{Group: node}}}
+		}
+	}
+	node.HasSelect = true
+	node.Select = cep.SelectFirst
+	node.HasConsume = true
+	node.Consume = cep.ConsumeAll
+
+	return &query.Query{Output: m.Name, Pattern: node}, nil
+}
+
+// windowPredicate builds the conjunction of range predicates for one pose
+// window.
+func windowPredicate(w geom.MBR, joints []kinect.Joint, minHalf float64) (query.Expr, error) {
+	center := w.Center()
+	half := w.HalfWidth()
+	if len(center) != len(joints)*3 {
+		return nil, fmt.Errorf("window has %d dims for %d joints", len(center), len(joints))
+	}
+	var conj query.Expr
+	for ji, j := range joints {
+		for c := 0; c < 3; c++ {
+			d := ji*3 + c
+			hw := math.Max(half[d], minHalf)
+			cmp := rangePredicate(kinect.FieldName(j, c), center[d], hw)
+			if conj == nil {
+				conj = cmp
+			} else {
+				conj = &query.Binary{Op: query.OpAnd, L: conj, R: cmp}
+			}
+		}
+	}
+	return conj, nil
+}
+
+// rangePredicate builds abs(attr - center) < halfWidth, normalizing the
+// sign so a negative center renders as "attr + 120" exactly like the
+// paper's generated predicates (Fig. 1 uses "rHand_z - torso_z + 120" for
+// center −120).
+func rangePredicate(attr string, center, halfWidth float64) query.Expr {
+	center = round1(center)
+	halfWidth = round1(halfWidth)
+	var shifted query.Expr
+	switch {
+	case center >= 0:
+		shifted = &query.Binary{
+			Op: query.OpSub,
+			L:  &query.Ident{Name: attr},
+			R:  &query.NumberLit{Value: center},
+		}
+	default:
+		shifted = &query.Binary{
+			Op: query.OpAdd,
+			L:  &query.Ident{Name: attr},
+			R:  &query.NumberLit{Value: -center},
+		}
+	}
+	return &query.Binary{
+		Op: query.OpLT,
+		L:  &query.Call{Name: "abs", Args: []query.Expr{shifted}},
+		R:  &query.NumberLit{Value: halfWidth},
+	}
+}
+
+// round1 rounds to one decimal so generated queries stay readable.
+func round1(v float64) float64 { return math.Round(v*10) / 10 }
+
+// roundUp rounds d up to the next multiple of unit (minimum one unit).
+func roundUp(d, unit time.Duration) time.Duration {
+	if unit <= 0 {
+		return d
+	}
+	if d <= 0 {
+		return unit
+	}
+	n := (d + unit - 1) / unit
+	return n * unit
+}

@@ -1,0 +1,480 @@
+package learn
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"gesturecep/internal/geom"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/query"
+)
+
+func t0() time.Time { return time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC) }
+
+// lineSample builds a synthetic straight-line sample of the right hand from
+// (0,0,0) to (L,0,0) with n points, one per 33 ms.
+func lineSample(t *testing.T, n int, length float64) Sample {
+	t.Helper()
+	s := Sample{Joints: []kinect.Joint{kinect.RightHand}}
+	for i := 0; i < n; i++ {
+		x := length * float64(i) / float64(n-1)
+		s.Points = append(s.Points, PathPoint{
+			Index:  i,
+			Ts:     t0().Add(time.Duration(i) * 33 * time.Millisecond),
+			Coords: []float64{x, 0, 0},
+		})
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSampleValidate(t *testing.T) {
+	bad := []Sample{
+		{},
+		{Joints: []kinect.Joint{kinect.RightHand}},
+		{Joints: []kinect.Joint{kinect.RightHand}, Points: []PathPoint{
+			{Coords: []float64{1, 2, 3}},
+			{Coords: []float64{1, 2}},
+		}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad sample %d accepted", i)
+		}
+	}
+	// Out-of-order timestamps rejected.
+	s := lineSample(t, 5, 100)
+	s.Points[3].Ts = s.Points[0].Ts.Add(-time.Second)
+	if err := s.Validate(); err == nil {
+		t.Error("out-of-order timestamps accepted")
+	}
+}
+
+func TestSampleFromFrames(t *testing.T) {
+	var frames []kinect.Frame
+	for i := 0; i < 5; i++ {
+		var f kinect.Frame
+		f.Ts = t0().Add(time.Duration(i) * kinect.FramePeriod)
+		f.Joints[kinect.RightHand] = geom.V(float64(i*10), 1, 2)
+		frames = append(frames, f)
+	}
+	s, err := SampleFromFrames(frames, []kinect.Joint{kinect.RightHand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dims() != 3 || len(s.Points) != 5 {
+		t.Fatalf("sample shape: dims=%d points=%d", s.Dims(), len(s.Points))
+	}
+	if s.Points[3].Coords[0] != 30 {
+		t.Errorf("coords = %v", s.Points[3].Coords)
+	}
+	if _, err := SampleFromFrames(frames, nil); err == nil {
+		t.Error("no joints accepted")
+	}
+	if _, err := SampleFromFrames(frames, []kinect.Joint{kinect.Joint(99)}); err == nil {
+		t.Error("invalid joint accepted")
+	}
+	names := CoordNames([]kinect.Joint{kinect.RightHand})
+	if len(names) != 3 || names[0] != "rHand_x" || names[2] != "rHand_z" {
+		t.Errorf("CoordNames = %v", names)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	a := PathPoint{Index: 0, Ts: t0(), Coords: []float64{0, 0, 0}}
+	b := PathPoint{Index: 4, Ts: t0().Add(200 * time.Millisecond), Coords: []float64{3, 4, 0}}
+	if d := (Euclidean{}).Distance(a, b); d != 5 {
+		t.Errorf("euclidean = %v", d)
+	}
+	if d := (EveryK{}).Distance(a, b); d != 4 {
+		t.Errorf("every-k = %v", d)
+	}
+	if d := (TimeDelta{}).Distance(a, b); d != 200 {
+		t.Errorf("time-ms = %v", d)
+	}
+	w := Weighted{Weights: []float64{0, 1, 1}}
+	if d := w.Distance(a, b); d != 4 {
+		t.Errorf("weighted = %v", d)
+	}
+	for _, name := range []string{"", "euclidean", "every-k", "time-ms"} {
+		if _, err := MetricByName(name); err != nil {
+			t.Errorf("MetricByName(%q): %v", name, err)
+		}
+	}
+	if _, err := MetricByName("nope"); err == nil {
+		t.Error("unknown metric resolved")
+	}
+	s := lineSample(t, 11, 100)
+	if d := PathDeviation(s, Euclidean{}); math.Abs(d-100) > 1e-9 {
+		t.Errorf("path deviation = %v", d)
+	}
+}
+
+func TestSamplerConfigValidate(t *testing.T) {
+	if err := DefaultSamplerConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []SamplerConfig{
+		{},                                  // no threshold at all
+		{RelativeFraction: -0.1},            // negative fraction
+		{RelativeFraction: 1.5},             // fraction >= 1
+		{MaxDist: 10, MinClusterPoints: -1}, // negative min points
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad sampler config %d accepted", i)
+		}
+	}
+}
+
+func TestExtractClustersAbsoluteThreshold(t *testing.T) {
+	// 101 points over 1000 mm with threshold 200 → a new cluster starts
+	// whenever the distance to the reference exceeds 200 mm → 5 clusters.
+	s := lineSample(t, 101, 1000)
+	clusters, err := ExtractClusters(s, SamplerConfig{Metric: Euclidean{}, MaxDist: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 5 {
+		t.Fatalf("clusters = %d, want 5", len(clusters))
+	}
+	// Clusters tile the sample: counts sum to the point count.
+	var total int
+	for _, c := range clusters {
+		total += c.Count
+		if c.End.Before(c.Start) {
+			t.Error("cluster times inverted")
+		}
+		if !c.Bounds.Contains(c.Centroid) {
+			t.Error("centroid outside bounds")
+		}
+	}
+	if total != 101 {
+		t.Errorf("cluster counts sum to %d, want 101", total)
+	}
+	// Centroids are ordered along the path.
+	for i := 1; i < len(clusters); i++ {
+		if clusters[i].Centroid[0] <= clusters[i-1].Centroid[0] {
+			t.Error("centroids not ordered")
+		}
+	}
+}
+
+func TestExtractClustersRelativeThreshold(t *testing.T) {
+	s := lineSample(t, 101, 1000)
+	// 25% of 1000 mm = 250 mm threshold → 4 clusters.
+	clusters, err := ExtractClusters(s, SamplerConfig{Metric: Euclidean{}, RelativeFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 4 {
+		t.Fatalf("clusters = %d, want 4", len(clusters))
+	}
+	// The relative threshold adapts to scale: the same gesture twice as
+	// large yields the same cluster count.
+	s2 := lineSample(t, 101, 2000)
+	clusters2, err := ExtractClusters(s2, SamplerConfig{Metric: Euclidean{}, RelativeFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters2) != len(clusters) {
+		t.Errorf("relative threshold not scale-free: %d vs %d", len(clusters2), len(clusters))
+	}
+}
+
+func TestExtractClustersEveryK(t *testing.T) {
+	s := lineSample(t, 30, 100)
+	clusters, err := ExtractClusters(s, SamplerConfig{Metric: EveryK{}, MaxDist: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new cluster every 11th tuple (exceeds 10): ~3 clusters.
+	if len(clusters) != 3 {
+		t.Errorf("every-k clusters = %d, want 3", len(clusters))
+	}
+}
+
+func TestExtractClustersStationarySample(t *testing.T) {
+	// No movement at all: a single cluster, no division by zero.
+	s := Sample{Joints: []kinect.Joint{kinect.RightHand}}
+	for i := 0; i < 10; i++ {
+		s.Points = append(s.Points, PathPoint{
+			Index: i, Ts: t0().Add(time.Duration(i) * kinect.FramePeriod),
+			Coords: []float64{5, 5, 5},
+		})
+	}
+	clusters, err := ExtractClusters(s, DefaultSamplerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 || clusters[0].Count != 10 {
+		t.Errorf("stationary clusters = %+v", clusters)
+	}
+}
+
+func TestExtractClustersMinPoints(t *testing.T) {
+	s := lineSample(t, 101, 1000)
+	cfg := SamplerConfig{Metric: Euclidean{}, MaxDist: 200, MinClusterPoints: 30}
+	clusters, err := ExtractClusters(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior clusters of ~20 points get dropped, but first and last are
+	// always kept.
+	if len(clusters) != 2 {
+		t.Errorf("min-points filter left %d clusters, want 2", len(clusters))
+	}
+}
+
+func TestMergerSingleSample(t *testing.T) {
+	s := lineSample(t, 101, 1000)
+	clusters, _ := ExtractClusters(s, SamplerConfig{Metric: Euclidean{}, MaxDist: 250})
+	m, err := NewMerger(DefaultMergerConfig(), s.Joints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warns, err := m.Add(clusters); err != nil || len(warns) != 0 {
+		t.Fatalf("Add: %v, warns %v", err, warns)
+	}
+	model, err := m.Model("line")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Windows) != len(clusters) {
+		t.Errorf("windows = %d, clusters = %d", len(model.Windows), len(clusters))
+	}
+	if model.Samples != 1 {
+		t.Errorf("samples = %d", model.Samples)
+	}
+	if model.TotalDuration <= 0 {
+		t.Error("no total duration")
+	}
+	for _, sd := range model.StepDurations {
+		if sd <= 0 {
+			t.Error("non-positive step duration")
+		}
+	}
+}
+
+func TestMergerAlignsDifferentClusterCounts(t *testing.T) {
+	// Two samples of the same path sampled at different rates produce
+	// different cluster counts; merging must align them.
+	s1 := lineSample(t, 101, 1000)
+	s2 := lineSample(t, 61, 1000)
+	c1, _ := ExtractClusters(s1, SamplerConfig{Metric: Euclidean{}, MaxDist: 250})
+	c2, _ := ExtractClusters(s2, SamplerConfig{Metric: Euclidean{}, MaxDist: 200})
+	if len(c1) == len(c2) {
+		t.Fatalf("test setup: want different cluster counts, both %d", len(c1))
+	}
+	m, _ := NewMerger(DefaultMergerConfig(), s1.Joints)
+	if _, err := m.Add(c1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add(c2); err != nil {
+		t.Fatal(err)
+	}
+	model, err := m.Model("line")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows cover the path from 0 to 1000 in x.
+	first, last := model.Windows[0], model.Windows[len(model.Windows)-1]
+	if first.Min[0] > 1 || last.Max[0] < 999 {
+		t.Errorf("windows do not span the path: first %v last %v", first, last)
+	}
+	// Window centers are monotonically increasing in x.
+	prev := math.Inf(-1)
+	for _, w := range model.Windows {
+		c := w.Center()[0]
+		if c <= prev {
+			t.Error("window centers not ordered along the path")
+		}
+		prev = c
+	}
+}
+
+func TestMergerOutlierWarning(t *testing.T) {
+	s1 := lineSample(t, 101, 1000)
+	c1, _ := ExtractClusters(s1, SamplerConfig{Metric: Euclidean{}, MaxDist: 250})
+	m, _ := NewMerger(DefaultMergerConfig(), s1.Joints)
+	if _, err := m.Add(c1); err != nil {
+		t.Fatal(err)
+	}
+	// Second "sample": same shape shifted 1200 mm up — clearly a different
+	// movement.
+	s2 := lineSample(t, 101, 1000)
+	for i := range s2.Points {
+		s2.Points[i].Coords[1] += 1200
+	}
+	c2, _ := ExtractClusters(s2, SamplerConfig{Metric: Euclidean{}, MaxDist: 250})
+	warns, err := m.Add(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) == 0 {
+		t.Fatal("no outlier warning for a wildly different sample")
+	}
+	if warns[0].SampleIndex != 1 || warns[0].Distance < 1000 {
+		t.Errorf("warning = %+v", warns[0])
+	}
+	if !strings.Contains(warns[0].String(), "deviates") {
+		t.Errorf("warning text = %q", warns[0].String())
+	}
+	// A consistent repetition produces no warning.
+	warns2, err := m.Add(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (the merged windows now include the outlier, so only require no new
+	// warnings for the identical sample)
+	for _, w := range warns2 {
+		if w.Distance > 100 {
+			t.Errorf("unexpected warning for identical sample: %+v", w)
+		}
+	}
+}
+
+func TestMergerValidation(t *testing.T) {
+	if _, err := NewMerger(MergerConfig{TargetPoses: -1}, []kinect.Joint{kinect.RightHand}); err == nil {
+		t.Error("negative target poses accepted")
+	}
+	if _, err := NewMerger(DefaultMergerConfig(), nil); err == nil {
+		t.Error("no joints accepted")
+	}
+	m, _ := NewMerger(DefaultMergerConfig(), []kinect.Joint{kinect.RightHand})
+	if _, err := m.Add(nil); err == nil {
+		t.Error("empty cluster list accepted")
+	}
+	if _, err := m.Add([]Cluster{{Centroid: []float64{1}}}); err == nil {
+		t.Error("wrong-dim cluster accepted")
+	}
+	if _, err := m.Model("x"); err == nil {
+		t.Error("model without samples accepted")
+	}
+	if _, err := m.Model(""); err == nil {
+		t.Error("unnamed model accepted")
+	}
+}
+
+func TestModelScaleWindows(t *testing.T) {
+	s := lineSample(t, 101, 1000)
+	c, _ := ExtractClusters(s, SamplerConfig{Metric: Euclidean{}, MaxDist: 250})
+	m, _ := NewMerger(DefaultMergerConfig(), s.Joints)
+	_, _ = m.Add(c)
+	model, _ := m.Model("line")
+	scaled, err := model.ScaleWindows(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scaled.Windows {
+		sw, ow := scaled.Windows[i].Width(), model.Windows[i].Width()
+		for d := range sw {
+			if sw[d] < ow[d] || sw[d] < 100 {
+				t.Errorf("window %d dim %d: %v -> %v", i, d, ow[d], sw[d])
+			}
+		}
+	}
+	if _, err := model.ScaleWindows(-1, 0); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestGenerateQueryStructure(t *testing.T) {
+	s := lineSample(t, 101, 1000)
+	c, _ := ExtractClusters(s, SamplerConfig{Metric: Euclidean{}, MaxDist: 350})
+	m, _ := NewMerger(DefaultMergerConfig(), s.Joints)
+	_, _ = m.Add(c)
+	model, _ := m.Model("line")
+	if len(model.Windows) != 3 {
+		t.Fatalf("test setup: want 3 windows, got %d", len(model.Windows))
+	}
+	q, err := GenerateQuery(model, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Output != "line" {
+		t.Errorf("output = %q", q.Output)
+	}
+	atoms := q.Pattern.Atoms()
+	if len(atoms) != 3 {
+		t.Fatalf("atoms = %d", len(atoms))
+	}
+	for _, a := range atoms {
+		if a.Source != "kinect_t" {
+			t.Errorf("source = %q", a.Source)
+		}
+	}
+	// Fig. 1 structure: outer node = (group -> atom) with within and
+	// policies.
+	if len(q.Pattern.Terms) != 2 || q.Pattern.Terms[0].Group == nil || q.Pattern.Terms[1].Atom == nil {
+		t.Error("pattern is not left-nested like Fig. 1")
+	}
+	if !q.Pattern.HasWithin || !q.Pattern.HasSelect || !q.Pattern.HasConsume {
+		t.Error("outer constraints missing")
+	}
+	inner := q.Pattern.Terms[0].Group
+	if !inner.HasWithin {
+		t.Error("inner within missing")
+	}
+	if inner.Within > q.Pattern.Within {
+		t.Error("inner within exceeds outer within")
+	}
+}
+
+func TestGenerateQuerySingleWindow(t *testing.T) {
+	model := Model{
+		Name:   "pose",
+		Joints: []kinect.Joint{kinect.RightHand},
+		Windows: []geom.MBR{
+			mustCW(t, []float64{100, 200, -150}, []float64{80, 80, 80}),
+		},
+	}
+	q, err := GenerateQuery(model, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Pattern.Atoms()) != 1 {
+		t.Error("single-window query should have one atom")
+	}
+	if q.Pattern.HasWithin {
+		t.Error("single-window query should not have within")
+	}
+}
+
+func TestGenerateQueryNegativeCenterUsesPlus(t *testing.T) {
+	model := Model{
+		Name:   "pose",
+		Joints: []kinect.Joint{kinect.RightHand},
+		Windows: []geom.MBR{
+			mustCW(t, []float64{0, 150, -120}, []float64{100, 100, 100}),
+		},
+	}
+	r, err := GenerateQuery(model, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := query.Print(r)
+	// The paper renders center −120 as "rHand_z ... + 120".
+	if !strings.Contains(text, "rHand_z + 120") {
+		t.Errorf("negative center not normalized:\n%s", text)
+	}
+	if !strings.Contains(text, "rHand_x - 0") {
+		t.Errorf("zero center should render as '- 0' like Fig. 1:\n%s", text)
+	}
+}
+
+func mustCW(t *testing.T, center, width []float64) geom.MBR {
+	t.Helper()
+	m, err := geom.FromCenterWidth(center, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

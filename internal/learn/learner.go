@@ -1,0 +1,198 @@
+package learn
+
+import (
+	"fmt"
+
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/query"
+	"gesturecep/internal/transform"
+)
+
+// Config bundles the configuration of the whole learning pipeline.
+type Config struct {
+	// Transform is applied to raw camera-frame samples before learning.
+	// Set Pretransformed when samples are already in the user frame.
+	Transform      transform.Config
+	Pretransformed bool
+	// Joints are the tracked joints; defaults to the right hand.
+	Joints []kinect.Joint
+	// Sampler tunes distance-based sampling (§3.3.1).
+	Sampler SamplerConfig
+	// Merger tunes window merging (§3.3.2).
+	Merger MergerConfig
+	// ScaleFactor widens merged windows (generalization scaling, §3.3.2);
+	// 1 keeps them as merged. Defaults to 1.3.
+	ScaleFactor float64
+	// MinWidth is the minimum full window width (mm) after scaling.
+	// Defaults to 2 × GenConfig.MinHalfWidth.
+	MinWidth float64
+	// Gen tunes query generation (§3.3.4).
+	Gen GenConfig
+}
+
+// DefaultConfig returns the standard pipeline configuration.
+func DefaultConfig() Config {
+	return Config{
+		Transform:   transform.DefaultConfig(),
+		Joints:      []kinect.Joint{kinect.RightHand},
+		Sampler:     DefaultSamplerConfig(),
+		Merger:      DefaultMergerConfig(),
+		ScaleFactor: 1.3,
+		MinWidth:    100,
+		Gen:         DefaultGenConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.Joints) == 0 {
+		return fmt.Errorf("learn: no tracked joints configured")
+	}
+	if err := c.Sampler.Validate(); err != nil {
+		return err
+	}
+	if err := c.Merger.Validate(); err != nil {
+		return err
+	}
+	if c.ScaleFactor < 0 {
+		return fmt.Errorf("learn: negative scale factor")
+	}
+	if c.MinWidth < 0 {
+		return fmt.Errorf("learn: negative minimum width")
+	}
+	if err := c.Gen.Validate(); err != nil {
+		return err
+	}
+	if !c.Pretransformed {
+		if err := c.Transform.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of learning one gesture.
+type Result struct {
+	// Model is the merged, scaled gesture description.
+	Model Model
+	// Query is the generated detection query AST.
+	Query *query.Query
+	// QueryText is the pretty-printed query in the paper's dialect.
+	QueryText string
+	// Warnings lists samples that deviated suspiciously (§3.3.2).
+	Warnings []Warning
+}
+
+// Learner runs the full §3.3 pipeline. A Learner accumulates samples for
+// one gesture; the result can be regenerated after each added sample,
+// supporting the paper's interactive loop ("further samples can be added to
+// incrementally improve the results until the user is satisfied").
+type Learner struct {
+	cfg    Config
+	name   string
+	merger *Merger
+	warns  []Warning
+}
+
+// NewLearner validates the configuration and creates a learner for the
+// named gesture.
+func NewLearner(name string, cfg Config) (*Learner, error) {
+	if name == "" {
+		return nil, fmt.Errorf("learn: gesture needs a name")
+	}
+	if cfg.Joints == nil {
+		cfg.Joints = []kinect.Joint{kinect.RightHand}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	merger, err := NewMerger(cfg.Merger, cfg.Joints)
+	if err != nil {
+		return nil, err
+	}
+	return &Learner{cfg: cfg, name: name, merger: merger}, nil
+}
+
+// Name returns the gesture name being learned.
+func (l *Learner) Name() string { return l.name }
+
+// SampleCount returns the number of samples added so far.
+func (l *Learner) SampleCount() int { return l.merger.SampleCount() }
+
+// AddSample ingests one recorded sample (camera-frame unless the config
+// says Pretransformed). It applies the transformation (§3.2), runs
+// distance-based sampling (§3.3.1) and merges the clusters (§3.3.2),
+// returning any outlier warnings for this sample.
+func (l *Learner) AddSample(frames []kinect.Frame) ([]Warning, error) {
+	if len(frames) < 2 {
+		return nil, fmt.Errorf("learn: sample needs at least 2 frames, got %d", len(frames))
+	}
+	work := frames
+	if !l.cfg.Pretransformed {
+		var err error
+		work, err = transform.FrameSlice(l.cfg.Transform, frames)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sample, err := SampleFromFrames(work, l.cfg.Joints)
+	if err != nil {
+		return nil, err
+	}
+	clusters, err := ExtractClusters(sample, l.cfg.Sampler)
+	if err != nil {
+		return nil, err
+	}
+	warns, err := l.merger.Add(clusters)
+	if err != nil {
+		return nil, err
+	}
+	l.warns = append(l.warns, warns...)
+	return warns, nil
+}
+
+// Result merges everything added so far, applies generalization scaling and
+// generates the detection query.
+func (l *Learner) Result() (*Result, error) {
+	model, err := l.merger.Model(l.name)
+	if err != nil {
+		return nil, err
+	}
+	scale := l.cfg.ScaleFactor
+	if scale == 0 {
+		scale = 1
+	}
+	minWidth := l.cfg.MinWidth
+	model, err = model.ScaleWindows(scale, minWidth)
+	if err != nil {
+		return nil, err
+	}
+	q, err := GenerateQuery(model, l.cfg.Gen)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Model:     model,
+		Query:     q,
+		QueryText: query.Print(q),
+		Warnings:  append([]Warning(nil), l.warns...),
+	}, nil
+}
+
+// Learn is the one-shot convenience: run the whole pipeline over a set of
+// recorded samples.
+func Learn(name string, samples [][]kinect.Frame, cfg Config) (*Result, error) {
+	l, err := NewLearner(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("learn: no samples given")
+	}
+	for i, s := range samples {
+		if _, err := l.AddSample(s); err != nil {
+			return nil, fmt.Errorf("learn: sample %d: %w", i, err)
+		}
+	}
+	return l.Result()
+}

@@ -1,0 +1,382 @@
+package learn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"gesturecep/internal/geom"
+	"gesturecep/internal/kinect"
+)
+
+// WindowMode selects what spatial extent each merged pose window covers.
+type WindowMode int
+
+const (
+	// WindowClusterBounds unions the member-point MBRs of the aligned
+	// clusters: every sample's trajectory segment lies inside the window.
+	// This is the robust default.
+	WindowClusterBounds WindowMode = iota
+	// WindowCentroids takes the MBR of the aligned cluster centroids only
+	// — the literal reading of §3.3.2 ("MBRs around all cluster centroids
+	// with the same sequence number"). Tighter, relies on the
+	// generalization scaling step for tolerance.
+	WindowCentroids
+)
+
+// String implements fmt.Stringer.
+func (m WindowMode) String() string {
+	switch m {
+	case WindowClusterBounds:
+		return "cluster-bounds"
+	case WindowCentroids:
+		return "centroids"
+	}
+	return fmt.Sprintf("WindowMode(%d)", int(m))
+}
+
+// MergerConfig tunes the window-merging step of §3.3.2.
+type MergerConfig struct {
+	// TargetPoses forces the merged model to this pose count; 0 derives it
+	// as the median cluster count over all samples.
+	TargetPoses int
+	// Mode selects the window extent (see WindowMode).
+	Mode WindowMode
+	// OutlierDistance triggers the "sample differs too much" warning: a
+	// new sample whose aligned centroid is farther than this (mm) outside
+	// the windows built from prior samples is flagged.
+	OutlierDistance float64
+}
+
+// DefaultMergerConfig returns the defaults used by the Learner.
+func DefaultMergerConfig() MergerConfig {
+	return MergerConfig{
+		Mode:            WindowClusterBounds,
+		OutlierDistance: 200,
+	}
+}
+
+// Validate reports configuration errors.
+func (c MergerConfig) Validate() error {
+	if c.TargetPoses < 0 {
+		return fmt.Errorf("learn: negative TargetPoses")
+	}
+	if c.OutlierDistance < 0 {
+		return fmt.Errorf("learn: negative OutlierDistance")
+	}
+	return nil
+}
+
+// Warning describes a suspicious training sample (§3.3.2: "useful for
+// detecting situations where a new sample differs too much from previously
+// recorded ones, allowing us to issue a warning").
+type Warning struct {
+	SampleIndex int
+	Pose        int
+	Distance    float64
+}
+
+// Error renders the warning message (Warning is not an error; it is
+// advisory).
+func (w Warning) String() string {
+	return fmt.Sprintf("learn: sample %d deviates %.0f mm from prior samples at pose %d",
+		w.SampleIndex, w.Distance, w.Pose)
+}
+
+// Model is the merged gesture description: one window per pose plus timing
+// statistics, sufficient to generate the detection query (§3.3.4).
+type Model struct {
+	Name   string
+	Joints []kinect.Joint
+	// Windows holds one MBR per pose over the tracked coordinate space.
+	Windows []geom.MBR
+	// StepDurations[i] is the average time from pose i to pose i+1.
+	StepDurations []time.Duration
+	// TotalDuration is the average sample duration.
+	TotalDuration time.Duration
+	// Samples is the number of merged samples.
+	Samples int
+}
+
+// Dims returns the coordinate-space dimensionality.
+func (m Model) Dims() int { return len(m.Joints) * 3 }
+
+// Validate reports structural problems.
+func (m Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("learn: model without name")
+	}
+	if len(m.Joints) == 0 {
+		return fmt.Errorf("learn: model %q tracks no joints", m.Name)
+	}
+	if len(m.Windows) == 0 {
+		return fmt.Errorf("learn: model %q has no pose windows", m.Name)
+	}
+	for i, w := range m.Windows {
+		if w.Dims() != m.Dims() {
+			return fmt.Errorf("learn: model %q window %d has %d dims, want %d", m.Name, i, w.Dims(), m.Dims())
+		}
+	}
+	if len(m.StepDurations) != len(m.Windows)-1 {
+		return fmt.Errorf("learn: model %q has %d step durations for %d windows",
+			m.Name, len(m.StepDurations), len(m.Windows))
+	}
+	return nil
+}
+
+// ScaleWindows returns a copy of the model with every window width
+// multiplied by factor and then grown to at least minWidth per dimension —
+// the generalization scaling of §3.3.2.
+func (m Model) ScaleWindows(factor, minWidth float64) (Model, error) {
+	out := m
+	out.Windows = make([]geom.MBR, len(m.Windows))
+	for i, w := range m.Windows {
+		s, err := w.ScaleWidth(factor)
+		if err != nil {
+			return Model{}, err
+		}
+		if minWidth > 0 {
+			s = s.EnsureMinWidth(minWidth)
+		}
+		out.Windows[i] = s
+	}
+	return out, nil
+}
+
+// alignedSample is one sample's clusters resampled to the target pose
+// count.
+type alignedSample struct {
+	centroids [][]float64
+	bounds    []geom.MBR
+	// times[i] is the representative time offset of pose i from the
+	// sample start.
+	times []time.Duration
+	total time.Duration
+}
+
+// Merger merges cluster sequences of several samples into a Model,
+// incrementally ("this step can be executed incrementally", §3.3.2).
+type Merger struct {
+	cfg     MergerConfig
+	joints  []kinect.Joint
+	samples [][]Cluster
+}
+
+// NewMerger validates the config and returns an empty merger for the given
+// tracked joints.
+func NewMerger(cfg MergerConfig, joints []kinect.Joint) (*Merger, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(joints) == 0 {
+		return nil, fmt.Errorf("learn: merger needs tracked joints")
+	}
+	return &Merger{cfg: cfg, joints: append([]kinect.Joint(nil), joints...)}, nil
+}
+
+// SampleCount returns the number of samples merged so far.
+func (g *Merger) SampleCount() int { return len(g.samples) }
+
+// Add merges another sample's clusters. It returns outlier warnings
+// comparing the new sample against the model built from the prior ones.
+func (g *Merger) Add(clusters []Cluster) ([]Warning, error) {
+	if len(clusters) == 0 {
+		return nil, fmt.Errorf("learn: sample produced no clusters")
+	}
+	dims := len(g.joints) * 3
+	for i, c := range clusters {
+		if len(c.Centroid) != dims {
+			return nil, fmt.Errorf("learn: cluster %d has %d dims, want %d", i, len(c.Centroid), dims)
+		}
+	}
+	var warnings []Warning
+	if len(g.samples) > 0 && g.cfg.OutlierDistance > 0 {
+		warnings = g.outlierCheck(clusters)
+	}
+	g.samples = append(g.samples, clusters)
+	return warnings, nil
+}
+
+// outlierCheck aligns the candidate against the current samples and
+// measures how far its centroids fall outside the existing windows.
+func (g *Merger) outlierCheck(clusters []Cluster) []Warning {
+	target := g.targetPoses()
+	prior := make([]alignedSample, len(g.samples))
+	for i, s := range g.samples {
+		prior[i] = resampleClusters(s, target)
+	}
+	cand := resampleClusters(clusters, target)
+
+	var warnings []Warning
+	for pose := 0; pose < target; pose++ {
+		var window geom.MBR
+		for _, p := range prior {
+			u, err := window.Union(p.bounds[pose])
+			if err != nil {
+				continue
+			}
+			window = u
+		}
+		d := distanceOutside(window, cand.centroids[pose])
+		if d > g.cfg.OutlierDistance {
+			warnings = append(warnings, Warning{
+				SampleIndex: len(g.samples),
+				Pose:        pose,
+				Distance:    d,
+			})
+		}
+	}
+	return warnings
+}
+
+// distanceOutside returns how far the point lies outside the MBR (0 when
+// inside).
+func distanceOutside(m geom.MBR, p []float64) float64 {
+	if m.IsEmpty() || len(p) != m.Dims() {
+		return 0
+	}
+	var sum float64
+	for i, v := range p {
+		if v < m.Min[i] {
+			d := m.Min[i] - v
+			sum += d * d
+		} else if v > m.Max[i] {
+			d := v - m.Max[i]
+			sum += d * d
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// targetPoses derives the aligned pose count: configured value or the
+// median cluster count.
+func (g *Merger) targetPoses() int {
+	if g.cfg.TargetPoses > 0 {
+		return g.cfg.TargetPoses
+	}
+	if len(g.samples) == 0 {
+		return 0
+	}
+	counts := make([]int, len(g.samples))
+	for i, s := range g.samples {
+		counts[i] = len(s)
+	}
+	sort.Ints(counts)
+	return counts[len(counts)/2]
+}
+
+// resampleClusters interpolates a cluster sequence to exactly target poses,
+// aligning samples with different cluster counts by normalized sequence
+// position.
+func resampleClusters(clusters []Cluster, target int) alignedSample {
+	n := len(clusters)
+	out := alignedSample{
+		centroids: make([][]float64, target),
+		bounds:    make([]geom.MBR, target),
+		times:     make([]time.Duration, target),
+	}
+	start := clusters[0].Start
+	out.total = clusters[n-1].End.Sub(start)
+	if target == 1 {
+		out.centroids[0] = append([]float64(nil), clusters[0].Centroid...)
+		out.bounds[0] = clusters[0].Bounds.Clone()
+		out.times[0] = 0
+		return out
+	}
+	for k := 0; k < target; k++ {
+		pos := float64(k) * float64(n-1) / float64(target-1)
+		lo := int(pos)
+		if lo >= n-1 {
+			lo = n - 1
+		}
+		hi := lo
+		if lo < n-1 {
+			hi = lo + 1
+		}
+		frac := pos - float64(lo)
+
+		cl, ch := clusters[lo], clusters[hi]
+		centroid := make([]float64, len(cl.Centroid))
+		for i := range centroid {
+			centroid[i] = cl.Centroid[i] + frac*(ch.Centroid[i]-cl.Centroid[i])
+		}
+		out.centroids[k] = centroid
+
+		bounds := geom.MBR{
+			Min: make([]float64, len(cl.Bounds.Min)),
+			Max: make([]float64, len(cl.Bounds.Max)),
+		}
+		for i := range bounds.Min {
+			bounds.Min[i] = cl.Bounds.Min[i] + frac*(ch.Bounds.Min[i]-cl.Bounds.Min[i])
+			bounds.Max[i] = cl.Bounds.Max[i] + frac*(ch.Bounds.Max[i]-cl.Bounds.Max[i])
+		}
+		out.bounds[k] = bounds
+
+		tl := cl.Mid().Sub(start)
+		th := ch.Mid().Sub(start)
+		out.times[k] = tl + time.Duration(frac*float64(th-tl))
+	}
+	return out
+}
+
+// Model merges all added samples into the final gesture description.
+func (g *Merger) Model(name string) (Model, error) {
+	if name == "" {
+		return Model{}, fmt.Errorf("learn: model needs a name")
+	}
+	if len(g.samples) == 0 {
+		return Model{}, fmt.Errorf("learn: no samples merged")
+	}
+	target := g.targetPoses()
+	if target < 1 {
+		return Model{}, fmt.Errorf("learn: target pose count %d", target)
+	}
+	aligned := make([]alignedSample, len(g.samples))
+	for i, s := range g.samples {
+		aligned[i] = resampleClusters(s, target)
+	}
+
+	model := Model{
+		Name:    name,
+		Joints:  append([]kinect.Joint(nil), g.joints...),
+		Windows: make([]geom.MBR, target),
+		Samples: len(g.samples),
+	}
+	for pose := 0; pose < target; pose++ {
+		var w geom.MBR
+		for _, a := range aligned {
+			var err error
+			switch g.cfg.Mode {
+			case WindowCentroids:
+				err = w.Extend(a.centroids[pose])
+			default:
+				w, err = w.Union(a.bounds[pose])
+			}
+			if err != nil {
+				return Model{}, err
+			}
+		}
+		model.Windows[pose] = w
+	}
+
+	// Average step durations across samples (aligned pose times).
+	model.StepDurations = make([]time.Duration, target-1)
+	for step := 0; step < target-1; step++ {
+		var sum time.Duration
+		for _, a := range aligned {
+			sum += a.times[step+1] - a.times[step]
+		}
+		model.StepDurations[step] = sum / time.Duration(len(aligned))
+	}
+	var total time.Duration
+	for _, a := range aligned {
+		total += a.total
+	}
+	model.TotalDuration = total / time.Duration(len(aligned))
+
+	if err := model.Validate(); err != nil {
+		return Model{}, err
+	}
+	return model, nil
+}

@@ -1,0 +1,121 @@
+package learn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric measures the deviation between two path points for the
+// distance-based sampler. The paper makes this configurable (§3.3.1):
+// "the distance function is configurable to express several gesture
+// semantics, e.g., the Euclidean distance can be used to express spatial
+// differences between successive poses, or metrics like 'every x tuples'
+// can be used for time-based constraints."
+type Metric interface {
+	// Name identifies the metric in reports and persisted configs.
+	Name() string
+	// Distance returns the deviation between two points. It must be
+	// non-negative and zero for identical points.
+	Distance(a, b PathPoint) float64
+}
+
+// Euclidean measures spatial deviation over all tracked coordinates — the
+// paper's default gesture semantics.
+type Euclidean struct{}
+
+// Name implements Metric.
+func (Euclidean) Name() string { return "euclidean" }
+
+// Distance implements Metric.
+func (Euclidean) Distance(a, b PathPoint) float64 {
+	var sum float64
+	n := len(a.Coords)
+	if len(b.Coords) < n {
+		n = len(b.Coords)
+	}
+	for i := 0; i < n; i++ {
+		d := a.Coords[i] - b.Coords[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// EveryK implements the paper's "every x tuples" semantics: the deviation
+// is the tuple-index difference, so a new cluster starts every K tuples
+// when the sampler threshold is K.
+type EveryK struct{}
+
+// Name implements Metric.
+func (EveryK) Name() string { return "every-k" }
+
+// Distance implements Metric.
+func (EveryK) Distance(a, b PathPoint) float64 {
+	return math.Abs(float64(b.Index - a.Index))
+}
+
+// TimeDelta measures elapsed milliseconds between points — time-based
+// constraints when gestures have meaningful rhythm.
+type TimeDelta struct{}
+
+// Name implements Metric.
+func (TimeDelta) Name() string { return "time-ms" }
+
+// Distance implements Metric.
+func (TimeDelta) Distance(a, b PathPoint) float64 {
+	d := b.Ts.Sub(a.Ts).Milliseconds()
+	if d < 0 {
+		d = -d
+	}
+	return float64(d)
+}
+
+// Weighted scales each coordinate's contribution to a Euclidean distance —
+// e.g. emphasizing vertical movement for an "up/down" gesture family.
+type Weighted struct {
+	Weights []float64
+}
+
+// Name implements Metric.
+func (Weighted) Name() string { return "weighted-euclidean" }
+
+// Distance implements Metric.
+func (w Weighted) Distance(a, b PathPoint) float64 {
+	var sum float64
+	for i := range a.Coords {
+		if i >= len(b.Coords) {
+			break
+		}
+		d := a.Coords[i] - b.Coords[i]
+		wt := 1.0
+		if i < len(w.Weights) {
+			wt = w.Weights[i]
+		}
+		sum += wt * d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// MetricByName resolves a metric from its persisted name.
+func MetricByName(name string) (Metric, error) {
+	switch name {
+	case "", "euclidean":
+		return Euclidean{}, nil
+	case "every-k":
+		return EveryK{}, nil
+	case "time-ms":
+		return TimeDelta{}, nil
+	default:
+		return nil, fmt.Errorf("learn: unknown metric %q", name)
+	}
+}
+
+// PathDeviation returns the total deviation along the sample under the
+// metric — the quantity relative thresholds are expressed against
+// ("at least x%% of the total deviation observed", §3.3.1).
+func PathDeviation(s Sample, m Metric) float64 {
+	var total float64
+	for i := 1; i < len(s.Points); i++ {
+		total += m.Distance(s.Points[i-1], s.Points[i])
+	}
+	return total
+}

@@ -1,0 +1,245 @@
+package learn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/query"
+)
+
+// Randomized invariants of the core learning data structures.
+
+// randomWalkSample builds a sample following a bounded random walk.
+func randomWalkSample(rng *rand.Rand, n int) Sample {
+	s := Sample{Joints: []kinect.Joint{kinect.RightHand}}
+	pos := [3]float64{}
+	base := time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		for d := 0; d < 3; d++ {
+			pos[d] += (rng.Float64()*2 - 1) * 60
+		}
+		s.Points = append(s.Points, PathPoint{
+			Index:  i,
+			Ts:     base.Add(time.Duration(i) * kinect.FramePeriod),
+			Coords: []float64{pos[0], pos[1], pos[2]},
+		})
+	}
+	return s
+}
+
+// TestQuickClustersTileSample: every point belongs to exactly one cluster;
+// cluster counts sum to the sample size; cluster time ranges are ordered
+// and non-overlapping; centroids lie inside their bounds.
+func TestQuickClustersTileSample(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawFrac uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN%120) + 2
+		frac := 0.05 + float64(rawFrac%80)/100 // 0.05 .. 0.84
+		if frac >= 1 {
+			frac = 0.9
+		}
+		s := randomWalkSample(rng, n)
+		clusters, err := ExtractClusters(s, SamplerConfig{Metric: Euclidean{}, RelativeFraction: frac})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if len(clusters) == 0 {
+			return false
+		}
+		total := 0
+		for i, c := range clusters {
+			total += c.Count
+			if c.Count <= 0 || c.End.Before(c.Start) {
+				return false
+			}
+			if !c.Bounds.Contains(c.Centroid) {
+				t.Logf("seed %d: centroid outside bounds at cluster %d", seed, i)
+				return false
+			}
+			if i > 0 && !clusters[i-1].End.Before(c.Start) {
+				t.Logf("seed %d: cluster %d overlaps predecessor in time", seed, i)
+				return false
+			}
+		}
+		if total != n {
+			t.Logf("seed %d: counts sum %d != %d", seed, total, n)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLargerThresholdNeverMoreClusters: the cluster count is
+// non-increasing in the threshold.
+func TestQuickThresholdMonotonicity(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN%120) + 5
+		s := randomWalkSample(rng, n)
+		prev := -1
+		for _, frac := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+			clusters, err := ExtractClusters(s, SamplerConfig{Metric: Euclidean{}, RelativeFraction: frac})
+			if err != nil {
+				return false
+			}
+			if prev >= 0 && len(clusters) > prev {
+				t.Logf("seed %d: clusters grew from %d to %d at frac %v", seed, prev, len(clusters), frac)
+				return false
+			}
+			prev = len(clusters)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMergedWindowsCoverClusterBounds: in cluster-bounds mode, every
+// merged window contains the aligned bounds of every sample, so every
+// member point of every aligned cluster is inside its pose window.
+func TestQuickMergedWindowsCover(t *testing.T) {
+	f := func(seed int64, rawSamples uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nSamples := int(rawSamples%4) + 2
+		merger, err := NewMerger(MergerConfig{Mode: WindowClusterBounds, OutlierDistance: 0}, []kinect.Joint{kinect.RightHand})
+		if err != nil {
+			return false
+		}
+		var all [][]Cluster
+		for i := 0; i < nSamples; i++ {
+			s := randomWalkSample(rng, 40+rng.Intn(40))
+			clusters, err := ExtractClusters(s, SamplerConfig{Metric: Euclidean{}, RelativeFraction: 0.2})
+			if err != nil {
+				return false
+			}
+			if _, err := merger.Add(clusters); err != nil {
+				return false
+			}
+			all = append(all, clusters)
+		}
+		model, err := merger.Model("walk")
+		if err != nil {
+			return false
+		}
+		// Each sample's first cluster centroid must be inside the first
+		// merged window, and — when the aligned model keeps more than one
+		// pose — the last centroid inside the last window (alignment pins
+		// both endpoints; a single-pose model only retains the start).
+		first, last := model.Windows[0], model.Windows[len(model.Windows)-1]
+		for _, clusters := range all {
+			if !first.Contains(clusters[0].Centroid) {
+				return false
+			}
+			if len(model.Windows) > 1 && !last.Contains(clusters[len(clusters)-1].Centroid) {
+				return false
+			}
+		}
+		// Windows have the right dimensionality and non-negative widths.
+		for _, w := range model.Windows {
+			if w.Dims() != 3 {
+				return false
+			}
+			for _, width := range w.Width() {
+				if width < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickScaleWindowsMonotone: scaling by f >= 1 never shrinks any
+// dimension and keeps centers fixed.
+func TestQuickScaleWindowsMonotone(t *testing.T) {
+	f := func(seed int64, rawScale uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scale := 1 + float64(rawScale%40)/10 // 1.0 .. 4.9
+		s := randomWalkSample(rng, 60)
+		clusters, err := ExtractClusters(s, SamplerConfig{Metric: Euclidean{}, RelativeFraction: 0.25})
+		if err != nil {
+			return false
+		}
+		merger, _ := NewMerger(DefaultMergerConfig(), s.Joints)
+		if _, err := merger.Add(clusters); err != nil {
+			return false
+		}
+		model, err := merger.Model("walk")
+		if err != nil {
+			return false
+		}
+		scaled, err := model.ScaleWindows(scale, 0)
+		if err != nil {
+			return false
+		}
+		for i := range model.Windows {
+			ow, sw := model.Windows[i].Width(), scaled.Windows[i].Width()
+			oc, sc := model.Windows[i].Center(), scaled.Windows[i].Center()
+			for d := range ow {
+				if sw[d] < ow[d]-1e-9 {
+					return false
+				}
+				if diff := oc[d] - sc[d]; diff > 1e-6 || diff < -1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGeneratedQueryAlwaysParses: whatever the learner produces from
+// random-walk "gestures" must be valid query text.
+func TestQuickGeneratedQueryAlwaysParses(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		merger, _ := NewMerger(DefaultMergerConfig(), []kinect.Joint{kinect.RightHand})
+		for i := 0; i < 3; i++ {
+			s := randomWalkSample(rng, 50)
+			clusters, err := ExtractClusters(s, SamplerConfig{Metric: Euclidean{}, RelativeFraction: 0.2})
+			if err != nil {
+				return false
+			}
+			if _, err := merger.Add(clusters); err != nil {
+				return false
+			}
+		}
+		model, err := merger.Model("walk")
+		if err != nil {
+			return false
+		}
+		q, err := GenerateQuery(model, DefaultGenConfig())
+		if err != nil {
+			t.Logf("seed %d: generate: %v", seed, err)
+			return false
+		}
+		if _, err := parseForTest(q); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// parseForTest round-trips a generated query through the text
+// representation.
+func parseForTest(q *query.Query) (*query.Query, error) {
+	return query.Parse(query.Print(q))
+}

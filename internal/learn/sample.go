@@ -1,0 +1,109 @@
+// Package learn implements the paper's core contribution (§3.3): deriving
+// declarative CEP gesture queries from a handful of recorded samples.
+//
+// The pipeline interprets a gesture as a sequence of poses:
+//
+//  1. Distance-based sampling (§3.3.1) — related to density-based
+//     clustering — compresses each recorded sample (a 30 Hz path of joint
+//     positions in the transformed user frame) into a short sequence of
+//     clusters ("characteristic points").
+//  2. Window merging (§3.3.2) aligns the cluster sequences of all samples
+//     and merges them into one minimal bounding rectangle (window) per
+//     pose, incrementally, warning when a new sample deviates too much.
+//  3. Generalization scaling widens the windows; validation (§3.3.3, in
+//     package validate) checks for the overlap problem.
+//  4. Query generation (§3.3.4) emits the range-predicate CEP query.
+package learn
+
+import (
+	"fmt"
+	"time"
+
+	"gesturecep/internal/kinect"
+)
+
+// PathPoint is one measurement of a recorded sample: the coordinates of all
+// tracked joints at one sensor tick, already in the transformed user frame
+// (§3.2).
+type PathPoint struct {
+	Index  int
+	Ts     time.Time
+	Coords []float64 // len = 3 × number of tracked joints, joint-major
+}
+
+// Sample is one recorded gesture execution restricted to the tracked
+// joints.
+type Sample struct {
+	Joints []kinect.Joint
+	Points []PathPoint
+}
+
+// Dims returns the dimensionality of the sample's coordinate space.
+func (s Sample) Dims() int { return len(s.Joints) * 3 }
+
+// Duration is the time span of the sample.
+func (s Sample) Duration() time.Duration {
+	if len(s.Points) < 2 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Ts.Sub(s.Points[0].Ts)
+}
+
+// Validate reports structural problems.
+func (s Sample) Validate() error {
+	if len(s.Joints) == 0 {
+		return fmt.Errorf("learn: sample tracks no joints")
+	}
+	if len(s.Points) < 2 {
+		return fmt.Errorf("learn: sample has %d points, need at least 2", len(s.Points))
+	}
+	want := s.Dims()
+	for i, p := range s.Points {
+		if len(p.Coords) != want {
+			return fmt.Errorf("learn: point %d has %d coords, want %d", i, len(p.Coords), want)
+		}
+		if i > 0 && s.Points[i].Ts.Before(s.Points[i-1].Ts) {
+			return fmt.Errorf("learn: point %d timestamp out of order", i)
+		}
+	}
+	return nil
+}
+
+// SampleFromFrames projects transformed skeleton frames onto the tracked
+// joints. Frames must already be in the user-invariant frame (apply
+// transform.FrameSlice first when starting from raw camera frames).
+func SampleFromFrames(frames []kinect.Frame, joints []kinect.Joint) (Sample, error) {
+	if len(joints) == 0 {
+		return Sample{}, fmt.Errorf("learn: no joints to track")
+	}
+	for _, j := range joints {
+		if j < 0 || int(j) >= kinect.NumJoints {
+			return Sample{}, fmt.Errorf("learn: invalid joint %d", j)
+		}
+	}
+	s := Sample{Joints: append([]kinect.Joint(nil), joints...)}
+	for i, f := range frames {
+		coords := make([]float64, 0, len(joints)*3)
+		for _, j := range joints {
+			p := f.Pos(j)
+			coords = append(coords, p.X, p.Y, p.Z)
+		}
+		s.Points = append(s.Points, PathPoint{Index: i, Ts: f.Ts, Coords: coords})
+	}
+	if err := s.Validate(); err != nil {
+		return Sample{}, err
+	}
+	return s, nil
+}
+
+// CoordNames returns the attribute names of the sample's coordinate space
+// in order, e.g. ["rHand_x", "rHand_y", "rHand_z"].
+func CoordNames(joints []kinect.Joint) []string {
+	out := make([]string, 0, len(joints)*3)
+	for _, j := range joints {
+		for c := 0; c < 3; c++ {
+			out = append(out, kinect.FieldName(j, c))
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package learn
+
+import (
+	"fmt"
+	"time"
+
+	"gesturecep/internal/geom"
+)
+
+// SamplerConfig tunes the distance-based sampling of §3.3.1.
+type SamplerConfig struct {
+	// Metric is the deviation measure between path points. Defaults to
+	// Euclidean.
+	Metric Metric
+	// MaxDist is the absolute threshold: a new cluster starts when a point
+	// deviates more than this from the current reference point. Ignored
+	// when RelativeFraction > 0.
+	MaxDist float64
+	// RelativeFraction, when positive, derives the threshold from the
+	// sample itself: threshold = RelativeFraction × total path deviation.
+	// The paper computes thresholds "relative to the whole gesture path".
+	RelativeFraction float64
+	// MinClusterPoints drops clusters with fewer members (noise spikes).
+	// Zero means keep all clusters.
+	MinClusterPoints int
+}
+
+// DefaultSamplerConfig uses a relative Euclidean threshold of 22% of the
+// total path deviation, which lands typical one-stroke gestures at 3-6
+// poses.
+func DefaultSamplerConfig() SamplerConfig {
+	return SamplerConfig{
+		Metric:           Euclidean{},
+		RelativeFraction: 0.22,
+	}
+}
+
+// Validate reports configuration errors.
+func (c SamplerConfig) Validate() error {
+	if c.RelativeFraction < 0 || c.RelativeFraction >= 1 {
+		return fmt.Errorf("learn: relative fraction %g outside [0, 1)", c.RelativeFraction)
+	}
+	if c.RelativeFraction == 0 && c.MaxDist <= 0 {
+		return fmt.Errorf("learn: need MaxDist > 0 or RelativeFraction > 0")
+	}
+	if c.MinClusterPoints < 0 {
+		return fmt.Errorf("learn: negative MinClusterPoints")
+	}
+	return nil
+}
+
+// Cluster is one extracted characteristic pose: the aggregate of a run of
+// consecutive path points that stayed within the distance threshold of the
+// cluster's reference point.
+type Cluster struct {
+	// Centroid is the mean of the member coordinates.
+	Centroid []float64
+	// Bounds is the MBR of the member coordinates.
+	Bounds geom.MBR
+	// Count is the number of member points.
+	Count int
+	// Start and End are the event times of the first and last member.
+	Start, End time.Time
+}
+
+// Mid returns the representative time of the cluster (midpoint).
+func (c Cluster) Mid() time.Time { return c.Start.Add(c.End.Sub(c.Start) / 2) }
+
+// ExtractClusters performs the distance-based sampling of §3.3.1 on one
+// sample: the first tuple becomes the initial cluster centroid and the
+// reference for distance computation; a new cluster (and reference) starts
+// as soon as a point's distance to the current reference exceeds the
+// threshold.
+func ExtractClusters(s Sample, cfg SamplerConfig) ([]Cluster, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	metric := cfg.Metric
+	if metric == nil {
+		metric = Euclidean{}
+	}
+	threshold := cfg.MaxDist
+	if cfg.RelativeFraction > 0 {
+		threshold = cfg.RelativeFraction * PathDeviation(s, metric)
+	}
+	if threshold <= 0 {
+		// Degenerate sample (no movement at all): one cluster.
+		threshold = 1
+	}
+
+	var clusters []Cluster
+	var cur *clusterBuilder
+	ref := s.Points[0]
+	cur = newClusterBuilder(ref)
+	for _, p := range s.Points[1:] {
+		if metric.Distance(ref, p) > threshold {
+			clusters = append(clusters, cur.finish())
+			ref = p
+			cur = newClusterBuilder(p)
+			continue
+		}
+		cur.add(p)
+	}
+	clusters = append(clusters, cur.finish())
+
+	if cfg.MinClusterPoints > 1 {
+		kept := clusters[:0]
+		for i, c := range clusters {
+			// Always keep the first and last cluster: they anchor the
+			// start and end pose of the gesture.
+			if c.Count >= cfg.MinClusterPoints || i == 0 || i == len(clusters)-1 {
+				kept = append(kept, c)
+			}
+		}
+		clusters = kept
+	}
+	return clusters, nil
+}
+
+type clusterBuilder struct {
+	sum    []float64
+	bounds geom.MBR
+	count  int
+	start  time.Time
+	end    time.Time
+}
+
+func newClusterBuilder(p PathPoint) *clusterBuilder {
+	b := &clusterBuilder{
+		sum:   append([]float64(nil), p.Coords...),
+		count: 1,
+		start: p.Ts,
+		end:   p.Ts,
+	}
+	b.bounds = geom.FromPoint(p.Coords)
+	return b
+}
+
+func (b *clusterBuilder) add(p PathPoint) {
+	for i, v := range p.Coords {
+		b.sum[i] += v
+	}
+	b.count++
+	b.end = p.Ts
+	// Extend cannot fail: all points of one sample share dimensionality
+	// (Sample.Validate enforced it).
+	_ = b.bounds.Extend(p.Coords)
+}
+
+func (b *clusterBuilder) finish() Cluster {
+	centroid := make([]float64, len(b.sum))
+	for i, v := range b.sum {
+		centroid[i] = v / float64(b.count)
+	}
+	return Cluster{
+		Centroid: centroid,
+		Bounds:   b.bounds.Clone(),
+		Count:    b.count,
+		Start:    b.start,
+		End:      b.end,
+	}
+}

@@ -1,0 +1,172 @@
+package query
+
+import (
+	"time"
+
+	"gesturecep/internal/cep"
+)
+
+// Query is a parsed gesture detection query: the output value emitted on
+// detection plus the pattern to match.
+type Query struct {
+	// Output is the string literal after SELECT, e.g. "swipe_right". It
+	// becomes the gesture name reported to listening applications.
+	Output string
+	// Measures are optional scalar expressions after the output name,
+	// evaluated on the final matched tuple of each detection — "some
+	// measures that are calculated directly on the stream during the
+	// detection process, e.g., joint positions" (§3.3.4).
+	Measures []Expr
+	// Pattern is the MATCHING clause.
+	Pattern *PatternNode
+}
+
+// PatternNode is one level of a (possibly nested) sequence pattern. Each
+// level may carry its own `within` constraint; `select`/`consume` policies
+// are syntactically allowed at every level (as in the paper's Fig. 1) but
+// only the outermost level's policies govern execution — nested policies
+// are preserved for faithful round-tripping.
+type PatternNode struct {
+	Terms []*Term
+
+	HasWithin bool
+	Within    time.Duration
+
+	HasSelect bool
+	Select    cep.SelectPolicy
+
+	HasConsume bool
+	Consume    cep.ConsumePolicy
+}
+
+// Term is one element of a sequence: either an event atom or a
+// parenthesized sub-pattern.
+type Term struct {
+	Atom  *EventAtom   // non-nil for source(expr) terms
+	Group *PatternNode // non-nil for ( pattern ) terms
+}
+
+// EventAtom matches a single tuple of the named source stream satisfying
+// the predicate expression, e.g. kinect(abs(rHand_x - 400) < 50).
+type EventAtom struct {
+	Source string
+	Pred   Expr
+}
+
+// Expr is a predicate or arithmetic expression node.
+type Expr interface{ isExpr() }
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Value float64
+}
+
+// Ident references a stream attribute by name.
+type Ident struct {
+	Name string
+}
+
+// Call invokes a built-in or user-defined function, e.g. abs(x) or
+// rpy_yaw(...).
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// Unary is prefix minus/plus or logical not.
+type Unary struct {
+	Op Op
+	X  Expr
+}
+
+// Binary is an infix operation.
+type Binary struct {
+	Op   Op
+	L, R Expr
+}
+
+func (*NumberLit) isExpr() {}
+func (*Ident) isExpr()     {}
+func (*Call) isExpr()      {}
+func (*Unary) isExpr()     {}
+func (*Binary) isExpr()    {}
+
+// Op enumerates expression operators.
+type Op int
+
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpNeg
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+	OpEQ
+	OpNE
+	OpAnd
+	OpOr
+	OpNot
+)
+
+var opText = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpNeg: "-",
+	OpLT: "<", OpLE: "<=", OpGT: ">", OpGE: ">=", OpEQ: "=", OpNE: "!=",
+	OpAnd: "and", OpOr: "or", OpNot: "not",
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string { return opText[o] }
+
+// Walk visits every expression node in depth-first order, parents first.
+// It stops early when f returns false.
+func Walk(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch n := e.(type) {
+	case *Unary:
+		Walk(n.X, f)
+	case *Binary:
+		Walk(n.L, f)
+		Walk(n.R, f)
+	case *Call:
+		for _, a := range n.Args {
+			Walk(a, f)
+		}
+	}
+}
+
+// Idents returns the distinct attribute names referenced by e, in first-use
+// order.
+func Idents(e Expr) []string {
+	seen := make(map[string]bool)
+	var out []string
+	Walk(e, func(x Expr) bool {
+		if id, ok := x.(*Ident); ok && !seen[id.Name] {
+			seen[id.Name] = true
+			out = append(out, id.Name)
+		}
+		return true
+	})
+	return out
+}
+
+// Atoms returns all event atoms of the pattern in sequence order.
+func (p *PatternNode) Atoms() []*EventAtom {
+	var out []*EventAtom
+	var rec func(*PatternNode)
+	rec = func(n *PatternNode) {
+		for _, t := range n.Terms {
+			if t.Atom != nil {
+				out = append(out, t.Atom)
+			} else if t.Group != nil {
+				rec(t.Group)
+			}
+		}
+	}
+	rec(p)
+	return out
+}

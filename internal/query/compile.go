@@ -1,0 +1,290 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"gesturecep/internal/cep"
+	"gesturecep/internal/stream"
+)
+
+// UDF is a scalar user-defined function callable from query expressions.
+// The paper registers Roll-Pitch-Yaw operators this way (§3.2); the engine
+// facade provides them, and the query compiler only needs name + arity +
+// implementation.
+type UDF struct {
+	Name string
+	// Arity is the required argument count; -1 accepts any number of
+	// arguments (at least one).
+	Arity int
+	Fn    func(args []float64) float64
+}
+
+// BuiltinUDFs returns the default scalar function registry: abs, min, max,
+// sqrt, and dist (Euclidean distance between two 3D points, used for the
+// forearm scale factor in §3.2).
+func BuiltinUDFs() map[string]UDF {
+	return map[string]UDF{
+		"abs":  {Name: "abs", Arity: 1, Fn: func(a []float64) float64 { return math.Abs(a[0]) }},
+		"sqrt": {Name: "sqrt", Arity: 1, Fn: func(a []float64) float64 { return math.Sqrt(a[0]) }},
+		"min": {Name: "min", Arity: -1, Fn: func(a []float64) float64 {
+			m := a[0]
+			for _, v := range a[1:] {
+				m = math.Min(m, v)
+			}
+			return m
+		}},
+		"max": {Name: "max", Arity: -1, Fn: func(a []float64) float64 {
+			m := a[0]
+			for _, v := range a[1:] {
+				m = math.Max(m, v)
+			}
+			return m
+		}},
+		"dist": {Name: "dist", Arity: 6, Fn: func(a []float64) float64 {
+			dx, dy, dz := a[0]-a[3], a[1]-a[4], a[2]-a[5]
+			return math.Sqrt(dx*dx + dy*dy + dz*dz)
+		}},
+	}
+}
+
+// Env provides the compilation context: the schema of each stream or view a
+// query may reference, plus the available scalar functions.
+type Env struct {
+	Schemas map[string]*stream.Schema
+	UDFs    map[string]UDF
+}
+
+// NewEnv builds an Env with the builtin UDFs pre-registered.
+func NewEnv() *Env {
+	return &Env{
+		Schemas: make(map[string]*stream.Schema),
+		UDFs:    BuiltinUDFs(),
+	}
+}
+
+// Compiled is an executable query: the cep pattern plus resolved policies
+// and the single source stream the pattern reads.
+type Compiled struct {
+	Output  string
+	Source  string
+	Pattern cep.Pattern
+	Select  cep.SelectPolicy
+	Consume cep.ConsumePolicy
+	// NumAtoms is the number of event atoms (NFA states).
+	NumAtoms int
+	// Measures are the compiled output-measure evaluators (§3.3.4),
+	// applied to the final matched tuple of each detection.
+	Measures []func(stream.Tuple) float64
+}
+
+// CompileQuery type-checks q against env and produces an executable form.
+// All event atoms must reference the same source stream — a pattern cannot
+// span streams (the paper's queries always read the kinect_t view).
+func CompileQuery(q *Query, env *Env) (*Compiled, error) {
+	if q == nil || q.Pattern == nil {
+		return nil, fmt.Errorf("query: nil query")
+	}
+	if q.Output == "" {
+		return nil, fmt.Errorf("query: empty output name")
+	}
+	if env == nil {
+		return nil, fmt.Errorf("query: nil environment")
+	}
+	atoms := q.Pattern.Atoms()
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("query %q: pattern has no event atoms", q.Output)
+	}
+	source := atoms[0].Source
+	for _, a := range atoms {
+		if a.Source != source {
+			return nil, fmt.Errorf("query %q: pattern mixes sources %q and %q; all atoms must read one stream",
+				q.Output, source, a.Source)
+		}
+	}
+	schema, ok := env.Schemas[source]
+	if !ok {
+		return nil, fmt.Errorf("query %q: unknown source stream %q", q.Output, source)
+	}
+
+	pat, err := compilePattern(q.Pattern, q.Output, schema, env, new(int))
+	if err != nil {
+		return nil, fmt.Errorf("query %q: %w", q.Output, err)
+	}
+
+	var measures []func(stream.Tuple) float64
+	for i, m := range q.Measures {
+		ev, err := compileExpr(m, schema, env.UDFs)
+		if err != nil {
+			return nil, fmt.Errorf("query %q: measure %d: %w", q.Output, i, err)
+		}
+		measures = append(measures, ev)
+	}
+
+	c := &Compiled{
+		Output:   q.Output,
+		Source:   source,
+		Pattern:  pat,
+		Select:   cep.SelectFirst,
+		Consume:  cep.ConsumeAll,
+		NumAtoms: len(atoms),
+		Measures: measures,
+	}
+	if q.Pattern.HasSelect {
+		c.Select = q.Pattern.Select
+	}
+	if q.Pattern.HasConsume {
+		c.Consume = q.Pattern.Consume
+	}
+	return c, nil
+}
+
+func compilePattern(node *PatternNode, gesture string, schema *stream.Schema, env *Env, atomIdx *int) (cep.Pattern, error) {
+	seq := &cep.Sequence{}
+	if node.HasWithin {
+		seq.Within = node.Within
+	}
+	for _, term := range node.Terms {
+		switch {
+		case term.Atom != nil:
+			pred, err := CompilePredicate(term.Atom.Pred, schema, env.UDFs)
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("%s[%d]", gesture, *atomIdx)
+			*atomIdx++
+			seq.Elems = append(seq.Elems, cep.NewAtom(label, pred))
+		case term.Group != nil:
+			sub, err := compilePattern(term.Group, gesture, schema, env, atomIdx)
+			if err != nil {
+				return nil, err
+			}
+			seq.Elems = append(seq.Elems, sub)
+		default:
+			return nil, fmt.Errorf("empty pattern term")
+		}
+	}
+	return seq, nil
+}
+
+// CompilePredicate compiles a boolean expression over the given schema into
+// a tuple predicate. Comparisons and logic evaluate to 1/0; the predicate is
+// true when the result is non-zero.
+func CompilePredicate(e Expr, schema *stream.Schema, udfs map[string]UDF) (func(stream.Tuple) bool, error) {
+	ev, err := compileExpr(e, schema, udfs)
+	if err != nil {
+		return nil, err
+	}
+	return func(t stream.Tuple) bool { return ev(t) != 0 }, nil
+}
+
+// CompileScalar compiles an arithmetic expression over the given schema
+// into a tuple-to-float evaluator. Exposed for output-measure expressions.
+func CompileScalar(e Expr, schema *stream.Schema, udfs map[string]UDF) (func(stream.Tuple) float64, error) {
+	return compileExpr(e, schema, udfs)
+}
+
+func compileExpr(e Expr, schema *stream.Schema, udfs map[string]UDF) (func(stream.Tuple) float64, error) {
+	switch n := e.(type) {
+	case *NumberLit:
+		v := n.Value
+		return func(stream.Tuple) float64 { return v }, nil
+
+	case *Ident:
+		idx, ok := schema.Index(n.Name)
+		if !ok {
+			return nil, fmt.Errorf("unknown attribute %q (schema %s)", n.Name, schema)
+		}
+		return func(t stream.Tuple) float64 { return t.Fields[idx] }, nil
+
+	case *Unary:
+		x, err := compileExpr(n.X, schema, udfs)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case OpNeg:
+			return func(t stream.Tuple) float64 { return -x(t) }, nil
+		case OpNot:
+			return func(t stream.Tuple) float64 { return b2f(x(t) == 0) }, nil
+		default:
+			return nil, fmt.Errorf("invalid unary operator %s", n.Op)
+		}
+
+	case *Binary:
+		l, err := compileExpr(n.L, schema, udfs)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(n.R, schema, udfs)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case OpAdd:
+			return func(t stream.Tuple) float64 { return l(t) + r(t) }, nil
+		case OpSub:
+			return func(t stream.Tuple) float64 { return l(t) - r(t) }, nil
+		case OpMul:
+			return func(t stream.Tuple) float64 { return l(t) * r(t) }, nil
+		case OpDiv:
+			return func(t stream.Tuple) float64 { return l(t) / r(t) }, nil
+		case OpLT:
+			return func(t stream.Tuple) float64 { return b2f(l(t) < r(t)) }, nil
+		case OpLE:
+			return func(t stream.Tuple) float64 { return b2f(l(t) <= r(t)) }, nil
+		case OpGT:
+			return func(t stream.Tuple) float64 { return b2f(l(t) > r(t)) }, nil
+		case OpGE:
+			return func(t stream.Tuple) float64 { return b2f(l(t) >= r(t)) }, nil
+		case OpEQ:
+			return func(t stream.Tuple) float64 { return b2f(l(t) == r(t)) }, nil
+		case OpNE:
+			return func(t stream.Tuple) float64 { return b2f(l(t) != r(t)) }, nil
+		case OpAnd:
+			return func(t stream.Tuple) float64 { return b2f(l(t) != 0 && r(t) != 0) }, nil
+		case OpOr:
+			return func(t stream.Tuple) float64 { return b2f(l(t) != 0 || r(t) != 0) }, nil
+		default:
+			return nil, fmt.Errorf("invalid binary operator %s", n.Op)
+		}
+
+	case *Call:
+		udf, ok := udfs[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("unknown function %q", n.Name)
+		}
+		if udf.Arity >= 0 && len(n.Args) != udf.Arity {
+			return nil, fmt.Errorf("function %q expects %d arguments, got %d", n.Name, udf.Arity, len(n.Args))
+		}
+		if udf.Arity < 0 && len(n.Args) == 0 {
+			return nil, fmt.Errorf("function %q needs at least one argument", n.Name)
+		}
+		args := make([]func(stream.Tuple) float64, len(n.Args))
+		for i, a := range n.Args {
+			ev, err := compileExpr(a, schema, udfs)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ev
+		}
+		fn := udf.Fn
+		return func(t stream.Tuple) float64 {
+			vals := make([]float64, len(args))
+			for i, a := range args {
+				vals[i] = a(t)
+			}
+			return fn(vals)
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("unknown expression node %T", e)
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,236 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// SyntaxError reports a lexical or parse error with its source position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("query:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer tokenizes query text. Comments start with -- and run to end of line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input, appending a trailing EOF token.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) peekByte() (byte, bool) {
+	if lx.pos >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.pos], true
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for {
+		c, ok := lx.peekByte()
+		if !ok {
+			return
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			for {
+				c, ok := lx.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (lx *lexer) next() (Token, error) {
+	lx.skipSpaceAndComments()
+	line, col := lx.line, lx.col
+	c, ok := lx.peekByte()
+	if !ok {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for {
+			c, ok := lx.peekByte()
+			if !ok || !isIdentPart(c) {
+				break
+			}
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		if kind, isKw := keywords[strings.ToLower(text)]; isKw {
+			return Token{Kind: kind, Text: strings.ToLower(text), Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Line: line, Col: col}, nil
+
+	case unicode.IsDigit(rune(c)) || (c == '.' && lx.pos+1 < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.pos+1]))):
+		start := lx.pos
+		seenDot, seenExp := false, false
+		for {
+			c, ok := lx.peekByte()
+			if !ok {
+				break
+			}
+			if unicode.IsDigit(rune(c)) {
+				lx.advance()
+				continue
+			}
+			if c == '.' && !seenDot && !seenExp {
+				seenDot = true
+				lx.advance()
+				continue
+			}
+			if (c == 'e' || c == 'E') && !seenExp {
+				seenExp = true
+				lx.advance()
+				if s, ok := lx.peekByte(); ok && (s == '+' || s == '-') {
+					lx.advance()
+				}
+				continue
+			}
+			break
+		}
+		text := lx.src[start:lx.pos]
+		num, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, errAt(line, col, "invalid number %q", text)
+		}
+		return Token{Kind: TokNumber, Text: text, Num: num, Line: line, Col: col}, nil
+
+	case c == '"' || c == '\'':
+		quote := c
+		lx.advance()
+		start := lx.pos
+		for {
+			c, ok := lx.peekByte()
+			if !ok {
+				return Token{}, errAt(line, col, "unterminated string literal")
+			}
+			if c == quote {
+				text := lx.src[start:lx.pos]
+				lx.advance()
+				return Token{Kind: TokString, Text: text, Line: line, Col: col}, nil
+			}
+			if c == '\n' {
+				return Token{}, errAt(line, col, "newline in string literal")
+			}
+			lx.advance()
+		}
+
+	default:
+		lx.advance()
+		two := func(second byte, kind TokenKind, text string) (Token, bool) {
+			if n, ok := lx.peekByte(); ok && n == second {
+				lx.advance()
+				return Token{Kind: kind, Text: text, Line: line, Col: col}, true
+			}
+			return Token{}, false
+		}
+		switch c {
+		case '(':
+			return Token{Kind: TokLParen, Text: "(", Line: line, Col: col}, nil
+		case ')':
+			return Token{Kind: TokRParen, Text: ")", Line: line, Col: col}, nil
+		case ',':
+			return Token{Kind: TokComma, Text: ",", Line: line, Col: col}, nil
+		case ';':
+			return Token{Kind: TokSemicolon, Text: ";", Line: line, Col: col}, nil
+		case '+':
+			return Token{Kind: TokPlus, Text: "+", Line: line, Col: col}, nil
+		case '-':
+			if t, ok := two('>', TokArrow, "->"); ok {
+				return t, nil
+			}
+			return Token{Kind: TokMinus, Text: "-", Line: line, Col: col}, nil
+		case '*':
+			return Token{Kind: TokStar, Text: "*", Line: line, Col: col}, nil
+		case '/':
+			return Token{Kind: TokSlash, Text: "/", Line: line, Col: col}, nil
+		case '<':
+			if t, ok := two('=', TokLE, "<="); ok {
+				return t, nil
+			}
+			if t, ok := two('>', TokNE, "<>"); ok {
+				return t, nil
+			}
+			return Token{Kind: TokLT, Text: "<", Line: line, Col: col}, nil
+		case '>':
+			if t, ok := two('=', TokGE, ">="); ok {
+				return t, nil
+			}
+			return Token{Kind: TokGT, Text: ">", Line: line, Col: col}, nil
+		case '=':
+			if t, ok := two('=', TokEQ, "=="); ok {
+				return t, nil
+			}
+			return Token{Kind: TokEQ, Text: "=", Line: line, Col: col}, nil
+		case '!':
+			if t, ok := two('=', TokNE, "!="); ok {
+				return t, nil
+			}
+			return Token{}, errAt(line, col, "unexpected character '!'")
+		}
+		return Token{}, errAt(line, col, "unexpected character %q", string(rune(c)))
+	}
+}

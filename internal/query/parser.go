@@ -1,0 +1,425 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gesturecep/internal/cep"
+)
+
+// Parse parses a single gesture query of the paper's dialect (see package
+// doc) into its AST.
+func Parse(src string) (*Query, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ParseAll parses a sequence of semicolon-terminated queries, e.g. the
+// content of a gesture database export.
+func ParseAll(src string) ([]*Query, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []*Query
+	for p.peek().Kind != TokEOF {
+		q, err := p.parseQueryBody()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("query: no queries in input")
+	}
+	return out, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	t := p.peek()
+	if t.Kind != kind {
+		return Token{}, errAt(t.Line, t.Col, "expected %s, found %s", kind, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q, err := p.parseQueryBody()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.Kind != TokEOF {
+		return nil, errAt(t.Line, t.Col, "unexpected trailing input: %s", t)
+	}
+	return q, nil
+}
+
+func (p *parser) parseQueryBody() (*Query, error) {
+	if _, err := p.expect(TokSelect); err != nil {
+		return nil, err
+	}
+	out, err := p.expect(TokString)
+	if err != nil {
+		return nil, err
+	}
+	// Optional output measures: SELECT "name", expr, expr MATCHING …
+	var measures []Expr
+	for p.peek().Kind == TokComma {
+		p.next()
+		m, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		measures = append(measures, m)
+	}
+	if _, err := p.expect(TokMatching); err != nil {
+		return nil, err
+	}
+	pat, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return &Query{Output: out.Text, Measures: measures, Pattern: pat}, nil
+}
+
+// parsePattern parses: Term { '->' Term } [within …] [select …] [consume …]
+func (p *parser) parsePattern() (*PatternNode, error) {
+	node := &PatternNode{}
+	for {
+		term, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		node.Terms = append(node.Terms, term)
+		if p.peek().Kind != TokArrow {
+			break
+		}
+		p.next()
+	}
+	if err := p.parseTail(node); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// parseTerm parses either source(expr) or a parenthesized sub-pattern.
+func (p *parser) parseTerm() (*Term, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokLParen:
+		p.next()
+		group, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &Term{Group: group}, nil
+	case TokIdent:
+		src := p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		pred, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &Term{Atom: &EventAtom{Source: src.Text, Pred: pred}}, nil
+	default:
+		return nil, errAt(t.Line, t.Col, "expected event atom or '(', found %s", t)
+	}
+}
+
+// parseTail parses the optional within/select/consume clauses of a pattern
+// level, in any order, each at most once.
+func (p *parser) parseTail(node *PatternNode) error {
+	for {
+		t := p.peek()
+		switch t.Kind {
+		case TokWithin:
+			if node.HasWithin {
+				return errAt(t.Line, t.Col, "duplicate within clause")
+			}
+			p.next()
+			num, err := p.expect(TokNumber)
+			if err != nil {
+				return err
+			}
+			unit, err := p.expect(TokIdent)
+			if err != nil {
+				return err
+			}
+			d, err := durationFromUnit(num.Num, unit.Text)
+			if err != nil {
+				return errAt(unit.Line, unit.Col, "%v", err)
+			}
+			if d <= 0 {
+				return errAt(num.Line, num.Col, "within duration must be positive")
+			}
+			node.HasWithin = true
+			node.Within = d
+		case TokSelect:
+			if node.HasSelect {
+				return errAt(t.Line, t.Col, "duplicate select clause")
+			}
+			p.next()
+			pol, err := p.expect(TokIdent)
+			if err != nil {
+				return err
+			}
+			switch strings.ToLower(pol.Text) {
+			case "first":
+				node.Select = cep.SelectFirst
+			case "all":
+				node.Select = cep.SelectAll
+			default:
+				return errAt(pol.Line, pol.Col, "unknown select policy %q (want first or all)", pol.Text)
+			}
+			node.HasSelect = true
+		case TokConsume:
+			if node.HasConsume {
+				return errAt(t.Line, t.Col, "duplicate consume clause")
+			}
+			p.next()
+			pol, err := p.expect(TokIdent)
+			if err != nil {
+				return err
+			}
+			switch strings.ToLower(pol.Text) {
+			case "all":
+				node.Consume = cep.ConsumeAll
+			case "none":
+				node.Consume = cep.ConsumeNone
+			default:
+				return errAt(pol.Line, pol.Col, "unknown consume policy %q (want all or none)", pol.Text)
+			}
+			node.HasConsume = true
+		default:
+			return nil
+		}
+	}
+}
+
+// durationFromUnit converts "1 seconds", "500 ms" etc. to a duration.
+func durationFromUnit(n float64, unit string) (time.Duration, error) {
+	switch strings.ToLower(unit) {
+	case "second", "seconds", "sec", "secs", "s":
+		return time.Duration(n * float64(time.Second)), nil
+	case "millisecond", "milliseconds", "millis", "ms":
+		return time.Duration(n * float64(time.Millisecond)), nil
+	case "minute", "minutes", "min", "mins":
+		return time.Duration(n * float64(time.Minute)), nil
+	default:
+		return 0, fmt.Errorf("unknown time unit %q", unit)
+	}
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	or -> and -> not -> comparison -> additive -> multiplicative -> unary -> primary
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokOr {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokAnd {
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.peek().Kind == TokNot {
+		p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNot, X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[TokenKind]Op{
+	TokLT: OpLT, TokLE: OpLE, TokGT: OpGT, TokGE: OpGE, TokEQ: OpEQ, TokNE: OpNE,
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.peek().Kind]; ok {
+		p.next()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op Op
+		switch p.peek().Kind {
+		case TokPlus:
+			op = OpAdd
+		case TokMinus:
+			op = OpSub
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op Op
+		switch p.peek().Kind {
+		case TokStar:
+			op = OpMul
+		case TokSlash:
+			op = OpDiv
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.peek().Kind {
+	case TokMinus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNeg, X: x}, nil
+	case TokPlus:
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		return &NumberLit{Value: t.Num}, nil
+	case TokIdent:
+		p.next()
+		if p.peek().Kind == TokLParen {
+			p.next()
+			var args []Expr
+			if p.peek().Kind != TokRParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().Kind != TokComma {
+						break
+					}
+					p.next()
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return &Call{Name: t.Text, Args: args}, nil
+		}
+		return &Ident{Name: t.Text}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, errAt(t.Line, t.Col, "expected expression, found %s", t)
+	}
+}

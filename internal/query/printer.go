@@ -1,0 +1,195 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Print renders a query AST back to concrete syntax in the paper's style
+// (Fig. 1): one predicate conjunct per line inside event atoms, nested
+// sub-patterns parenthesized with their own within/select/consume tail.
+// The output re-parses to an equivalent AST (see round-trip tests).
+func Print(q *Query) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT %q", q.Output)
+	for _, m := range q.Measures {
+		b.WriteString(", ")
+		b.WriteString(exprString(m, 0))
+	}
+	b.WriteString("\nMATCHING ")
+	printPattern(&b, q.Pattern, 0, false)
+	b.WriteString(";\n")
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+// printPattern renders one pattern level. parenthesize wraps the level in
+// parentheses (used for nested groups).
+func printPattern(b *strings.Builder, p *PatternNode, depth int, parenthesize bool) {
+	if parenthesize {
+		b.WriteString("(\n")
+		depth++
+	}
+	for i, term := range p.Terms {
+		if i > 0 {
+			b.WriteString(" ->\n")
+		}
+		if term.Atom != nil {
+			indent(b, depth)
+			printAtom(b, term.Atom, depth)
+		} else {
+			indent(b, depth)
+			printPattern(b, term.Group, depth, true)
+		}
+	}
+	tail := tailString(p)
+	if tail != "" {
+		b.WriteString("\n")
+		indent(b, depth)
+		b.WriteString(tail)
+	}
+	if parenthesize {
+		b.WriteString("\n")
+		indent(b, depth-1)
+		b.WriteString(")")
+	}
+}
+
+func printAtom(b *strings.Builder, a *EventAtom, depth int) {
+	b.WriteString(a.Source)
+	b.WriteString("(\n")
+	conjuncts := splitAnd(a.Pred)
+	// Conjuncts re-join with "and" on re-parse, so each must render at
+	// AND precedence (an OR conjunct needs its parentheses).
+	prec := 0
+	if len(conjuncts) > 1 {
+		prec = precedence(OpAnd)
+	}
+	for i, c := range conjuncts {
+		indent(b, depth+1)
+		b.WriteString(exprString(c, prec))
+		if i < len(conjuncts)-1 {
+			b.WriteString(" and")
+		}
+		b.WriteString("\n")
+	}
+	indent(b, depth)
+	b.WriteString(")")
+}
+
+// splitAnd flattens a left-deep chain of AND nodes into its conjuncts so the
+// printer can lay them out one per line like the paper does.
+func splitAnd(e Expr) []Expr {
+	if bin, ok := e.(*Binary); ok && bin.Op == OpAnd {
+		return append(splitAnd(bin.L), splitAnd(bin.R)...)
+	}
+	return []Expr{e}
+}
+
+func tailString(p *PatternNode) string {
+	var parts []string
+	if p.HasWithin {
+		parts = append(parts, "within "+durationText(p.Within))
+	}
+	if p.HasSelect {
+		parts = append(parts, "select "+p.Select.String())
+	}
+	if p.HasConsume {
+		parts = append(parts, "consume "+p.Consume.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+// durationText renders a duration in the largest unit that represents it
+// exactly, matching the paper's "within 1 seconds" phrasing.
+func durationText(d time.Duration) string {
+	switch {
+	case d%time.Second == 0:
+		return fmt.Sprintf("%d seconds", d/time.Second)
+	case d%time.Millisecond == 0:
+		return fmt.Sprintf("%d milliseconds", d/time.Millisecond)
+	default:
+		return fmt.Sprintf("%g milliseconds", float64(d)/float64(time.Millisecond))
+	}
+}
+
+// Operator precedence levels for minimal parenthesization.
+func precedence(op Op) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpNot:
+		return 3
+	case OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE:
+		return 4
+	case OpAdd, OpSub:
+		return 5
+	case OpMul, OpDiv:
+		return 6
+	case OpNeg:
+		return 7
+	}
+	return 8
+}
+
+// exprString renders an expression, adding parentheses only where required
+// by the surrounding precedence context.
+func exprString(e Expr, parentPrec int) string {
+	switch n := e.(type) {
+	case *NumberLit:
+		return formatNumber(n.Value)
+	case *Ident:
+		return n.Name
+	case *Call:
+		args := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = exprString(a, 0)
+		}
+		return n.Name + "(" + strings.Join(args, ", ") + ")"
+	case *Unary:
+		prec := precedence(n.Op)
+		var s string
+		if n.Op == OpNot {
+			s = "not " + exprString(n.X, prec)
+		} else {
+			inner := exprString(n.X, prec)
+			if strings.HasPrefix(inner, "-") {
+				// "--x" would lex as a line comment; keep the inner
+				// negation visible.
+				inner = "(" + inner + ")"
+			}
+			s = "-" + inner
+		}
+		if prec < parentPrec {
+			return "(" + s + ")"
+		}
+		return s
+	case *Binary:
+		prec := precedence(n.Op)
+		// Left-associative: the right operand needs strictly higher
+		// precedence to avoid parens.
+		s := exprString(n.L, prec) + " " + n.Op.String() + " " + exprString(n.R, prec+1)
+		if prec < parentPrec {
+			return "(" + s + ")"
+		}
+		return s
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// formatNumber renders a float without a trailing ".0" for integral values.
+func formatNumber(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,216 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gesturecep/internal/stream"
+)
+
+// Random-AST round-trip property: Print ∘ Parse preserves semantics. An
+// expression generator builds arbitrary predicate trees; the printed query
+// must re-parse and evaluate identically on random tuples.
+
+var quickAttrs = []string{"a", "b", "c"}
+
+// genExpr builds a random expression tree of bounded depth. Arithmetic
+// layers sit below comparisons, comparisons below logic — the same
+// stratification the grammar guarantees, so every generated tree is
+// expressible.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	return genLogic(rng, depth)
+}
+
+func genLogic(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return genComparison(rng, depth)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return &Binary{Op: OpAnd, L: genLogic(rng, depth-1), R: genLogic(rng, depth-1)}
+	case 1:
+		return &Binary{Op: OpOr, L: genLogic(rng, depth-1), R: genLogic(rng, depth-1)}
+	default:
+		return &Unary{Op: OpNot, X: genLogic(rng, depth-1)}
+	}
+}
+
+var cmpOpsList = []Op{OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE}
+
+func genComparison(rng *rand.Rand, depth int) Expr {
+	return &Binary{
+		Op: cmpOpsList[rng.Intn(len(cmpOpsList))],
+		L:  genArith(rng, depth),
+		R:  genArith(rng, depth),
+	}
+}
+
+var arithOpsList = []Op{OpAdd, OpSub, OpMul, OpDiv}
+
+func genArith(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return genLeaf(rng)
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return &Unary{Op: OpNeg, X: genArith(rng, depth-1)}
+	case 1:
+		return &Call{Name: "abs", Args: []Expr{genArith(rng, depth-1)}}
+	case 2:
+		return &Call{Name: "min", Args: []Expr{genArith(rng, depth-1), genArith(rng, depth-1)}}
+	default:
+		return &Binary{
+			Op: arithOpsList[rng.Intn(len(arithOpsList))],
+			L:  genArith(rng, depth-1),
+			R:  genArith(rng, depth-1),
+		}
+	}
+}
+
+func genLeaf(rng *rand.Rand) Expr {
+	if rng.Intn(2) == 0 {
+		// Integral literals only: the printer renders floats with %g,
+		// which round-trips exactly for integers and short decimals.
+		return &NumberLit{Value: float64(rng.Intn(201) - 100)}
+	}
+	return &Ident{Name: quickAttrs[rng.Intn(len(quickAttrs))]}
+}
+
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	schema := stream.MustSchema(quickAttrs...)
+	udfs := BuiltinUDFs()
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pred := genExpr(rng, 3)
+		q := &Query{
+			Output: "prop",
+			Pattern: &PatternNode{
+				Terms: []*Term{{Atom: &EventAtom{Source: "s", Pred: pred}}},
+			},
+		}
+		text := Print(q)
+		q2, err := Parse(text)
+		if err != nil {
+			t.Logf("seed %d: re-parse failed: %v\n%s", seed, err, text)
+			return false
+		}
+		ev1, err := CompileScalar(pred, schema, udfs)
+		if err != nil {
+			t.Logf("seed %d: compile original: %v", seed, err)
+			return false
+		}
+		ev2, err := CompileScalar(q2.Pattern.Terms[0].Atom.Pred, schema, udfs)
+		if err != nil {
+			t.Logf("seed %d: compile reparsed: %v\n%s", seed, err, text)
+			return false
+		}
+		for trial := 0; trial < 16; trial++ {
+			tup := stream.Tuple{Fields: []float64{
+				float64(rng.Intn(41) - 20),
+				float64(rng.Intn(41) - 20),
+				float64(rng.Intn(41) - 20),
+			}}
+			v1, v2 := ev1(tup), ev2(tup)
+			same := v1 == v2 || (math.IsNaN(v1) && math.IsNaN(v2))
+			if !same {
+				t.Logf("seed %d: eval diverged on %v: %v vs %v\n%s", seed, tup.Fields, v1, v2, text)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPatternRoundTrip round-trips whole random pattern structures
+// (nesting, within, policies).
+func TestQuickPatternRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := &Query{Output: "p", Pattern: genPattern(rng, 2)}
+		text := Print(q)
+		q2, err := Parse(text)
+		if err != nil {
+			t.Logf("seed %d: %v\n%s", seed, err, text)
+			return false
+		}
+		return patternsEqual(q.Pattern, q2.Pattern)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+func genPattern(rng *rand.Rand, depth int) *PatternNode {
+	n := &PatternNode{}
+	terms := rng.Intn(3) + 1
+	for i := 0; i < terms; i++ {
+		if depth > 0 && rng.Intn(3) == 0 {
+			n.Terms = append(n.Terms, &Term{Group: genPattern(rng, depth-1)})
+		} else {
+			n.Terms = append(n.Terms, &Term{Atom: &EventAtom{
+				Source: "s",
+				Pred:   genComparison(rng, 1),
+			}})
+		}
+	}
+	if rng.Intn(2) == 0 {
+		n.HasWithin = true
+		n.Within = time.Duration(rng.Intn(5)+1) * time.Second
+	}
+	if rng.Intn(2) == 0 {
+		n.HasSelect = true
+		n.Select = 0
+		if rng.Intn(2) == 0 {
+			n.Select = 1
+		}
+	}
+	if rng.Intn(2) == 0 {
+		n.HasConsume = true
+		n.Consume = 0
+		if rng.Intn(2) == 0 {
+			n.Consume = 1
+		}
+	}
+	return n
+}
+
+func patternsEqual(a, b *PatternNode) bool {
+	if a.HasWithin != b.HasWithin || (a.HasWithin && a.Within != b.Within) {
+		return false
+	}
+	if a.HasSelect != b.HasSelect || (a.HasSelect && a.Select != b.Select) {
+		return false
+	}
+	if a.HasConsume != b.HasConsume || (a.HasConsume && a.Consume != b.Consume) {
+		return false
+	}
+	if len(a.Terms) != len(b.Terms) {
+		return false
+	}
+	for i := range a.Terms {
+		ta, tb := a.Terms[i], b.Terms[i]
+		if (ta.Group == nil) != (tb.Group == nil) {
+			// A single-term parenthesized group may legitimately re-parse
+			// as structure; the printer always emits groups with parens,
+			// so structures must match exactly.
+			return false
+		}
+		if ta.Group != nil {
+			if !patternsEqual(ta.Group, tb.Group) {
+				return false
+			}
+			continue
+		}
+		if ta.Atom.Source != tb.Atom.Source {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,131 @@
+// Package query implements the declarative CEP query dialect the paper uses
+// for gesture definitions (Fig. 1):
+//
+//	SELECT "swipe_right"
+//	MATCHING (
+//	  kinect(
+//	    abs(rHand_x - torso_x - 0) < 50 and
+//	    abs(rHand_y - torso_y - 150) < 50 and
+//	    abs(rHand_z - torso_z + 120) < 50
+//	  ) ->
+//	  kinect( ... )
+//	  within 1 seconds select first consume all
+//	) ->
+//	kinect( ... )
+//	within 1 seconds select first consume all;
+//
+// The package provides a lexer, a recursive-descent parser producing an AST,
+// a semantic checker + compiler that turns the AST into an executable
+// cep.Pattern against a stream schema and UDF registry, and a pretty-printer
+// used by the learner's query generation step (§3.3.4).
+package query
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+
+	// Punctuation and operators.
+	TokLParen    // (
+	TokRParen    // )
+	TokComma     // ,
+	TokSemicolon // ;
+	TokArrow     // ->
+	TokPlus      // +
+	TokMinus     // -
+	TokStar      // *
+	TokSlash     // /
+	TokLT        // <
+	TokLE        // <=
+	TokGT        // >
+	TokGE        // >=
+	TokEQ        // = or ==
+	TokNE        // != or <>
+
+	// Keywords (case-insensitive).
+	TokSelect
+	TokMatching
+	TokWithin
+	TokConsume
+	TokAnd
+	TokOr
+	TokNot
+)
+
+var kindNames = map[TokenKind]string{
+	TokEOF:       "end of input",
+	TokIdent:     "identifier",
+	TokNumber:    "number",
+	TokString:    "string",
+	TokLParen:    "'('",
+	TokRParen:    "')'",
+	TokComma:     "','",
+	TokSemicolon: "';'",
+	TokArrow:     "'->'",
+	TokPlus:      "'+'",
+	TokMinus:     "'-'",
+	TokStar:      "'*'",
+	TokSlash:     "'/'",
+	TokLT:        "'<'",
+	TokLE:        "'<='",
+	TokGT:        "'>'",
+	TokGE:        "'>='",
+	TokEQ:        "'='",
+	TokNE:        "'!='",
+	TokSelect:    "'select'",
+	TokMatching:  "'matching'",
+	TokWithin:    "'within'",
+	TokConsume:   "'consume'",
+	TokAnd:       "'and'",
+	TokOr:        "'or'",
+	TokNot:       "'not'",
+}
+
+// String implements fmt.Stringer.
+func (k TokenKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// keywords maps lower-cased identifier text to keyword kinds. Note that
+// `first`, `all`, `none` and time units remain plain identifiers because
+// they only have meaning in specific clause positions.
+var keywords = map[string]TokenKind{
+	"select":   TokSelect,
+	"matching": TokMatching,
+	"within":   TokWithin,
+	"consume":  TokConsume,
+	"and":      TokAnd,
+	"or":       TokOr,
+	"not":      TokNot,
+}
+
+// Token is one lexical token with its source position (1-based line and
+// column of the first character).
+type Token struct {
+	Kind TokenKind
+	Text string  // raw text (unquoted for strings, lower-cased for keywords)
+	Num  float64 // value for TokNumber
+	Line int
+	Col  int
+}
+
+// String implements fmt.Stringer.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokNumber:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

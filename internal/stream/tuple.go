@@ -1,0 +1,72 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Tuple is a single stream element: a timestamp plus a flat vector of
+// float64 attribute values whose meaning is given by the stream's Schema.
+// Tuples are treated as immutable once published; operators that modify
+// values must work on a copy (see Clone).
+type Tuple struct {
+	// Ts is the event time of the measurement (the Kinect frame time).
+	Ts time.Time
+	// Seq is a monotonically increasing sequence number assigned by the
+	// producing source; it disambiguates tuples with equal timestamps.
+	Seq uint64
+	// Fields holds the attribute values in schema order.
+	Fields []float64
+}
+
+// NewTuple constructs a tuple with a defensive copy of the field values.
+func NewTuple(ts time.Time, seq uint64, fields []float64) Tuple {
+	return Tuple{Ts: ts, Seq: seq, Fields: append([]float64(nil), fields...)}
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	return Tuple{Ts: t.Ts, Seq: t.Seq, Fields: append([]float64(nil), t.Fields...)}
+}
+
+// Get returns the value of the named attribute under the given schema.
+func (t Tuple) Get(s *Schema, name string) (float64, error) {
+	i, ok := s.Index(name)
+	if !ok {
+		return 0, fmt.Errorf("stream: tuple has no attribute %q in schema %s", name, s)
+	}
+	if i >= len(t.Fields) {
+		return 0, fmt.Errorf("stream: tuple too short (%d fields) for attribute %q at index %d", len(t.Fields), name, i)
+	}
+	return t.Fields[i], nil
+}
+
+// MustGet is like Get but panics on unknown attributes. Use only where the
+// schema was validated beforehand (e.g. compiled predicates).
+func (t Tuple) MustGet(s *Schema, name string) float64 {
+	v, err := t.Get(s, name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Format renders the tuple using the schema's attribute names.
+func (t Tuple) Format(s *Schema) string {
+	var b strings.Builder
+	b.WriteString(t.Ts.Format("15:04:05.000"))
+	b.WriteString(" {")
+	for i, f := range t.Fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		name := fmt.Sprintf("f%d", i)
+		if s != nil && i < s.Len() {
+			name = s.FieldAt(i)
+		}
+		fmt.Fprintf(&b, "%s: %.2f", name, f)
+	}
+	b.WriteString("}")
+	return b.String()
+}

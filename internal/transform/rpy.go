@@ -1,0 +1,94 @@
+package transform
+
+import (
+	"math"
+
+	"gesturecep/internal/geom"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/query"
+)
+
+// This file provides the Roll-Pitch-Yaw user-defined operators of §3.2:
+// "The calculation of Roll-Pitch-Yaw (RPY) angles defined in this system
+// were implemented as user defined operators in AnduIN. They can be used to
+// easily express movements using any kind of rotations, e.g., a wave
+// gesture."
+//
+// Each UDF takes the six coordinates of a limb segment (from-point, then
+// to-point, both already in the transformed user frame) and returns one
+// angle in degrees. In the user frame the viewing direction is the
+// East axis of an East-North-Up ground frame:
+//
+//	yaw   — heading of the segment in the horizontal plane,
+//	pitch — elevation of the segment above the horizontal plane,
+//	roll  — rotation about the segment's own axis is not observable from
+//	        two points; the provided roll operator instead reports the
+//	        segment's bank relative to the frontal plane, which is the
+//	        useful quantity for wave-like forearm rotations.
+type rpyArgs struct {
+	from, to geom.Vec3
+}
+
+func rpyFromArgs(a []float64) rpyArgs {
+	return rpyArgs{
+		from: geom.V(a[0], a[1], a[2]),
+		to:   geom.V(a[3], a[4], a[5]),
+	}
+}
+
+// segmentYaw returns the heading (degrees) of the segment in the horizontal
+// plane. 0° points to the user's front (-Z in the transformed frame),
+// +90° to the transformed +X direction.
+func segmentYaw(a rpyArgs) float64 {
+	d := a.to.Sub(a.from)
+	if d.X == 0 && d.Z == 0 {
+		return 0
+	}
+	return geom.Degrees(math.Atan2(d.X, -d.Z))
+}
+
+// segmentPitch returns the elevation (degrees) of the segment above the
+// horizontal plane: +90° points straight up.
+func segmentPitch(a rpyArgs) float64 {
+	d := a.to.Sub(a.from)
+	h := math.Hypot(d.X, d.Z)
+	if h == 0 && d.Y == 0 {
+		return 0
+	}
+	return geom.Degrees(math.Atan2(d.Y, h))
+}
+
+// segmentRoll returns the bank (degrees) of the segment relative to the
+// frontal (XY) plane: 0° for a segment in the frontal plane, ±90° for one
+// pointing straight forward/backward.
+func segmentRoll(a rpyArgs) float64 {
+	d := a.to.Sub(a.from)
+	h := math.Hypot(d.X, d.Y)
+	if h == 0 && d.Z == 0 {
+		return 0
+	}
+	return geom.Degrees(math.Atan2(-d.Z, h))
+}
+
+// RPYUDFs returns the user-defined operators registered with the engine:
+// rpy_yaw, rpy_pitch, rpy_roll — each with signature
+// f(from_x, from_y, from_z, to_x, to_y, to_z) → degrees.
+func RPYUDFs() map[string]query.UDF {
+	return map[string]query.UDF{
+		"rpy_yaw": {Name: "rpy_yaw", Arity: 6, Fn: func(a []float64) float64 {
+			return segmentYaw(rpyFromArgs(a))
+		}},
+		"rpy_pitch": {Name: "rpy_pitch", Arity: 6, Fn: func(a []float64) float64 {
+			return segmentPitch(rpyFromArgs(a))
+		}},
+		"rpy_roll": {Name: "rpy_roll", Arity: 6, Fn: func(a []float64) float64 {
+			return segmentRoll(rpyFromArgs(a))
+		}},
+	}
+}
+
+// ForearmYaw computes the rpy_yaw of the right forearm for a transformed
+// frame — convenience for tests and the wave control query.
+func ForearmYaw(f kinect.Frame) float64 {
+	return segmentYaw(rpyArgs{from: f.Pos(kinect.RightElbow), to: f.Pos(kinect.RightHand)})
+}

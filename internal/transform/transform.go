@@ -1,0 +1,189 @@
+// Package transform implements the data transformation of §3.2 (Fig. 3):
+// converting raw camera-frame skeleton tuples into a user-invariant frame so
+// that one gesture definition detects the same movement regardless of where
+// the user stands (position invariance), which way he faces (orientation
+// invariance) and how tall he is (scale invariance).
+//
+// The three steps, each independently switchable for the ablation experiment
+// (E3):
+//
+//  1. Shift: subtract the torso position — the torso becomes the origin.
+//  2. Rotate: rotate about the vertical axis so the user's viewing
+//     direction is canonical. The yaw is estimated from the shoulder line.
+//  3. Scale: divide by the right forearm length (distance right elbow →
+//     right hand), then re-multiply by a reference forearm so coordinates
+//     remain in familiar millimetres (the paper's Fig. 1 windows are
+//     mm-sized). This is the paper's scale factor up to the constant
+//     reference factor.
+//
+// Like the paper's kinect_t view, the whole transformation is "a single step
+// performed on the incoming data stream": View attaches it as a derived
+// stream.
+package transform
+
+import (
+	"fmt"
+	"math"
+
+	"gesturecep/internal/geom"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/stream"
+)
+
+// Config controls the transformation steps.
+type Config struct {
+	// Shift enables torso-origin translation (position invariance).
+	Shift bool
+	// Rotate enables yaw normalization (orientation invariance).
+	Rotate bool
+	// Scale enables forearm-length scaling (scale invariance).
+	Scale bool
+	// ReferenceForearm is the forearm length (mm) users are normalized to.
+	ReferenceForearm float64
+	// ForearmSmoothing is the EMA coefficient applied to the per-frame
+	// forearm estimate (0 disables smoothing, 0.2 is a good default):
+	// sensor jitter on elbow/hand otherwise wobbles the scale factor.
+	ForearmSmoothing float64
+}
+
+// DefaultConfig enables all three invariance steps.
+func DefaultConfig() Config {
+	return Config{
+		Shift:            true,
+		Rotate:           true,
+		Scale:            true,
+		ReferenceForearm: kinect.ReferenceForearm,
+		ForearmSmoothing: 0.2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.ReferenceForearm <= 0 {
+		return fmt.Errorf("transform: reference forearm must be positive, got %g", c.ReferenceForearm)
+	}
+	if c.ForearmSmoothing < 0 || c.ForearmSmoothing > 1 {
+		return fmt.Errorf("transform: smoothing %g outside [0, 1]", c.ForearmSmoothing)
+	}
+	return nil
+}
+
+// minForearm guards the scale division against tracker glitches that report
+// elbow and hand on top of each other.
+const minForearm = 50.0
+
+// Transformer applies the §3.2 transformation frame by frame. It keeps a
+// smoothed forearm estimate across frames and is therefore stateful; use
+// one Transformer per stream and do not share across goroutines.
+type Transformer struct {
+	cfg        Config
+	emaForearm float64
+	hasEMA     bool
+}
+
+// New validates cfg and returns a Transformer.
+func New(cfg Config) (*Transformer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Transformer{cfg: cfg}, nil
+}
+
+// Config returns the transformer configuration.
+func (t *Transformer) Config() Config { return t.cfg }
+
+// Reset clears the smoothed forearm state.
+func (t *Transformer) Reset() { t.hasEMA = false; t.emaForearm = 0 }
+
+// EstimateYaw returns the user's facing direction estimated from the
+// shoulder line of the frame: with the simulator's conventions the vector
+// from left to right shoulder maps under the user rotation to
+// (cos yaw, 0, sin yaw).
+func EstimateYaw(f kinect.Frame) float64 {
+	v := f.Pos(kinect.RightShoulder).Sub(f.Pos(kinect.LeftShoulder))
+	if v.X == 0 && v.Z == 0 {
+		return 0
+	}
+	return math.Atan2(v.Z, v.X)
+}
+
+// forearm returns the smoothed right-forearm length of the frame.
+func (t *Transformer) forearm(f kinect.Frame) float64 {
+	raw := f.Pos(kinect.RightElbow).Dist(f.Pos(kinect.RightHand))
+	if raw < minForearm {
+		if t.hasEMA {
+			return t.emaForearm
+		}
+		raw = t.cfg.ReferenceForearm
+	}
+	if t.cfg.ForearmSmoothing <= 0 || !t.hasEMA {
+		t.emaForearm = raw
+		t.hasEMA = true
+		return raw
+	}
+	a := t.cfg.ForearmSmoothing
+	t.emaForearm = a*raw + (1-a)*t.emaForearm
+	return t.emaForearm
+}
+
+// Frame transforms one skeleton frame into the user-invariant frame.
+func (t *Transformer) Frame(f kinect.Frame) kinect.Frame {
+	out := f
+	origin := geom.Vec3{}
+	if t.cfg.Shift {
+		origin = f.Pos(kinect.Torso)
+	}
+	rot := geom.Identity()
+	if t.cfg.Rotate {
+		rot = geom.RotY(EstimateYaw(f)) // inverse of the user's RotY(-yaw)
+	}
+	scale := 1.0
+	if t.cfg.Scale {
+		scale = t.cfg.ReferenceForearm / t.forearm(f)
+	}
+	for j := 0; j < kinect.NumJoints; j++ {
+		p := f.Joints[j].Sub(origin)
+		p = rot.Apply(p)
+		out.Joints[j] = p.Scale(scale)
+	}
+	return out
+}
+
+// Tuple transforms a raw kinect tuple. Malformed tuples are dropped
+// (ok = false).
+func (t *Transformer) Tuple(in stream.Tuple) (stream.Tuple, bool) {
+	f, err := kinect.FromTuple(in)
+	if err != nil {
+		return stream.Tuple{}, false
+	}
+	return kinect.ToTuple(t.Frame(f)), true
+}
+
+// ViewName is the conventional name of the transformed stream, matching the
+// paper's kinect_t.
+const ViewName = "kinect_t"
+
+// View attaches the transformation as a derived stream over src (the raw
+// kinect stream) and returns it. The view shares the kinect schema: same
+// attributes, transformed values.
+func View(src *stream.Stream, cfg Config) (*stream.Stream, error) {
+	tr, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return stream.Derive(src, ViewName, src.Schema(), tr.Tuple)
+}
+
+// FrameSlice transforms a recorded sample (e.g. from the recorder) into the
+// user-invariant frame with a fresh transformer.
+func FrameSlice(cfg Config, frames []kinect.Frame) ([]kinect.Frame, error) {
+	tr, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]kinect.Frame, len(frames))
+	for i, f := range frames {
+		out[i] = tr.Frame(f)
+	}
+	return out, nil
+}

@@ -1,0 +1,394 @@
+// Package validate implements the optional post-processing of §3.3.3:
+// cross-checking learned gesture patterns for the "overlap problem"
+// (patterns of different gestures detecting the same movement),
+// simplifying patterns to improve detection times by merging adjacent
+// windows, and eliminating coordinates that are irrelevant for a gesture.
+package validate
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gesturecep/internal/geom"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/learn"
+)
+
+// Overlap describes one pair of overlapping pose windows between two
+// gesture models.
+type Overlap struct {
+	GestureA, GestureB string
+	PoseA, PoseB       int
+	// Fraction is the intersection volume relative to the smaller window
+	// (1 = one window fully contains the other).
+	Fraction float64
+}
+
+// String implements fmt.Stringer.
+func (o Overlap) String() string {
+	return fmt.Sprintf("%s pose %d overlaps %s pose %d by %.0f%%",
+		o.GestureA, o.PoseA, o.GestureB, o.PoseB, o.Fraction*100)
+}
+
+// CheckOverlap performs pairwise intersection tests between the pose
+// windows of two gestures and reports overlaps above the threshold
+// fraction. Models must track the same joints for the comparison to be
+// meaningful; mismatched joint sets report no overlaps.
+func CheckOverlap(a, b learn.Model, threshold float64) []Overlap {
+	if !sameJoints(a.Joints, b.Joints) {
+		return nil
+	}
+	var out []Overlap
+	for i, wa := range a.Windows {
+		for j, wb := range b.Windows {
+			f := wa.OverlapFraction(wb)
+			if f >= threshold {
+				out = append(out, Overlap{
+					GestureA: a.Name, GestureB: b.Name,
+					PoseA: i, PoseB: j,
+					Fraction: f,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ConflictReport summarizes cross-checking a whole gesture set.
+type ConflictReport struct {
+	Overlaps []Overlap
+	// FullSequenceConflicts lists pairs whose complete window sequences
+	// overlap pose-by-pose — the dangerous case where one movement can
+	// fire both queries.
+	FullSequenceConflicts [][2]string
+}
+
+// CheckAll cross-checks every pair of models (the paper's "cross-checked to
+// avoid overlaps" step). threshold is the per-window overlap fraction that
+// counts as a conflict.
+func CheckAll(models []learn.Model, threshold float64) ConflictReport {
+	var rep ConflictReport
+	for i := 0; i < len(models); i++ {
+		for j := i + 1; j < len(models); j++ {
+			ovs := CheckOverlap(models[i], models[j], threshold)
+			rep.Overlaps = append(rep.Overlaps, ovs...)
+			if isFullSequenceConflict(models[i], models[j], ovs) {
+				rep.FullSequenceConflicts = append(rep.FullSequenceConflicts,
+					[2]string{models[i].Name, models[j].Name})
+			}
+		}
+	}
+	return rep
+}
+
+// isFullSequenceConflict reports whether every pose of the shorter model
+// overlaps the corresponding (order-preserving) pose of the longer one.
+func isFullSequenceConflict(a, b learn.Model, ovs []Overlap) bool {
+	if len(ovs) == 0 {
+		return false
+	}
+	short := len(a.Windows)
+	if len(b.Windows) < short {
+		short = len(b.Windows)
+	}
+	// Greedy order-preserving matching over the reported overlaps.
+	byPose := map[[2]int]bool{}
+	for _, o := range ovs {
+		byPose[[2]int{o.PoseA, o.PoseB}] = true
+	}
+	matched := 0
+	nextB := 0
+	for pa := 0; pa < len(a.Windows); pa++ {
+		for pb := nextB; pb < len(b.Windows); pb++ {
+			if byPose[[2]int{pa, pb}] {
+				matched++
+				nextB = pb + 1
+				break
+			}
+		}
+	}
+	return matched >= short
+}
+
+// MergeAdjacentWindows simplifies a model by merging consecutive pose
+// windows that overlap by at least threshold — "patterns can be optimized,
+// e.g., by merging windows to decrease the detection effort" (§3.3.3).
+// Step durations are recomputed from the original cumulative pose times so
+// that generated within constraints remain correct.
+//
+// One call performs a single left-to-right pairwise pass (each merged group
+// covers at most two original windows); uniformly overlapping pose chains
+// would otherwise collapse into a single all-covering window, which is no
+// sequence pattern at all. Call repeatedly for further coarsening.
+func MergeAdjacentWindows(m learn.Model, threshold float64) (learn.Model, error) {
+	if err := m.Validate(); err != nil {
+		return learn.Model{}, err
+	}
+	if len(m.Windows) == 1 {
+		return m, nil
+	}
+
+	// Cumulative time of each original pose.
+	times := make([]time.Duration, len(m.Windows))
+	for i := 1; i < len(m.Windows); i++ {
+		times[i] = times[i-1] + m.StepDurations[i-1]
+	}
+
+	// Greedily group consecutive overlapping windows.
+	type group struct {
+		window geom.MBR
+		first  int
+		last   int
+	}
+	groups := []group{{window: m.Windows[0].Clone(), first: 0, last: 0}}
+	for i := 1; i < len(m.Windows); i++ {
+		cur := &groups[len(groups)-1]
+		// Pair limit: a group absorbs at most one additional window, and
+		// membership is decided between adjacent ORIGINAL windows.
+		if cur.last == cur.first && m.Windows[i-1].OverlapFraction(m.Windows[i]) >= threshold {
+			u, err := cur.window.Union(m.Windows[i])
+			if err != nil {
+				return learn.Model{}, err
+			}
+			cur.window = u
+			cur.last = i
+			continue
+		}
+		groups = append(groups, group{window: m.Windows[i].Clone(), first: i, last: i})
+	}
+
+	out := m
+	out.Windows = make([]geom.MBR, len(groups))
+	out.StepDurations = make([]time.Duration, 0, len(groups)-1)
+	groupTime := func(g group) time.Duration {
+		return (times[g.first] + times[g.last]) / 2
+	}
+	for i, g := range groups {
+		out.Windows[i] = g.window
+		if i > 0 {
+			d := groupTime(g) - groupTime(groups[i-1])
+			if d <= 0 {
+				d = time.Millisecond
+			}
+			out.StepDurations = append(out.StepDurations, d)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return learn.Model{}, err
+	}
+	return out, nil
+}
+
+// IrrelevantDims returns the window dimensions whose spread across the
+// whole gesture is below minSpread (mm) relative to the pose movement —
+// coordinates "that are not relevant for the recorded gesture" (§3.3.3).
+// A dimension is irrelevant when the centers of all pose windows stay
+// within minSpread of each other: it does not help ordering poses.
+func IrrelevantDims(m learn.Model, minSpread float64) []int {
+	if len(m.Windows) == 0 {
+		return nil
+	}
+	dims := m.Windows[0].Dims()
+	var out []int
+	for d := 0; d < dims; d++ {
+		lo, hi := 0.0, 0.0
+		for i, w := range m.Windows {
+			c := w.Center()[d]
+			if i == 0 {
+				lo, hi = c, c
+				continue
+			}
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo < minSpread {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// EliminateDims removes the given window dimensions (and the corresponding
+// joints when all three of a joint's coordinates are dropped) from the
+// model. Removing dimensions keeps detection semantics for the remaining
+// coordinates and shrinks the generated predicate count.
+//
+// Only whole joints can be eliminated from the generated query (predicates
+// are per joint coordinate); partial joints keep the joint but mark the
+// dimension as unconstrained by widening it enormously.
+func EliminateDims(m learn.Model, dims []int) (learn.Model, error) {
+	if len(dims) == 0 {
+		return m, nil
+	}
+	sorted := append([]int(nil), dims...)
+	sort.Ints(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return learn.Model{}, fmt.Errorf("validate: duplicate dimension %d", sorted[i])
+		}
+	}
+	total := m.Dims()
+	for _, d := range sorted {
+		if d < 0 || d >= total {
+			return learn.Model{}, fmt.Errorf("validate: dimension %d out of range [0,%d)", d, total)
+		}
+	}
+
+	drop := make(map[int]bool, len(sorted))
+	for _, d := range sorted {
+		drop[d] = true
+	}
+	// A joint is fully dropped when all its three dims are dropped.
+	var keptJoints []kinect.Joint
+	var keptDims []int
+	for ji, j := range m.Joints {
+		full := drop[ji*3] && drop[ji*3+1] && drop[ji*3+2]
+		if full {
+			continue
+		}
+		keptJoints = append(keptJoints, j)
+		for c := 0; c < 3; c++ {
+			keptDims = append(keptDims, ji*3+c)
+		}
+	}
+	if len(keptJoints) == 0 {
+		return learn.Model{}, fmt.Errorf("validate: eliminating all joints")
+	}
+
+	out := m
+	out.Joints = keptJoints
+	out.Windows = make([]geom.MBR, len(m.Windows))
+	const unconstrained = 1e7 // effectively unbounded range predicate
+	for i, w := range m.Windows {
+		min := make([]float64, 0, len(keptDims))
+		max := make([]float64, 0, len(keptDims))
+		for _, d := range keptDims {
+			if drop[d] {
+				c := (w.Min[d] + w.Max[d]) / 2
+				min = append(min, c-unconstrained)
+				max = append(max, c+unconstrained)
+			} else {
+				min = append(min, w.Min[d])
+				max = append(max, w.Max[d])
+			}
+		}
+		out.Windows[i] = geom.MBR{Min: min, Max: max}
+	}
+	if err := out.Validate(); err != nil {
+		return learn.Model{}, err
+	}
+	return out, nil
+}
+
+// Optimize applies the full §3.3.3 pipeline: merge adjacent windows that
+// overlap by mergeThreshold, then widen dimensions whose centers spread
+// less than minSpread into unconstrained ranges.
+//
+// A sequence pattern needs at least two poses to stay selective (a single
+// wide window matches almost any movement), so when chain-merging at the
+// requested threshold collapses everything, the threshold is raised until
+// at least two windows survive; if even near-1 thresholds collapse the
+// pattern, merging is skipped.
+func Optimize(m learn.Model, mergeThreshold, minSpread float64) (learn.Model, error) {
+	merged := m
+	for th := mergeThreshold; ; th = (1 + th) / 2 {
+		try, err := MergeAdjacentWindows(m, th)
+		if err != nil {
+			return learn.Model{}, err
+		}
+		if len(try.Windows) >= 2 || len(m.Windows) < 2 {
+			merged = try
+			break
+		}
+		if th > 0.97 {
+			break // keep the unmerged model
+		}
+	}
+	irr := IrrelevantDims(merged, minSpread)
+	// Never eliminate every dimension of the primary movement: keep at
+	// least one dimension constrained.
+	if len(irr) >= merged.Dims() {
+		irr = irr[:merged.Dims()-1]
+	}
+	return EliminateDims(merged, irr)
+}
+
+// SeparationSuggestion proposes an additional constraint separating two
+// conflicting gestures: the dimension and threshold where their pose
+// centers differ most. This mirrors the paper's remark that overlap
+// conflicts "can be easily solved by manually adding additional constraints
+// to generated queries"; the suggestion automates finding one.
+type SeparationSuggestion struct {
+	Dim       int
+	Attribute string
+	// Midpoint is the suggested decision threshold between the two
+	// gestures in that dimension.
+	Midpoint float64
+	// Gap is the distance between the gestures' extreme centers in that
+	// dimension (larger = more reliable separation).
+	Gap float64
+}
+
+// SuggestSeparation finds the dimension that best separates two models'
+// pose-center ranges. ok is false when every dimension's ranges overlap.
+func SuggestSeparation(a, b learn.Model) (SeparationSuggestion, bool) {
+	if !sameJoints(a.Joints, b.Joints) || len(a.Windows) == 0 || len(b.Windows) == 0 {
+		return SeparationSuggestion{}, false
+	}
+	names := learn.CoordNames(a.Joints)
+	best := SeparationSuggestion{Gap: 0}
+	found := false
+	dims := a.Windows[0].Dims()
+	for d := 0; d < dims; d++ {
+		aLo, aHi := centerRange(a, d)
+		bLo, bHi := centerRange(b, d)
+		var gap, mid float64
+		switch {
+		case aHi < bLo:
+			gap, mid = bLo-aHi, (aHi+bLo)/2
+		case bHi < aLo:
+			gap, mid = aLo-bHi, (bHi+aLo)/2
+		default:
+			continue
+		}
+		if gap > best.Gap {
+			best = SeparationSuggestion{Dim: d, Attribute: names[d], Midpoint: mid, Gap: gap}
+			found = true
+		}
+	}
+	return best, found
+}
+
+func centerRange(m learn.Model, d int) (lo, hi float64) {
+	for i, w := range m.Windows {
+		c := w.Center()[d]
+		if i == 0 {
+			lo, hi = c, c
+			continue
+		}
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	return lo, hi
+}
+
+func sameJoints(a, b []kinect.Joint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

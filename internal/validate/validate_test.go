@@ -1,0 +1,224 @@
+package validate
+
+import (
+	"testing"
+	"time"
+
+	"gesturecep/internal/geom"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/learn"
+)
+
+// modelWith builds a single-joint model from window centers; every window
+// is 100 mm wide and poses are 200 ms apart.
+func modelWith(t *testing.T, name string, centers ...[3]float64) learn.Model {
+	t.Helper()
+	m := learn.Model{
+		Name:    name,
+		Joints:  []kinect.Joint{kinect.RightHand},
+		Samples: 1,
+	}
+	for _, c := range centers {
+		w, err := geom.FromCenterWidth(c[:], []float64{100, 100, 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Windows = append(m.Windows, w)
+	}
+	for i := 0; i < len(centers)-1; i++ {
+		m.StepDurations = append(m.StepDurations, 200*time.Millisecond)
+	}
+	m.TotalDuration = time.Duration(len(centers)-1) * 200 * time.Millisecond
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCheckOverlapDisjoint(t *testing.T) {
+	a := modelWith(t, "a", [3]float64{0, 0, 0}, [3]float64{500, 0, 0})
+	b := modelWith(t, "b", [3]float64{0, 1000, 0}, [3]float64{500, 1000, 0})
+	if ovs := CheckOverlap(a, b, 0.1); len(ovs) != 0 {
+		t.Errorf("disjoint models report overlaps: %v", ovs)
+	}
+}
+
+func TestCheckOverlapDetectsConflict(t *testing.T) {
+	a := modelWith(t, "a", [3]float64{0, 0, 0}, [3]float64{500, 0, 0})
+	b := modelWith(t, "b", [3]float64{10, 0, 0}, [3]float64{510, 0, 0})
+	ovs := CheckOverlap(a, b, 0.5)
+	if len(ovs) < 2 {
+		t.Fatalf("near-identical models report %d overlaps", len(ovs))
+	}
+	if ovs[0].Fraction < 0.5 {
+		t.Errorf("fraction = %v", ovs[0].Fraction)
+	}
+	if ovs[0].String() == "" {
+		t.Error("empty overlap string")
+	}
+	// Mismatched joints: no comparison.
+	c := b
+	c.Joints = []kinect.Joint{kinect.LeftHand}
+	if ovs := CheckOverlap(a, c, 0.1); ovs != nil {
+		t.Error("mismatched joints compared")
+	}
+}
+
+func TestCheckAllFullSequenceConflict(t *testing.T) {
+	a := modelWith(t, "a", [3]float64{0, 0, 0}, [3]float64{500, 0, 0})
+	b := modelWith(t, "b", [3]float64{5, 0, 0}, [3]float64{505, 0, 0}) // same movement
+	c := modelWith(t, "c", [3]float64{0, 900, 0}, [3]float64{500, 900, 0})
+	rep := CheckAll([]learn.Model{a, b, c}, 0.3)
+	if len(rep.FullSequenceConflicts) != 1 {
+		t.Fatalf("full conflicts = %v", rep.FullSequenceConflicts)
+	}
+	pair := rep.FullSequenceConflicts[0]
+	if pair[0] != "a" || pair[1] != "b" {
+		t.Errorf("conflict pair = %v", pair)
+	}
+	// Reversed sequences (swipe_right vs swipe_left) share windows but in
+	// opposite order: pose-wise order-preserving matching must NOT flag a
+	// full-sequence conflict for 3-pose reversed models.
+	r1 := modelWith(t, "right", [3]float64{0, 0, 0}, [3]float64{400, 0, -200}, [3]float64{800, 0, 0})
+	r2 := modelWith(t, "left", [3]float64{800, 0, 0}, [3]float64{400, 0, -200}, [3]float64{0, 0, 0})
+	rep2 := CheckAll([]learn.Model{r1, r2}, 0.3)
+	for _, p := range rep2.FullSequenceConflicts {
+		if (p[0] == "right" && p[1] == "left") || (p[0] == "left" && p[1] == "right") {
+			t.Error("reversed sequences flagged as full conflict")
+		}
+	}
+}
+
+func TestMergeAdjacentWindows(t *testing.T) {
+	// Windows 0 and 1 nearly coincide; 2 is far away.
+	m := modelWith(t, "m", [3]float64{0, 0, 0}, [3]float64{10, 0, 0}, [3]float64{500, 0, 0})
+	merged, err := MergeAdjacentWindows(m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Windows) != 2 {
+		t.Fatalf("merged windows = %d, want 2", len(merged.Windows))
+	}
+	if len(merged.StepDurations) != 1 {
+		t.Fatalf("merged steps = %d, want 1", len(merged.StepDurations))
+	}
+	// The merged step spans from the midpoint of group {0,1} (t=100ms) to
+	// pose 2 (t=400ms) = 300ms.
+	if merged.StepDurations[0] != 300*time.Millisecond {
+		t.Errorf("merged step duration = %v", merged.StepDurations[0])
+	}
+	// Union covers both original windows.
+	if !merged.Windows[0].ContainsMBR(m.Windows[0]) || !merged.Windows[0].ContainsMBR(m.Windows[1]) {
+		t.Error("merged window does not cover originals")
+	}
+	// Disjoint model is untouched.
+	m2 := modelWith(t, "m2", [3]float64{0, 0, 0}, [3]float64{500, 0, 0})
+	same, err := MergeAdjacentWindows(m2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same.Windows) != 2 {
+		t.Error("disjoint windows merged")
+	}
+	// Single window passes through.
+	single := modelWith(t, "s", [3]float64{0, 0, 0})
+	if out, err := MergeAdjacentWindows(single, 0.5); err != nil || len(out.Windows) != 1 {
+		t.Error("single window mishandled")
+	}
+}
+
+func TestIrrelevantDims(t *testing.T) {
+	// Movement only in x: y and z centers stay constant.
+	m := modelWith(t, "m", [3]float64{0, 100, -150}, [3]float64{400, 102, -149}, [3]float64{800, 99, -151})
+	irr := IrrelevantDims(m, 50)
+	if len(irr) != 2 || irr[0] != 1 || irr[1] != 2 {
+		t.Errorf("irrelevant dims = %v, want [1 2]", irr)
+	}
+	if got := IrrelevantDims(learn.Model{}, 50); got != nil {
+		t.Error("empty model should have no dims")
+	}
+}
+
+func TestEliminateDims(t *testing.T) {
+	m := modelWith(t, "m", [3]float64{0, 100, -150}, [3]float64{800, 100, -150})
+	out, err := EliminateDims(m, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joint is kept (only 2 of 3 dims dropped) but dims 1,2 become
+	// effectively unconstrained.
+	if len(out.Joints) != 1 {
+		t.Fatalf("joints = %v", out.Joints)
+	}
+	w := out.Windows[0].Width()
+	if w[1] < 1e6 || w[2] < 1e6 {
+		t.Errorf("widths = %v, want huge for dims 1,2", w)
+	}
+	if w[0] != 100 {
+		t.Errorf("kept dim width = %v", w[0])
+	}
+	// Errors.
+	if _, err := EliminateDims(m, []int{0, 0}); err == nil {
+		t.Error("duplicate dims accepted")
+	}
+	if _, err := EliminateDims(m, []int{7}); err == nil {
+		t.Error("out-of-range dim accepted")
+	}
+	if _, err := EliminateDims(m, []int{0, 1, 2}); err == nil {
+		t.Error("eliminating the only joint accepted")
+	}
+	// Empty drop list: unchanged.
+	if out2, err := EliminateDims(m, nil); err != nil || len(out2.Windows) != 2 {
+		t.Error("nil dims mishandled")
+	}
+}
+
+func TestOptimizePipeline(t *testing.T) {
+	m := modelWith(t, "m",
+		[3]float64{0, 100, -150},
+		[3]float64{20, 101, -150}, // merges with pose 0
+		[3]float64{800, 99, -150}, // distinct
+	)
+	out, err := Optimize(m, 0.5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Windows) != 2 {
+		t.Errorf("optimized windows = %d", len(out.Windows))
+	}
+	// y and z are unconstrained after optimization, x remains tight.
+	w := out.Windows[0].Width()
+	if w[1] < 1e6 || w[2] < 1e6 {
+		t.Errorf("optimize did not widen irrelevant dims: %v", w)
+	}
+	if w[0] > 1000 {
+		t.Errorf("optimize widened the relevant dim: %v", w[0])
+	}
+}
+
+func TestSuggestSeparation(t *testing.T) {
+	a := modelWith(t, "a", [3]float64{0, 0, 0}, [3]float64{300, 0, 0})
+	b := modelWith(t, "b", [3]float64{0, 800, 0}, [3]float64{300, 800, 0})
+	s, ok := SuggestSeparation(a, b)
+	if !ok {
+		t.Fatal("no separation found")
+	}
+	if s.Dim != 1 || s.Attribute != "rHand_y" {
+		t.Errorf("suggestion = %+v", s)
+	}
+	if s.Midpoint < 100 || s.Midpoint > 700 {
+		t.Errorf("midpoint = %v", s.Midpoint)
+	}
+	// Fully overlapping models: no separation.
+	c := modelWith(t, "c", [3]float64{0, 0, 0}, [3]float64{300, 800, 0})
+	d := modelWith(t, "d", [3]float64{0, 400, 0}, [3]float64{300, 500, 0})
+	if _, ok := SuggestSeparation(c, d); ok {
+		t.Error("separation suggested for overlapping center ranges")
+	}
+	// Mismatched joints.
+	e := a
+	e.Joints = []kinect.Joint{kinect.LeftHand}
+	if _, ok := SuggestSeparation(a, e); ok {
+		t.Error("separation across different joints")
+	}
+}
