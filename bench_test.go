@@ -12,7 +12,9 @@ package gesture
 //	go run ./cmd/gesturebench
 
 import (
+	"fmt"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -22,6 +24,7 @@ import (
 	"gesturecep/internal/kinect"
 	"gesturecep/internal/learn"
 	"gesturecep/internal/query"
+	"gesturecep/internal/serve"
 	"gesturecep/internal/stream"
 	"gesturecep/internal/transform"
 )
@@ -254,6 +257,92 @@ func BenchmarkEndToEndTuple(b *testing.B) {
 		if err := h.Raw.Publish(tup); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServeSessions measures the multi-tenant serving layer: N
+// concurrent sessions, each a private engine fed through the sharded
+// ingestion queues, all instantiating NFAs from one shared compiled plan.
+// The reported tuples/s is the aggregate ingest rate across all sessions.
+func BenchmarkServeSessions(b *testing.B) {
+	sim, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.DefaultNoise(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples, err := sim.Samples(kinect.StandardGestures()[kinect.GestureSwipeRight], 4,
+		benchTime(), kinect.PerformOpts{PathJitter: 25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := learn.Learn("swipe_right", samples, learn.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	player, err := kinect.NewSimulator(kinect.ChildProfile(), kinect.DefaultNoise(), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := player.RunScript([]kinect.ScriptItem{
+		{Idle: 500 * time.Millisecond},
+		{Gesture: kinect.GestureSwipeRight, Opts: kinect.PerformOpts{PathJitter: 15}},
+		{Idle: time.Second},
+		{Gesture: kinect.GestureSwipeRight, Opts: kinect.PerformOpts{PathJitter: 15}},
+		{Idle: 500 * time.Millisecond},
+	}, benchTime(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuples := kinect.ToTuples(rec.Frames)
+	// Stride between replays of the recording, so per-session event time
+	// stays non-decreasing across b.N iterations.
+	stride := rec.Duration() + time.Second
+
+	for _, n := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			reg := serve.NewRegistry()
+			if _, err := reg.Register("swipe_right", res.QueryText); err != nil {
+				b.Fatal(err)
+			}
+			m, err := serve.NewManager(serve.Config{Shards: 4, QueueDepth: 256}, reg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			sessions := make([]*serve.Session, n)
+			for i := range sessions {
+				s, err := m.CreateSession(fmt.Sprintf("user-%d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sessions[i] = s
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				offset := time.Duration(i) * stride
+				var wg sync.WaitGroup
+				for _, s := range sessions {
+					wg.Add(1)
+					go func(s *serve.Session) {
+						defer wg.Done()
+						for _, tp := range tuples {
+							tp.Ts = tp.Ts.Add(offset)
+							if err := s.FeedTuple(tp); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(s)
+				}
+				wg.Wait()
+				m.Flush()
+				for _, s := range sessions {
+					s.TakeDetections() // keep memory bounded across iterations
+				}
+			}
+			b.StopTimer()
+			total := float64(b.N) * float64(n) * float64(len(tuples))
+			b.ReportMetric(total/b.Elapsed().Seconds(), "tuples/s")
+		})
 	}
 }
 

@@ -1,0 +1,178 @@
+// gestureserve demonstrates the multi-tenant detection runtime: it learns a
+// handful of gestures once, compiles each generated query into a shared plan,
+// then serves N concurrent simulated users — every session is an independent
+// engine fed through the sharded ingestion layer — and reports aggregate
+// throughput.
+//
+//	go run ./cmd/gestureserve -sessions 64
+//	go run ./cmd/gestureserve -sessions 256 -shards 8 -policy drop-oldest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/learn"
+	"gesturecep/internal/serve"
+	"gesturecep/internal/stream"
+)
+
+func main() {
+	var (
+		sessions = flag.Int("sessions", 64, "number of concurrent simulated users")
+		shards   = flag.Int("shards", 0, "ingestion shards (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 256, "per-shard queue depth")
+		policy   = flag.String("policy", "block", "backpressure policy: block or drop-oldest")
+		gestures = flag.Int("gestures", 4, "gestures to learn and deploy per session (1-8)")
+		repeats  = flag.Int("repeats", 3, "gesture performances per simulated user")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		verbose  = flag.Bool("v", false, "print the per-shard metric table")
+	)
+	flag.Parse()
+	if err := run(*sessions, *shards, *queue, *policy, *gestures, *repeats, *seed, *verbose); err != nil {
+		log.SetFlags(0)
+		log.Fatal(err)
+	}
+}
+
+var gestureNames = []string{
+	kinect.GestureSwipeRight, kinect.GestureSwipeLeft, kinect.GestureSwipeUp,
+	kinect.GestureSwipeDown, kinect.GesturePush, kinect.GesturePull,
+	kinect.GestureCircle, kinect.GestureRaiseHand,
+}
+
+func run(sessions, shards, queue int, policyName string, gestures, repeats int, seed int64, verbose bool) error {
+	if sessions < 1 {
+		return fmt.Errorf("gestureserve: need at least one session")
+	}
+	if gestures < 1 || gestures > len(gestureNames) {
+		return fmt.Errorf("gestureserve: -gestures must be 1..%d", len(gestureNames))
+	}
+	if repeats < 1 {
+		return fmt.Errorf("gestureserve: -repeats must be positive")
+	}
+	pol, err := serve.ParsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	start := time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC)
+
+	// 1. Learn each gesture once from a trainer user and register the
+	// generated query as a shared plan.
+	fmt.Printf("learning %d gestures ... ", gestures)
+	learnStart := time.Now()
+	trainer, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.DefaultNoise(), seed)
+	if err != nil {
+		return err
+	}
+	reg := serve.NewRegistry()
+	specs := kinect.StandardGestures()
+	for _, name := range gestureNames[:gestures] {
+		samples, err := trainer.Samples(specs[name], 4, start, kinect.PerformOpts{PathJitter: 25})
+		if err != nil {
+			return err
+		}
+		res, err := learn.Learn(name, samples, learn.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		if _, err := reg.Register(name, res.QueryText); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("done in %v (compiled once, shared by all sessions)\n", time.Since(learnStart).Round(time.Millisecond))
+
+	// 2. Synthesize user recordings: a small pool of distinct playbacks,
+	// shared round-robin so huge fleets don't need gigabytes of frames.
+	profiles := []func() kinect.Profile{kinect.DefaultProfile, kinect.ChildProfile, kinect.TallProfile}
+	pool := sessions
+	if pool > 8 {
+		pool = 8
+	}
+	recordings := make([][]stream.Tuple, pool)
+	for i := range recordings {
+		player, err := kinect.NewSimulator(profiles[i%len(profiles)](), kinect.DefaultNoise(), seed+int64(i)+100)
+		if err != nil {
+			return err
+		}
+		script := []kinect.ScriptItem{{Idle: 500 * time.Millisecond}}
+		for r := 0; r < repeats; r++ {
+			script = append(script,
+				kinect.ScriptItem{Gesture: gestureNames[(i+r)%gestures], Opts: kinect.PerformOpts{PathJitter: 15}},
+				kinect.ScriptItem{Idle: 700 * time.Millisecond},
+			)
+		}
+		rec, err := player.RunScript(script, start, nil)
+		if err != nil {
+			return err
+		}
+		// Convert once; tuples are read-only downstream, so all sessions
+		// sharing a recording can feed the same slice.
+		recordings[i] = kinect.ToTuples(rec.Frames)
+	}
+
+	// 3. Spin up the manager and one session per simulated user; every
+	// session deploys all learned plans.
+	m, err := serve.NewManager(serve.Config{Shards: shards, QueueDepth: queue, Policy: pol}, reg)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	sess := make([]*serve.Session, sessions)
+	for i := range sess {
+		s, err := m.CreateSession(fmt.Sprintf("user-%04d", i))
+		if err != nil {
+			return err
+		}
+		sess[i] = s
+	}
+	fmt.Printf("serving %d sessions × %d queries on %d shards (policy %s, queue %d)\n",
+		sessions, reg.Len(), m.Shards(), pol, queue)
+
+	// 4. Feed all users concurrently and measure aggregate throughput.
+	var wg sync.WaitGroup
+	feedStart := time.Now()
+	feedErrs := make(chan error, sessions)
+	for i, s := range sess {
+		wg.Add(1)
+		go func(s *serve.Session, tuples []stream.Tuple) {
+			defer wg.Done()
+			for _, tp := range tuples {
+				if err := s.FeedTuple(tp); err != nil {
+					feedErrs <- err
+					return
+				}
+			}
+		}(s, recordings[i%pool])
+	}
+	wg.Wait()
+	m.Flush()
+	elapsed := time.Since(feedStart)
+	select {
+	case err := <-feedErrs:
+		return err
+	default:
+	}
+
+	// 5. Report.
+	mm := m.Metrics()
+	perSession := float64(mm.Detections) / float64(sessions)
+	fmt.Printf("\nfed %d tuples in %v → %.0f tuples/s aggregate (%.1f µs/tuple ingest latency)\n",
+		mm.Enqueued, elapsed.Round(time.Millisecond),
+		float64(mm.Processed)/elapsed.Seconds(),
+		float64(elapsed.Microseconds())/float64(mm.Enqueued/uint64(sessions)))
+	fmt.Printf("detections: %d total (%.2f per session), drops: %d\n", mm.Detections, perSession, mm.Dropped)
+	if verbose {
+		fmt.Println()
+		fmt.Print(mm.Table())
+	}
+	if mm.Detections == 0 {
+		fmt.Fprintln(os.Stderr, "warning: no detections — check learning parameters")
+	}
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 	"gesturecep/internal/gesturedb"
 	"gesturecep/internal/kinect"
 	"gesturecep/internal/learn"
+	"gesturecep/internal/serve"
 	"gesturecep/internal/stream"
 	"gesturecep/internal/transform"
 	"gesturecep/internal/validate"
@@ -226,6 +227,60 @@ func (s *System) LoadGestures(path string) error {
 		return err
 	}
 	s.DB = db
+	return nil
+}
+
+// --- Multi-tenant serving (the internal/serve runtime). ---
+
+// Re-exported serving types, so applications only import this package.
+type (
+	// Plan is a compiled, immutable gesture query shareable across any
+	// number of sessions and engines.
+	Plan = anduin.Plan
+	// PlanRegistry compiles each learned query once into a shared Plan.
+	PlanRegistry = serve.Registry
+	// ServeConfig tunes the session manager (shards, queue depth,
+	// backpressure policy, transformation).
+	ServeConfig = serve.Config
+	// ServeManager multiplexes many detection sessions over a fleet of
+	// shard worker goroutines.
+	ServeManager = serve.Manager
+	// ServeSession is one tenant: a private engine fed through the
+	// sharded ingestion layer.
+	ServeSession = serve.Session
+	// ServeMetrics is a point-in-time snapshot of the fleet's counters.
+	ServeMetrics = serve.Metrics
+	// BackpressurePolicy selects the behaviour of a full shard queue.
+	BackpressurePolicy = serve.Policy
+)
+
+// Backpressure policies for ServeConfig.Policy.
+const (
+	// BlockWhenFull makes Feed wait for a free queue slot (lossless).
+	BlockWhenFull = serve.Block
+	// DropOldestWhenFull evicts the oldest queued tuple (bounded latency;
+	// drops are counted).
+	DropOldestWhenFull = serve.DropOldest
+)
+
+// NewPlanRegistry creates an empty shared-plan registry compiling against
+// the canonical kinect/kinect_t environment.
+func NewPlanRegistry() *PlanRegistry { return serve.NewRegistry() }
+
+// NewServeManager starts the multi-tenant detection runtime: a fleet of
+// shard workers serving sessions that deploy plans from reg.
+func NewServeManager(cfg ServeConfig, reg *PlanRegistry) (*ServeManager, error) {
+	return serve.NewManager(cfg, reg)
+}
+
+// ExportPlans compiles every gesture stored in the system's database into
+// reg, making the learned queries deployable by serving sessions.
+func (s *System) ExportPlans(reg *PlanRegistry) error {
+	for _, e := range s.DB.List() {
+		if _, err := reg.Replace(e.Name, e.QueryText); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

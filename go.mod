@@ -1,0 +1,3 @@
+module gesturecep
+
+go 1.24

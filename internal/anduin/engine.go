@@ -72,19 +72,32 @@ type deployed struct {
 	cancel func()
 }
 
+// RawStreamName is the conventional name of the raw sensor stream
+// registered by KinectPipeline; transform.ViewName names its transformed
+// view.
+const RawStreamName = "kinect"
+
+// newEnv builds the engine's base query environment: builtin scalar
+// functions plus the RPY user-defined operators of §3.2. Both live engines
+// and the standalone plan environment derive from it, so the two can never
+// drift apart.
+func newEnv() *query.Env {
+	env := query.NewEnv()
+	for _, udf := range transform.RPYUDFs() {
+		env.UDFs[udf.Name] = udf
+	}
+	return env
+}
+
 // New creates an engine with the builtin scalar functions plus the RPY
 // user-defined operators of §3.2 pre-registered.
 func New() *Engine {
-	e := &Engine{
+	return &Engine{
 		streams:   make(map[string]*stream.Stream),
-		env:       query.NewEnv(),
+		env:       newEnv(),
 		queries:   make(map[int]*deployed),
 		listeners: make(map[int]func(Detection)),
 	}
-	for _, udf := range transform.RPYUDFs() {
-		e.env.UDFs[udf.Name] = udf
-	}
-	return e
 }
 
 // RegisterStream creates and registers a new source stream.
@@ -155,7 +168,7 @@ func (e *Engine) RegisterUDF(udf query.UDF) error {
 // "kinect_t" view (§3.2) in one call and returns both. This is the standard
 // setup of every example and experiment.
 func (e *Engine) KinectPipeline(cfg transform.Config) (raw, view *stream.Stream, err error) {
-	raw, err = e.RegisterStream("kinect", kinect.Schema())
+	raw, err = e.RegisterStream(RawStreamName, kinect.Schema())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -163,11 +176,91 @@ func (e *Engine) KinectPipeline(cfg transform.Config) (raw, view *stream.Stream,
 	if err != nil {
 		return nil, nil, err
 	}
-	view, err = e.RegisterView(transform.ViewName, "kinect", raw.Schema(), tr.Tuple)
+	view, err = e.RegisterView(transform.ViewName, RawStreamName, raw.Schema(), tr.Tuple)
 	if err != nil {
 		return nil, nil, err
 	}
 	return raw, view, nil
+}
+
+// Plan is a fully compiled, immutable gesture query: the shared cep.Program
+// plus the resolved source stream name and output-measure evaluators. A Plan
+// is compiled once and may then be deployed on any number of engines — each
+// deployment instantiates its own cheap NFA from the shared Program, so a
+// serving fleet of thousands of per-session engines never re-parses or
+// re-compiles a learned query. Plans are safe for concurrent use.
+type Plan struct {
+	// Gesture is the query's SELECT output name.
+	Gesture string
+	// Source is the stream/view the pattern reads (normally "kinect_t").
+	Source string
+	// Text is the concrete query syntax the plan was compiled from.
+	Text string
+	// Atoms is the number of event atoms (NFA states).
+	Atoms int
+	// Program is the shared compiled pattern.
+	Program *cep.Program
+	// measures are the compiled output-measure evaluators (§3.3.4).
+	measures []func(stream.Tuple) float64
+}
+
+// NewPlanEnv returns the canonical compilation environment for gesture
+// queries outside a live engine: the raw "kinect" schema, the transformed
+// "kinect_t" view schema, and the builtin plus RPY scalar functions. It
+// mirrors exactly what New + KinectPipeline register on a live engine
+// (KinectPipeline derives the view's schema from the raw stream's), so
+// plans compiled against this environment deploy onto any engine whose
+// pipeline was built with KinectPipeline.
+func NewPlanEnv() *query.Env {
+	env := newEnv()
+	env.Schemas[RawStreamName] = kinect.Schema()
+	env.Schemas[transform.ViewName] = kinect.Schema()
+	return env
+}
+
+// CompilePlan compiles a parsed query against env into a deployable Plan.
+// An empty text is filled in by re-printing the AST.
+func CompilePlan(q *query.Query, text string, env *query.Env) (*Plan, error) {
+	compiled, err := query.CompileQuery(q, env)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := cep.CompileProgram(compiled.Pattern, compiled.Select, compiled.Consume)
+	if err != nil {
+		return nil, err
+	}
+	if text == "" {
+		text = query.Print(q)
+	}
+	return &Plan{
+		Gesture:  compiled.Output,
+		Source:   compiled.Source,
+		Text:     text,
+		Atoms:    compiled.NumAtoms,
+		Program:  prog,
+		measures: compiled.Measures,
+	}, nil
+}
+
+// CompilePlanText parses and compiles query text against env.
+func CompilePlanText(text string, env *query.Env) (*Plan, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return CompilePlan(q, text, env)
+}
+
+// CompilePlanText compiles query text against this engine's environment
+// (its registered streams and UDFs) without deploying it.
+func (e *Engine) CompilePlanText(text string) (*Plan, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return CompilePlan(q, text, e.env)
 }
 
 // DeployText parses, compiles and activates a gesture query, returning its
@@ -187,30 +280,38 @@ func (e *Engine) Deploy(q *query.Query) (int, error) {
 
 func (e *Engine) deploy(q *query.Query, text string) (int, error) {
 	e.mu.Lock()
-	compiled, err := query.CompileQuery(q, e.env)
+	p, err := CompilePlan(q, text, e.env)
+	e.mu.Unlock()
 	if err != nil {
-		e.mu.Unlock()
 		return 0, err
 	}
-	src, ok := e.streams[compiled.Source]
+	return e.DeployPlan(p)
+}
+
+// DeployPlan activates a pre-compiled plan: it instantiates a fresh NFA from
+// the plan's shared Program and subscribes it to the plan's source stream.
+// This is the fast path of the serving layer — no parsing, type-checking or
+// pattern flattening happens per deployment.
+func (e *Engine) DeployPlan(p *Plan) (int, error) {
+	if p == nil || p.Program == nil {
+		return 0, fmt.Errorf("anduin: nil plan")
+	}
+	e.mu.Lock()
+	src, ok := e.streams[p.Source]
 	if !ok {
 		e.mu.Unlock()
-		return 0, fmt.Errorf("anduin: query %q reads unregistered stream %q", compiled.Output, compiled.Source)
+		return 0, fmt.Errorf("anduin: query %q reads unregistered stream %q", p.Gesture, p.Source)
 	}
-	nfa, err := cep.Compile(compiled.Pattern, compiled.Select, compiled.Consume)
-	if err != nil {
-		e.mu.Unlock()
-		return 0, err
-	}
+	nfa := p.Program.Instantiate()
 	id := e.nextQuery
 	e.nextQuery++
 	d := &deployed{
 		info: QueryInfo{
 			ID:      id,
-			Gesture: compiled.Output,
-			Source:  compiled.Source,
-			Atoms:   compiled.NumAtoms,
-			Text:    text,
+			Gesture: p.Gesture,
+			Source:  p.Source,
+			Atoms:   p.Atoms,
+			Text:    p.Text,
 		},
 		nfa: nfa,
 	}
@@ -218,8 +319,8 @@ func (e *Engine) deploy(q *query.Query, text string) (int, error) {
 	e.mu.Unlock()
 
 	// Subscribe outside the lock; stream subscription has its own lock.
-	measures := compiled.Measures
-	d.cancel = src.Subscribe(func(t stream.Tuple) {
+	measures := p.measures
+	cancel := src.Subscribe(func(t stream.Tuple) {
 		for _, m := range nfa.Process(t) {
 			det := Detection{
 				Gesture: d.info.Gesture,
@@ -237,22 +338,39 @@ func (e *Engine) deploy(q *query.Query, text string) (int, error) {
 			e.dispatch(det)
 		}
 	})
+
+	// Publish the cancel function under the lock; if the query was
+	// undeployed in the window since we released it, the undeployer saw a
+	// nil cancel, so the subscription is ours to tear down.
+	e.mu.Lock()
+	_, live := e.queries[id]
+	if live {
+		d.cancel = cancel
+	}
+	e.mu.Unlock()
+	if !live {
+		cancel()
+	}
 	return id, nil
 }
 
-// Undeploy removes a query; its partial matches are discarded.
+// Undeploy removes a query; its partial matches are discarded. A nil
+// cancel means the deploying goroutine has not finished subscribing yet;
+// it will observe the deletion and tear the subscription down itself.
 func (e *Engine) Undeploy(id int) error {
 	e.mu.Lock()
 	d, ok := e.queries[id]
+	var cancel func()
 	if ok {
 		delete(e.queries, id)
+		cancel = d.cancel
 	}
 	e.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("anduin: no query with id %d", id)
 	}
-	if d.cancel != nil {
-		d.cancel()
+	if cancel != nil {
+		cancel()
 	}
 	return nil
 }
@@ -260,16 +378,16 @@ func (e *Engine) Undeploy(id int) error {
 // UndeployAll removes every deployed query.
 func (e *Engine) UndeployAll() {
 	e.mu.Lock()
-	ds := make([]*deployed, 0, len(e.queries))
+	cancels := make([]func(), 0, len(e.queries))
 	for id, d := range e.queries {
-		ds = append(ds, d)
+		if d.cancel != nil {
+			cancels = append(cancels, d.cancel)
+		}
 		delete(e.queries, id)
 	}
 	e.mu.Unlock()
-	for _, d := range ds {
-		if d.cancel != nil {
-			d.cancel()
-		}
+	for _, cancel := range cancels {
+		cancel()
 	}
 }
 

@@ -23,19 +23,83 @@ type windowConstraint struct {
 	within      time.Duration
 }
 
-// NFA is the compiled, executable form of a Pattern. It follows
+// Program is the immutable, compiled form of a Pattern: the flattened state
+// list, window constraints and policies, with no run state. A Program is
+// safe to share between any number of NFAs — the serving layer compiles each
+// learned query once and instantiates a cheap per-session NFA from the
+// shared Program, so ten thousand sessions do not re-flatten the pattern.
+type Program struct {
+	states      []state
+	constraints []windowConstraint
+	sel         SelectPolicy
+	consume     ConsumePolicy
+}
+
+// CompileProgram flattens a validated Pattern into a shareable Program.
+func CompileProgram(p Pattern, sel SelectPolicy, consume ConsumePolicy) (*Program, error) {
+	if p == nil {
+		return nil, fmt.Errorf("cep: nil pattern")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	prog := &Program{sel: sel, consume: consume}
+	prog.flatten(p)
+	if len(prog.states) == 0 {
+		return nil, fmt.Errorf("cep: pattern compiled to zero states")
+	}
+	return prog, nil
+}
+
+// flatten appends p's states to prog and records window constraints. It
+// returns the index range [first, last] of the appended states.
+func (prog *Program) flatten(p Pattern) (first, last int) {
+	switch pt := p.(type) {
+	case *Atom:
+		prog.states = append(prog.states, state{label: pt.Label, pred: pt.Pred})
+		i := len(prog.states) - 1
+		return i, i
+	case *Sequence:
+		first = len(prog.states)
+		for _, e := range pt.Elems {
+			_, last = prog.flatten(e)
+		}
+		if pt.Within > 0 {
+			prog.constraints = append(prog.constraints, windowConstraint{first: first, last: last, within: pt.Within})
+		}
+		return first, last
+	default:
+		panic(fmt.Sprintf("cep: unknown pattern type %T", p))
+	}
+}
+
+// Len returns the number of program states (atoms in the pattern).
+func (prog *Program) Len() int { return len(prog.states) }
+
+// Select returns the program's selection policy.
+func (prog *Program) Select() SelectPolicy { return prog.sel }
+
+// Consume returns the program's consumption policy.
+func (prog *Program) Consume() ConsumePolicy { return prog.consume }
+
+// Instantiate creates a fresh NFA executing the shared program. The returned
+// NFA carries only run state (partial matches and counters), so instantiation
+// is O(1) and allocation-light regardless of pattern size.
+func (prog *Program) Instantiate() *NFA {
+	return &NFA{prog: prog, maxRuns: DefaultMaxRuns}
+}
+
+// NFA is an executable instance of a compiled Program. It follows
 // skip-till-next-match semantics: tuples that do not satisfy the next state
 // of a run are ignored (the run waits), which is what makes pose-sequence
 // gesture queries robust against the 30 Hz tuples between poses. Runs are
 // discarded as soon as a window constraint can no longer be met.
 //
 // An NFA is not safe for concurrent use; the engine serializes Process
-// calls per stream.
+// calls per stream. The underlying Program is immutable and may be shared
+// by many NFAs concurrently.
 type NFA struct {
-	states      []state
-	constraints []windowConstraint
-	sel         SelectPolicy
-	consume     ConsumePolicy
+	prog *Program
 
 	// maxRuns caps simultaneous partial matches to bound memory under
 	// adversarial input; the oldest run is evicted when exceeded.
@@ -61,51 +125,28 @@ type run struct {
 // DefaultMaxRuns bounds simultaneous partial matches per query.
 const DefaultMaxRuns = 1024
 
-// Compile flattens a validated Pattern into an executable NFA.
+// Compile flattens a validated Pattern into an executable NFA. It is
+// CompileProgram followed by Instantiate; callers that deploy the same
+// pattern many times should compile the Program once and instantiate per
+// deployment instead.
 func Compile(p Pattern, sel SelectPolicy, consume ConsumePolicy) (*NFA, error) {
-	if p == nil {
-		return nil, fmt.Errorf("cep: nil pattern")
-	}
-	if err := p.Validate(); err != nil {
+	prog, err := CompileProgram(p, sel, consume)
+	if err != nil {
 		return nil, err
 	}
-	n := &NFA{sel: sel, consume: consume, maxRuns: DefaultMaxRuns}
-	n.flatten(p)
-	if len(n.states) == 0 {
-		return nil, fmt.Errorf("cep: pattern compiled to zero states")
-	}
-	return n, nil
+	return prog.Instantiate(), nil
 }
 
-// flatten appends p's states to n and records window constraints. It returns
-// the index range [first, last] of the appended states.
-func (n *NFA) flatten(p Pattern) (first, last int) {
-	switch pt := p.(type) {
-	case *Atom:
-		n.states = append(n.states, state{label: pt.Label, pred: pt.Pred})
-		i := len(n.states) - 1
-		return i, i
-	case *Sequence:
-		first = len(n.states)
-		for _, e := range pt.Elems {
-			_, last = n.flatten(e)
-		}
-		if pt.Within > 0 {
-			n.constraints = append(n.constraints, windowConstraint{first: first, last: last, within: pt.Within})
-		}
-		return first, last
-	default:
-		panic(fmt.Sprintf("cep: unknown pattern type %T", p))
-	}
-}
+// Program returns the shared compiled program this NFA executes.
+func (n *NFA) Program() *Program { return n.prog }
 
 // Len returns the number of NFA states (atoms in the pattern).
-func (n *NFA) Len() int { return len(n.states) }
+func (n *NFA) Len() int { return len(n.prog.states) }
 
 // SetMaxRuns adjusts the partial-match cap. Values < 1 are ignored.
-func (n *NFA) SetMaxRuns(max int) {
-	if max >= 1 {
-		n.maxRuns = max
+func (n *NFA) SetMaxRuns(limit int) {
+	if limit >= 1 {
+		n.maxRuns = limit
 	}
 }
 
@@ -126,6 +167,7 @@ func (n *NFA) Stats() (processed, predCalls, matches, pruned uint64) {
 // Process advances the automaton with one tuple and returns any matches it
 // completes. Tuples must arrive in non-decreasing timestamp order.
 func (n *NFA) Process(t stream.Tuple) []Match {
+	states := n.prog.states
 	n.processed++
 	n.expire(t.Ts)
 
@@ -133,7 +175,7 @@ func (n *NFA) Process(t stream.Tuple) []Match {
 
 	// Advance existing runs. Each run consumes at most one tuple per step.
 	for _, r := range n.runs {
-		st := n.states[r.next]
+		st := states[r.next]
 		n.predCalls++
 		if !st.pred(t) {
 			continue
@@ -146,20 +188,20 @@ func (n *NFA) Process(t stream.Tuple) []Match {
 			n.runsPruned++
 			continue
 		}
-		if r.next == len(n.states) {
+		if r.next == len(states) {
 			completed = append(completed, r)
 		}
 	}
 
 	// Try to start a fresh run with this tuple.
 	n.predCalls++
-	if n.states[0].pred(t) {
+	if states[0].pred(t) {
 		r := &run{
 			next:   1,
 			ts:     []time.Time{t.Ts},
 			tuples: []stream.Tuple{t},
 		}
-		if len(n.states) == 1 {
+		if len(states) == 1 {
 			completed = append(completed, r)
 		} else if n.satisfiable(r, t.Ts) {
 			n.runs = append(n.runs, r)
@@ -181,7 +223,7 @@ func (n *NFA) Process(t stream.Tuple) []Match {
 	// Apply selection policy. Runs complete in activation order, so the
 	// first element is the earliest-started instance.
 	selected := completed
-	if n.sel == SelectFirst {
+	if n.prog.sel == SelectFirst {
 		selected = completed[:1]
 	}
 	out := make([]Match, 0, len(selected))
@@ -194,7 +236,7 @@ func (n *NFA) Process(t stream.Tuple) []Match {
 	}
 	n.matches += uint64(len(out))
 
-	if n.consume == ConsumeAll {
+	if n.prog.consume == ConsumeAll {
 		// Consuming a match invalidates all in-flight partial matches.
 		n.runsPruned += uint64(len(n.runs))
 		n.runs = n.runs[:0]
@@ -207,7 +249,7 @@ func (n *NFA) Process(t stream.Tuple) []Match {
 // is matched imposes a deadline; if the constraint's `last` state is already
 // matched it must hold now, otherwise it must still be reachable.
 func (n *NFA) satisfiable(r *run, now time.Time) bool {
-	for _, c := range n.constraints {
+	for _, c := range n.prog.constraints {
 		if r.next <= c.first {
 			continue // constraint window not entered yet
 		}
@@ -231,7 +273,7 @@ func (n *NFA) satisfiable(r *run, now time.Time) bool {
 // expire removes runs whose pending window constraints can no longer be met
 // at time now.
 func (n *NFA) expire(now time.Time) {
-	if len(n.runs) == 0 || len(n.constraints) == 0 {
+	if len(n.runs) == 0 || len(n.prog.constraints) == 0 {
 		return
 	}
 	kept := n.runs[:0]
@@ -256,7 +298,7 @@ func (n *NFA) sweep(completed []*run) {
 	}
 	kept := n.runs[:0]
 	for _, r := range n.runs {
-		if r.next >= 0 && r.next < len(n.states) && !done[r] {
+		if r.next >= 0 && r.next < len(n.prog.states) && !done[r] {
 			kept = append(kept, r)
 		}
 	}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ShardMetrics is a point-in-time snapshot of one shard's counters.
+type ShardMetrics struct {
+	Shard      int
+	Sessions   int
+	QueueDepth int
+	Enqueued   uint64
+	Processed  uint64
+	Dropped    uint64
+	Detections uint64
+}
+
+// Metrics aggregates the shard snapshots. Counters are monotonically
+// increasing since manager start; QueueDepth is instantaneous.
+type Metrics struct {
+	Sessions   int
+	Enqueued   uint64
+	Processed  uint64
+	Dropped    uint64
+	Detections uint64
+	QueueDepth int
+	Shards     []ShardMetrics
+}
+
+// Metrics snapshots every shard's counters without pausing ingestion: the
+// counters are independent atomics, so a snapshot is consistent per counter
+// but not a cross-counter transaction — exactly what monitoring needs.
+func (m *Manager) Metrics() Metrics {
+	out := Metrics{Sessions: m.SessionCount()}
+	for _, sh := range m.shards {
+		sm := ShardMetrics{
+			Shard:      sh.id,
+			Sessions:   int(sh.sessions.Load()),
+			QueueDepth: len(sh.queue),
+			Enqueued:   sh.enqueued.Load(),
+			Processed:  sh.processed.Load(),
+			Dropped:    sh.dropped.Load(),
+			Detections: sh.detections.Load(),
+		}
+		out.Enqueued += sm.Enqueued
+		out.Processed += sm.Processed
+		out.Dropped += sm.Dropped
+		out.Detections += sm.Detections
+		out.QueueDepth += sm.QueueDepth
+		out.Shards = append(out.Shards, sm)
+	}
+	return out
+}
+
+// String renders a compact one-line summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf("sessions=%d in=%d out=%d dropped=%d detections=%d depth=%d",
+		m.Sessions, m.Enqueued, m.Processed, m.Dropped, m.Detections, m.QueueDepth)
+}
+
+// Table renders a per-shard breakdown suitable for terminal output.
+func (m Metrics) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %8s %10s %10s %10s %10s %6s\n",
+		"shard", "sessions", "enqueued", "processed", "dropped", "detections", "depth")
+	for _, s := range m.Shards {
+		fmt.Fprintf(&b, "%-6d %8d %10d %10d %10d %10d %6d\n",
+			s.Shard, s.Sessions, s.Enqueued, s.Processed, s.Dropped, s.Detections, s.QueueDepth)
+	}
+	fmt.Fprintf(&b, "%-6s %8d %10d %10d %10d %10d %6d\n",
+		"total", m.Sessions, m.Enqueued, m.Processed, m.Dropped, m.Detections, m.QueueDepth)
+	return b.String()
+}

@@ -1,0 +1,127 @@
+// Package serve is the multi-tenant detection runtime: it runs many
+// independent gesture-detection sessions (one per connected user) on one
+// process, multiplexed over a fleet of shard worker goroutines.
+//
+// The paper evaluates one learned CEP query against one sensor stream; the
+// engine in internal/anduin mirrors that — single stream, single publishing
+// goroutine. This package is the classic DSMS many-queries/many-streams
+// deployment on top of it:
+//
+//   - a Registry compiles each learned query ONCE into a shared
+//     anduin.Plan (parse → type-check → flatten), so ten thousand sessions
+//     pay only a cheap per-session NFA instantiation;
+//   - a Manager hashes sessions onto shards; each shard owns a bounded
+//     tuple queue drained by exactly one worker goroutine, preserving the
+//     engine's single-publisher-per-stream invariant while the process
+//     scales with core count;
+//   - ingestion backpressure is explicit and caller-selectable: Block
+//     (producers wait when a shard queue is full) or DropOldest (the
+//     queue head is evicted, and the drop is counted);
+//   - per-shard and global counters are plain atomics snapshotted by
+//     Metrics without stopping the world.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gesturecep/internal/anduin"
+	"gesturecep/internal/query"
+)
+
+// Registry is the shared plan cache: learned query text goes in once, a
+// compiled, immutable anduin.Plan comes out for every session that deploys
+// the gesture. Safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	env   *query.Env
+	plans map[string]*anduin.Plan
+	order []string
+}
+
+// NewRegistry creates a registry whose plans compile against the canonical
+// kinect/kinect_t environment (see anduin.NewPlanEnv).
+func NewRegistry() *Registry {
+	return &Registry{
+		env:   anduin.NewPlanEnv(),
+		plans: make(map[string]*anduin.Plan),
+	}
+}
+
+// Register parses and compiles queryText and stores the plan under name.
+// Registering an already-registered name fails; use Replace for hot swaps.
+func (r *Registry) Register(name, queryText string) (*anduin.Plan, error) {
+	return r.put(name, queryText, false)
+}
+
+// Replace compiles queryText and stores it under name, overwriting any
+// previous plan. Sessions created afterwards get the new plan; sessions
+// already running keep the plan they deployed.
+func (r *Registry) Replace(name, queryText string) (*anduin.Plan, error) {
+	return r.put(name, queryText, true)
+}
+
+func (r *Registry) put(name, queryText string, overwrite bool) (*anduin.Plan, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty plan name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, exists := r.plans[name]
+	if exists && !overwrite {
+		return nil, fmt.Errorf("serve: plan %q already registered", name)
+	}
+	p, err := anduin.CompilePlanText(queryText, r.env)
+	if err != nil {
+		return nil, fmt.Errorf("serve: plan %q: %w", name, err)
+	}
+	r.plans[name] = p
+	if !exists {
+		r.order = append(r.order, name)
+	}
+	return p, nil
+}
+
+// Get returns the plan registered under name.
+func (r *Registry) Get(name string) (*anduin.Plan, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.plans[name]
+	return p, ok
+}
+
+// Resolve returns the plans for the given names, or every registered plan
+// in registration order when names is empty.
+func (r *Registry) Resolve(names ...string) ([]*anduin.Plan, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(names) == 0 {
+		names = r.order
+	}
+	out := make([]*anduin.Plan, 0, len(names))
+	for _, n := range names {
+		p, ok := r.plans[n]
+		if !ok {
+			return nil, fmt.Errorf("serve: plan %q not registered", n)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Names lists registered plan names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered plans.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.plans)
+}

@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gesturecep/internal/stream"
+	"gesturecep/internal/transform"
+)
+
+// Policy selects the backpressure behaviour of a full shard queue.
+type Policy int
+
+const (
+	// Block makes Feed wait until the shard worker frees a queue slot —
+	// lossless ingestion, producers are paced by detection throughput.
+	Block Policy = iota
+	// DropOldest evicts the oldest queued tuple to admit the new one —
+	// bounded latency under overload, drops are counted per session and
+	// per shard.
+	DropOldest
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a command-line flag value into a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop", "drop-oldest", "dropoldest":
+		return DropOldest, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown backpressure policy %q (want block or drop-oldest)", s)
+	}
+}
+
+// Config tunes the session manager.
+type Config struct {
+	// Shards is the number of worker goroutines (and queues) tuples are
+	// multiplexed over. Each session is pinned to one shard. Defaults to
+	// GOMAXPROCS.
+	Shards int
+	// QueueDepth bounds each shard's tuple queue. Defaults to 256.
+	QueueDepth int
+	// Policy selects the backpressure behaviour when a queue is full.
+	Policy Policy
+	// Transform configures the §3.2 kinect_t view of every session; nil
+	// selects transform.DefaultConfig().
+	Transform *transform.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Policy != Block && c.Policy != DropOldest {
+		return fmt.Errorf("serve: invalid policy %d", int(c.Policy))
+	}
+	if c.Transform != nil {
+		if err := c.Transform.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// envelope is one queued unit of work: a tuple bound for a session's raw
+// stream.
+type envelope struct {
+	sess  *Session
+	tuple stream.Tuple
+}
+
+// shard is one ingestion lane: a bounded queue drained by exactly one
+// worker goroutine. Sessions are pinned to shards by hashing their ID, so
+// every session's tuples are published by a single goroutine in FIFO order
+// — the stream package's single-publisher invariant, preserved at fleet
+// scale.
+type shard struct {
+	id    int
+	queue chan envelope
+	quit  chan struct{}
+
+	sessions   atomic.Int64
+	enqueued   atomic.Uint64
+	processed  atomic.Uint64
+	dropped    atomic.Uint64
+	detections atomic.Uint64
+
+	// gate, when non-nil, runs before each dequeued envelope is processed.
+	// Tests use it to hold the worker mid-drain; it must be set before any
+	// tuple is fed.
+	gate func(envelope)
+}
+
+// Manager owns the shard fleet and the session table.
+type Manager struct {
+	cfg    Config
+	reg    *Registry
+	shards []*shard
+	wg     sync.WaitGroup
+
+	// feedMu is the Feed/Close barrier: enqueue holds it for reading,
+	// Close sets closed under the write lock before stopping the workers,
+	// so an admitted tuple always has a live worker to drain it. It
+	// intentionally guards nothing else — in particular CloseSession does
+	// not take it, so a session may close itself from a detection
+	// listener without deadlocking its shard.
+	feedMu sync.RWMutex
+	closed atomic.Bool
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// NewManager starts cfg.Shards worker goroutines serving sessions that
+// deploy plans from reg.
+func NewManager(cfg Config, reg *Registry) (*Manager, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("serve: nil registry")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:      cfg,
+		reg:      reg,
+		sessions: make(map[string]*Session),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			id:    i,
+			queue: make(chan envelope, cfg.QueueDepth),
+			quit:  make(chan struct{}),
+		}
+		m.shards = append(m.shards, sh)
+		m.wg.Add(1)
+		go m.worker(sh)
+	}
+	return m, nil
+}
+
+// Registry returns the plan registry sessions deploy from.
+func (m *Manager) Registry() *Registry { return m.reg }
+
+// Shards returns the number of ingestion shards.
+func (m *Manager) Shards() int { return len(m.shards) }
+
+// shardFor pins a session ID to a shard (FNV-1a).
+func (m *Manager) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return m.shards[int(h.Sum32())%len(m.shards)]
+}
+
+// worker drains one shard queue until the manager closes, then finishes
+// whatever is still queued and exits.
+func (m *Manager) worker(sh *shard) {
+	defer m.wg.Done()
+	for {
+		select {
+		case env := <-sh.queue:
+			sh.process(env)
+		case <-sh.quit:
+			for {
+				select {
+				case env := <-sh.queue:
+					sh.process(env)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// process publishes one tuple into its session's engine. Detections fan out
+// synchronously on this goroutine via the session's engine subscription.
+func (sh *shard) process(env envelope) {
+	if sh.gate != nil {
+		sh.gate(env)
+	}
+	s := env.sess
+	if !s.closed.Load() {
+		// Feed validated the arity against the session schema, so Publish
+		// cannot fail; a failure here is a programming error.
+		if err := s.raw.Publish(env.tuple); err != nil {
+			panic(fmt.Sprintf("serve: session %q: %v", s.id, err))
+		}
+	}
+	s.out.Add(1)
+	sh.processed.Add(1)
+}
+
+// enqueue admits one tuple into the session's shard queue, applying the
+// configured backpressure policy.
+//
+// It holds the feed barrier for the duration: Close sets m.closed under
+// the write side before stopping the workers, so a tuple admitted here is
+// guaranteed to still have a live worker to drain it — Feed can never
+// strand a tuple (and hang Flush) by racing Close.
+func (m *Manager) enqueue(s *Session, t stream.Tuple) error {
+	if s.closed.Load() {
+		return fmt.Errorf("serve: session %q is closed", s.id)
+	}
+	if len(t.Fields) != s.raw.Schema().Len() {
+		return fmt.Errorf("serve: session %q: tuple has %d fields, schema expects %d",
+			s.id, len(t.Fields), s.raw.Schema().Len())
+	}
+	m.feedMu.RLock()
+	defer m.feedMu.RUnlock()
+	if m.closed.Load() {
+		return fmt.Errorf("serve: manager closed")
+	}
+	sh := s.shard
+	env := envelope{sess: s, tuple: t}
+	switch m.cfg.Policy {
+	case Block:
+		// The worker keeps draining until Close, and Close waits for this
+		// read lock, so the send always completes.
+		sh.queue <- env
+	case DropOldest:
+		for admitted := false; !admitted; {
+			select {
+			case sh.queue <- env:
+				admitted = true
+			default:
+				// Queue full: evict the head to make room, then retry.
+				// Competing with the worker's receive is fine — whichever
+				// side wins, a slot frees up.
+				select {
+				case old := <-sh.queue:
+					old.sess.dropped.Add(1)
+					old.sess.out.Add(1)
+					sh.dropped.Add(1)
+				case sh.queue <- env:
+					admitted = true
+				}
+			}
+		}
+	}
+	s.in.Add(1)
+	sh.enqueued.Add(1)
+	return nil
+}
+
+// Session returns a live session by ID.
+func (m *Manager) Session(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// SessionCount returns the number of live sessions.
+func (m *Manager) SessionCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// CloseSession detaches and closes a session. Tuples of the session still
+// queued are skipped, not published. Safe to call from a detection
+// listener (i.e. from a shard worker).
+func (m *Manager) CloseSession(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: no session %q", id)
+	}
+	s.shutdown()
+	return nil
+}
+
+// Flush blocks until every tuple enqueued so far has been processed or
+// dropped. Call it from the feeding side once producers are quiescent;
+// concurrent feeders can make Flush wait for their tuples too.
+func (m *Manager) Flush() {
+	for _, sh := range m.shards {
+		for sh.processed.Load()+sh.dropped.Load() < sh.enqueued.Load() {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// Close drains the shard queues, stops the workers and closes every
+// session. The manager must not be used afterwards. Unlike CloseSession,
+// Close must not be called from a detection listener: it waits for the
+// shard workers.
+func (m *Manager) Close() {
+	// The write side of the feed barrier waits out in-flight Feeds and
+	// makes the closed flag visible to later ones, so no tuple can be
+	// admitted after the workers stop.
+	m.feedMu.Lock()
+	alreadyClosed := m.closed.Swap(true)
+	m.feedMu.Unlock()
+	if alreadyClosed {
+		return
+	}
+
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for id, s := range m.sessions {
+		sessions = append(sessions, s)
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+
+	for _, sh := range m.shards {
+		close(sh.quit)
+	}
+	m.wg.Wait()
+	for _, s := range sessions {
+		s.shutdown()
+	}
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gesturecep/internal/anduin"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/stream"
+	"gesturecep/internal/transform"
+)
+
+// Session is one tenant of the runtime: a private engine (raw kinect stream
+// + kinect_t view + per-session NFAs instantiated from shared plans), pinned
+// to one ingestion shard. Feed may be called from any goroutine; the actual
+// publishing happens on the shard worker, so detection semantics are
+// identical to a single-engine replay of the same tuples.
+type Session struct {
+	id     string
+	mgr    *Manager
+	shard  *shard
+	engine *anduin.Engine
+	raw    *stream.Stream
+
+	closed atomic.Bool
+	// in counts tuples admitted to the shard queue; out counts tuples that
+	// left it (published or dropped). in == out means the session is idle.
+	in      atomic.Uint64
+	out     atomic.Uint64
+	dropped atomic.Uint64
+
+	detMu sync.Mutex
+	dets  []anduin.Detection
+}
+
+// CreateSession builds a session, deploys the named plans (all registered
+// plans when names is empty) and pins it to a shard. The session is live
+// immediately.
+func (m *Manager) CreateSession(id string, gestures ...string) (*Session, error) {
+	if id == "" {
+		return nil, fmt.Errorf("serve: empty session id")
+	}
+	plans, err := m.reg.Resolve(gestures...)
+	if err != nil {
+		return nil, err
+	}
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("serve: session %q: no plans to deploy (registry is empty)", id)
+	}
+
+	cfg := transform.DefaultConfig()
+	if m.cfg.Transform != nil {
+		cfg = *m.cfg.Transform
+	}
+	engine := anduin.New()
+	raw, _, err := engine.KinectPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		id:     id,
+		mgr:    m,
+		shard:  m.shardFor(id),
+		engine: engine,
+		raw:    raw,
+	}
+	// The collector subscription is installed before any tuple can be fed,
+	// so no detection is ever missed.
+	engine.Subscribe(func(d anduin.Detection) {
+		s.detMu.Lock()
+		s.dets = append(s.dets, d)
+		s.detMu.Unlock()
+		s.shard.detections.Add(1)
+	})
+	for _, p := range plans {
+		if _, err := engine.DeployPlan(p); err != nil {
+			return nil, fmt.Errorf("serve: session %q: %w", id, err)
+		}
+	}
+
+	m.mu.Lock()
+	if m.closed.Load() {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("serve: manager closed")
+	}
+	if _, dup := m.sessions[id]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("serve: session %q already exists", id)
+	}
+	m.sessions[id] = s
+	m.mu.Unlock()
+	s.shard.sessions.Add(1)
+	return s, nil
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Shard returns the index of the shard the session is pinned to.
+func (s *Session) Shard() int { return s.shard.id }
+
+// Engine exposes the session's private engine (for stats and advanced
+// management). Do not publish tuples to it directly — use Feed, which
+// routes through the shard worker.
+func (s *Session) Engine() *anduin.Engine { return s.engine }
+
+// Feed enqueues one camera frame for this session.
+func (s *Session) Feed(f kinect.Frame) error {
+	return s.mgr.enqueue(s, kinect.ToTuple(f))
+}
+
+// FeedTuple enqueues one raw kinect tuple for this session.
+func (s *Session) FeedTuple(t stream.Tuple) error {
+	return s.mgr.enqueue(s, t)
+}
+
+// FeedFrames enqueues a frame sequence in order.
+func (s *Session) FeedFrames(frames []kinect.Frame) error {
+	for i, f := range frames {
+		if err := s.Feed(f); err != nil {
+			return fmt.Errorf("serve: frame %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// OnDetection registers a listener for this session's detections; the
+// returned function removes it. Listeners run synchronously on the shard
+// worker goroutine — keep them fast. A listener may close its own (or any)
+// session via Close/CloseSession, but must not call Manager.Close, which
+// waits for the very worker the listener runs on.
+func (s *Session) OnDetection(fn func(anduin.Detection)) func() {
+	return s.engine.Subscribe(fn)
+}
+
+// Detections returns a copy of all detections collected so far.
+func (s *Session) Detections() []anduin.Detection {
+	s.detMu.Lock()
+	defer s.detMu.Unlock()
+	return append([]anduin.Detection(nil), s.dets...)
+}
+
+// TakeDetections drains and returns the collected detections; long-lived
+// sessions should prefer it over Detections to keep memory bounded.
+func (s *Session) TakeDetections() []anduin.Detection {
+	s.detMu.Lock()
+	defer s.detMu.Unlock()
+	out := s.dets
+	s.dets = nil
+	return out
+}
+
+// Counters reports the session's ingestion counters: tuples admitted to the
+// queue, tuples that left it (published or dropped), and drops.
+func (s *Session) Counters() (in, out, dropped uint64) {
+	return s.in.Load(), s.out.Load(), s.dropped.Load()
+}
+
+// Flush blocks until every tuple this session has enqueued so far was
+// published or dropped. Call it after the session's producer is quiescent.
+func (s *Session) Flush() {
+	for s.out.Load() < s.in.Load() {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// Close detaches the session from the manager; queued tuples are skipped.
+func (s *Session) Close() error {
+	return s.mgr.CloseSession(s.id)
+}
+
+// shutdown marks the session closed and tears down its engine. Called with
+// the session already removed from the manager table.
+func (s *Session) shutdown() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.shard.sessions.Add(-1)
+	s.engine.UndeployAll()
+}
