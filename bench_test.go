@@ -13,6 +13,7 @@ package gesture
 
 import (
 	"fmt"
+	"net"
 	"strconv"
 	"sync"
 	"testing"
@@ -27,6 +28,7 @@ import (
 	"gesturecep/internal/serve"
 	"gesturecep/internal/stream"
 	"gesturecep/internal/transform"
+	"gesturecep/internal/wire"
 )
 
 // BenchmarkE1SwipeRightDetection regenerates Fig. 1: learn swipe_right,
@@ -344,6 +346,135 @@ func BenchmarkServeSessions(b *testing.B) {
 			b.ReportMetric(total/b.Elapsed().Seconds(), "tuples/s")
 		})
 	}
+}
+
+// BenchmarkWireEncodeBatch measures the data-plane encoder: one full batch
+// of kinect tuples appended to a reused buffer (the per-tuple network hot
+// path on the client).
+func BenchmarkWireEncodeBatch(b *testing.B) {
+	sim, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.NoNoise(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := sim.Idle(benchTime(), 3*time.Second)
+	tuples := kinect.ToTuples(frames)
+	if len(tuples) > 64 {
+		tuples = tuples[:64]
+	}
+	fields := len(tuples[0].Fields)
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := wire.AppendBatch(buf[:0], 1, fields, tuples)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out
+	}
+	b.ReportMetric(float64(b.N*len(tuples))/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkWireDecodeBatch measures the data-plane decoder (the per-tuple
+// network hot path on the server): strict validation plus one arena
+// allocation per batch.
+func BenchmarkWireDecodeBatch(b *testing.B) {
+	sim, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.NoNoise(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := sim.Idle(benchTime(), 3*time.Second)
+	tuples := kinect.ToTuples(frames)
+	if len(tuples) > 64 {
+		tuples = tuples[:64]
+	}
+	payload, err := wire.AppendBatch(nil, 1, len(tuples[0].Fields), tuples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.DecodeBatch(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(tuples))/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkWireLoopback measures the complete network path — client codec →
+// TCP loopback → gestured frame loop → sharded session manager → detection
+// push-back — for one remote session replaying a recording per iteration.
+func BenchmarkWireLoopback(b *testing.B) {
+	sim, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.DefaultNoise(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples, err := sim.Samples(kinect.StandardGestures()[kinect.GestureSwipeRight], 4,
+		benchTime(), kinect.PerformOpts{PathJitter: 25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := learn.Learn("swipe_right", samples, learn.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	if _, err := reg.Register("swipe_right", res.QueryText); err != nil {
+		b.Fatal(err)
+	}
+	m, err := serve.NewManager(serve.Config{Shards: 2}, reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	srv := wire.NewServer(m)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	player, err := kinect.NewSimulator(kinect.ChildProfile(), kinect.DefaultNoise(), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := player.RunScript([]kinect.ScriptItem{
+		{Idle: 500 * time.Millisecond},
+		{Gesture: kinect.GestureSwipeRight, Opts: kinect.PerformOpts{PathJitter: 15}},
+		{Idle: time.Second},
+	}, benchTime(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuples := kinect.ToTuples(rec.Frames)
+	stride := rec.Duration() + time.Second
+
+	cl, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	rs, err := cl.Attach("bench", wire.AttachOptions{BatchSize: 64, Discard: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		offset := time.Duration(i) * stride
+		for _, tp := range tuples {
+			tp.Ts = tp.Ts.Add(offset)
+			if err := rs.FeedTuple(tp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := rs.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(tuples))/b.Elapsed().Seconds(), "tuples/s")
 }
 
 // BenchmarkE10WindowMode regenerates the window-mode design ablation.

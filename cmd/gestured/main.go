@@ -1,0 +1,110 @@
+// gestured is the network ingestion daemon: it learns a set of gestures
+// once, compiles each generated query into a shared plan, then serves the
+// wire protocol on a TCP listener — remote clients attach sessions, stream
+// kinect tuple batches in, and receive detections pushed back.
+//
+//	go run ./cmd/gestured -addr :7474
+//	go run ./cmd/gestured -addr :7474 -shards 8 -policy drop-oldest -queue 128
+//
+// Drive it with cmd/gestureload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/learn"
+	"gesturecep/internal/serve"
+	"gesturecep/internal/wire"
+)
+
+var gestureNames = kinect.DemoGestureNames()
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7474", "TCP listen address")
+		shards   = flag.Int("shards", 0, "ingestion shards (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 256, "per-shard queue depth")
+		policy   = flag.String("policy", "block", "backpressure policy: block or drop-oldest")
+		gestures = flag.Int("gestures", 4, "gestures to learn and register (1-8)")
+		seed     = flag.Int64("seed", 1, "trainer random seed")
+		verbose  = flag.Bool("v", false, "print the per-shard metric table on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, *shards, *queue, *policy, *gestures, *seed, *verbose); err != nil {
+		log.SetFlags(0)
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, shards, queue int, policyName string, gestures int, seed int64, verbose bool) error {
+	if gestures < 1 || gestures > len(gestureNames) {
+		return fmt.Errorf("gestured: -gestures must be 1..%d", len(gestureNames))
+	}
+	pol, err := serve.ParsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+
+	// Learn each gesture once; every remote session shares the plans.
+	fmt.Printf("learning %d gestures ... ", gestures)
+	start := time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC)
+	learnStart := time.Now()
+	trainer, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.DefaultNoise(), seed)
+	if err != nil {
+		return err
+	}
+	reg := serve.NewRegistry()
+	specs := kinect.StandardGestures()
+	for _, name := range gestureNames[:gestures] {
+		samples, err := trainer.Samples(specs[name], 4, start, kinect.PerformOpts{PathJitter: 25})
+		if err != nil {
+			return err
+		}
+		res, err := learn.Learn(name, samples, learn.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		if _, err := reg.Register(name, res.QueryText); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("done in %v\n", time.Since(learnStart).Round(time.Millisecond))
+
+	m, err := serve.NewManager(serve.Config{Shards: shards, QueueDepth: queue, Policy: pol}, reg)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	srv := wire.NewServer(m)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(addr) }()
+
+	fmt.Printf("gestured listening on %s — %d plans, %d shards, policy %s, queue %d\n",
+		addr, reg.Len(), m.Shards(), pol, queue)
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("\n%v: shutting down\n", sig)
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	mm := m.Metrics()
+	fmt.Printf("served %s\n", mm)
+	if verbose {
+		fmt.Print(mm.Table())
+	}
+	return nil
+}

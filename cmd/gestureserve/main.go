@@ -40,11 +40,7 @@ func main() {
 	}
 }
 
-var gestureNames = []string{
-	kinect.GestureSwipeRight, kinect.GestureSwipeLeft, kinect.GestureSwipeUp,
-	kinect.GestureSwipeDown, kinect.GesturePush, kinect.GesturePull,
-	kinect.GestureCircle, kinect.GestureRaiseHand,
-}
+var gestureNames = kinect.DemoGestureNames()
 
 func run(sessions, shards, queue int, policyName string, gestures, repeats int, seed int64, verbose bool) error {
 	if sessions < 1 {

@@ -29,6 +29,7 @@ import (
 	"gesturecep/internal/stream"
 	"gesturecep/internal/transform"
 	"gesturecep/internal/validate"
+	"gesturecep/internal/wire"
 )
 
 // Re-exported core types, so example applications only import this package.
@@ -283,6 +284,36 @@ func (s *System) ExportPlans(reg *PlanRegistry) error {
 	}
 	return nil
 }
+
+// --- Network ingestion (the internal/wire protocol). ---
+
+// Re-exported wire types, so remote applications only import this package.
+type (
+	// WireServer accepts wire-protocol TCP connections and multiplexes
+	// their sessions onto a ServeManager.
+	WireServer = wire.Server
+	// WireClient is one client connection to a gestured server; many
+	// remote sessions can be attached and fed concurrently.
+	WireClient = wire.Client
+	// WireSession is the client-side handle of one served session.
+	WireSession = wire.RemoteSession
+	// WireAttachOptions tunes a remote session (plans, batching,
+	// detection delivery).
+	WireAttachOptions = wire.AttachOptions
+	// WireSessionCounters is the server-side ingestion accounting returned
+	// by flush and detach acknowledgements.
+	WireSessionCounters = wire.SessionCounters
+)
+
+// NewWireServer creates a network ingestion server over a session manager.
+// Start it with ListenAndServe (or Serve on an existing listener):
+//
+//	srv := gesture.NewWireServer(m)
+//	go srv.ListenAndServe(":7474")
+func NewWireServer(m *ServeManager) *WireServer { return wire.NewServer(m) }
+
+// DialWire connects to a gestured server.
+func DialWire(addr string) (*WireClient, error) { return wire.Dial(addr) }
 
 // Evaluate scores detections against a session's ground truth.
 func Evaluate(truth []TruthInterval, dets []Detection, tolerance time.Duration) map[string]Outcome {

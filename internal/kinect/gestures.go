@@ -178,3 +178,15 @@ func GestureNames() []string {
 	sort.Strings(names)
 	return names
 }
+
+// DemoGestureNames returns the eight gestures the serving CLIs learn and
+// drive, in their canonical demo order (the order the gestureserve,
+// gestured and gestureload `-gestures N` prefix selects from). One shared
+// list keeps the three binaries serving and driving the same gesture set.
+func DemoGestureNames() []string {
+	return []string{
+		GestureSwipeRight, GestureSwipeLeft, GestureSwipeUp,
+		GestureSwipeDown, GesturePush, GesturePull,
+		GestureCircle, GestureRaiseHand,
+	}
+}

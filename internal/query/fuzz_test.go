@@ -1,0 +1,150 @@
+package query
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// Go-native fuzz targets for the query front end. The contracts:
+//
+//   - Lex and Parse never panic, whatever bytes arrive (queries reach the
+//     server over the network in the serving deployment);
+//   - every input that parses must print → re-parse to an equal AST, with
+//     the printed form a fixed point of Print ∘ Parse.
+//
+// Equality is modulo AND-associativity of atom predicates: the printer lays
+// the top-level conjunct chain out one per line and the parser re-joins it
+// left-deep, so both sides are canonicalized the same way before comparing.
+
+// fuzzSeeds are representative inputs: learner-generated query shapes
+// (mirroring learn's §3.3.4 output — this package cannot import learn
+// without a cycle), handwritten corner cases, and malformed fragments.
+var fuzzSeeds = []string{
+	// Learner-style 3-pose query with nested groups and tails.
+	`SELECT "swipe_right"
+MATCHING (
+  kinect_t(
+    abs(rHand_x - torso_x - 0) < 50 and
+    abs(rHand_y - torso_y - 150) < 50 and
+    abs(rHand_z - torso_z + 120) < 50
+  ) ->
+  kinect_t(
+    abs(rHand_x - torso_x - 180) < 50 and
+    abs(rHand_y - torso_y - 150) < 50
+  )
+  within 1 seconds select first consume all
+) ->
+kinect_t(abs(rHand_x - torso_x - 360) < 50)
+within 2 seconds select first consume all;`,
+	// Output measures, arithmetic, or/not, comparison zoo.
+	`SELECT "push", rHand_z - torso_z, abs(rHand_x) * 2
+MATCHING kinect_t(not (a < 1 or b >= 2) and c != 3 and d = 4 / -5)
+within 500 milliseconds;`,
+	// Single-quoted output, unit variants, sub-second within.
+	`SELECT 'g"x' MATCHING kinect(a <= 1.5e-3) within 0.25 secs select all consume none;`,
+	`SELECT "g" MATCHING kinect(a < 1) within 2 minutes;`,
+	`SELECT "g" MATCHING k(a<>1) -> k(b==2);`,
+	// Comment handling.
+	"SELECT \"g\" -- trailing comment\nMATCHING kinect(a < 1); -- done",
+	// Malformed fragments to steer mutation.
+	`SELECT "g" MATCHING kinect(a <`,
+	`SELECT MATCHING;`,
+	`within within within`,
+	"SELECT \"unterminated",
+	`SELECT "g" MATCHING kinect(a < 1) within 9e999 seconds;`,
+}
+
+// canonPattern rebuilds a pattern with every atom predicate's top-level AND
+// chain re-associated left-deep, mirroring what print → re-parse does.
+func canonPattern(p *PatternNode) *PatternNode {
+	out := &PatternNode{
+		HasWithin: p.HasWithin, Within: p.Within,
+		HasSelect: p.HasSelect, Select: p.Select,
+		HasConsume: p.HasConsume, Consume: p.Consume,
+	}
+	for _, t := range p.Terms {
+		if t.Atom != nil {
+			out.Terms = append(out.Terms, &Term{Atom: &EventAtom{
+				Source: t.Atom.Source,
+				Pred:   canonPred(t.Atom.Pred),
+			}})
+		} else {
+			out.Terms = append(out.Terms, &Term{Group: canonPattern(t.Group)})
+		}
+	}
+	return out
+}
+
+// canonPred re-associates the top-level AND chain left-deep. Conjuncts are
+// not rewritten further: below the chain the printer preserves structure
+// exactly (parenthesizing by precedence), so no normalization is needed.
+func canonPred(e Expr) Expr {
+	cs := splitAnd(e)
+	out := cs[0]
+	for _, c := range cs[1:] {
+		out = &Binary{Op: OpAnd, L: out, R: c}
+	}
+	return out
+}
+
+func canonQuery(q *Query) *Query {
+	return &Query{Output: q.Output, Measures: q.Measures, Pattern: canonPattern(q.Pattern)}
+}
+
+// FuzzParseQuery checks that the parser never panics and that parsed queries
+// survive a print → re-parse round trip with an equal AST.
+func FuzzParseQuery(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Fatalf("Parse error is not a *SyntaxError: %v (input %q)", err, src)
+			}
+			return
+		}
+		printed := Print(q)
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed query does not re-parse: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+		if !reflect.DeepEqual(canonQuery(q), canonQuery(q2)) {
+			t.Fatalf("re-parsed AST differs\ninput: %q\nprinted:\n%s\nq1: %#v\nq2: %#v", src, printed, q, q2)
+		}
+		if printed2 := Print(q2); printed2 != printed {
+			t.Fatalf("Print is not a fixed point\ninput: %q\nfirst:\n%s\nsecond:\n%s", src, printed, printed2)
+		}
+	})
+}
+
+// FuzzLexer checks that the lexer never panics, reports only SyntaxErrors,
+// and terminates every successful token stream with EOF at sane positions.
+func FuzzLexer(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Add("\x00\xff\xfe")
+	f.Add("1e99999 'x")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Fatalf("Lex error is not a *SyntaxError: %v (input %q)", err, src)
+			}
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatalf("token stream not EOF-terminated for %q: %v", src, toks)
+		}
+		for _, tok := range toks {
+			if tok.Line < 1 || tok.Col < 1 {
+				t.Fatalf("token %v has invalid position %d:%d (input %q)", tok, tok.Line, tok.Col, src)
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -232,18 +233,31 @@ func (p *parser) parseTail(node *PatternNode) error {
 	}
 }
 
+// maxWithin bounds the within clause. Gesture patterns span seconds; the cap
+// also keeps every admissible duration below 2^53 ns, where float64 holds
+// nanosecond counts exactly, so printed durations re-parse to the identical
+// value (the Print ∘ Parse fixed point the fuzz round-trip relies on).
+const maxWithin = 24 * time.Hour
+
 // durationFromUnit converts "1 seconds", "500 ms" etc. to a duration.
 func durationFromUnit(n float64, unit string) (time.Duration, error) {
+	var scale time.Duration
 	switch strings.ToLower(unit) {
 	case "second", "seconds", "sec", "secs", "s":
-		return time.Duration(n * float64(time.Second)), nil
+		scale = time.Second
 	case "millisecond", "milliseconds", "millis", "ms":
-		return time.Duration(n * float64(time.Millisecond)), nil
+		scale = time.Millisecond
 	case "minute", "minutes", "min", "mins":
-		return time.Duration(n * float64(time.Minute)), nil
+		scale = time.Minute
 	default:
 		return 0, fmt.Errorf("unknown time unit %q", unit)
 	}
+	ns := n * float64(scale)
+	// The negated comparison also rejects NaN.
+	if !(ns <= float64(maxWithin)) {
+		return 0, fmt.Errorf("duration %g %s exceeds the %v maximum", n, unit, maxWithin)
+	}
+	return time.Duration(math.Round(ns)), nil
 }
 
 // Expression grammar, lowest to highest precedence:

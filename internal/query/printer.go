@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 )
@@ -12,7 +13,8 @@ import (
 // The output re-parses to an equivalent AST (see round-trip tests).
 func Print(q *Query) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "SELECT %q", q.Output)
+	b.WriteString("SELECT ")
+	b.WriteString(quoteString(q.Output))
 	for _, m := range q.Measures {
 		b.WriteString(", ")
 		b.WriteString(exprString(m, 0))
@@ -21,6 +23,18 @@ func Print(q *Query) string {
 	printPattern(&b, q.Pattern, 0, false)
 	b.WriteString(";\n")
 	return b.String()
+}
+
+// quoteString renders a string literal for the lexer, which supports both
+// quote characters but no escape sequences: the content is written raw and
+// the quote character is chosen to not collide with it. A parsed string can
+// never contain both quote characters (the lexer excludes the delimiter), so
+// one of the two choices always round-trips.
+func quoteString(s string) string {
+	if strings.Contains(s, `"`) {
+		return "'" + s + "'"
+	}
+	return `"` + s + `"`
 }
 
 func indent(b *strings.Builder, depth int) {
@@ -187,8 +201,11 @@ func exprString(e Expr, parentPrec int) string {
 }
 
 // formatNumber renders a float without a trailing ".0" for integral values.
+// %g prints the shortest decimal that re-parses to the identical float, so
+// literals round-trip exactly. The int64 range guard keeps the integral
+// conversion defined for very large values.
 func formatNumber(v float64) string {
-	if v == float64(int64(v)) {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return fmt.Sprintf("%d", int64(v))
 	}
 	return fmt.Sprintf("%g", v)

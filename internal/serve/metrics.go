@@ -5,42 +5,49 @@ import (
 	"strings"
 )
 
-// ShardMetrics is a point-in-time snapshot of one shard's counters.
+// ShardMetrics is a point-in-time snapshot of one shard's counters. The
+// JSON tags are the wire metrics-frame format served to remote consumers.
 type ShardMetrics struct {
-	Shard      int
-	Sessions   int
-	QueueDepth int
-	Enqueued   uint64
-	Processed  uint64
-	Dropped    uint64
-	Detections uint64
+	Shard      int    `json:"shard"`
+	Sessions   int    `json:"sessions"`
+	QueueDepth int    `json:"queue_depth"`
+	Enqueued   uint64 `json:"enqueued"`
+	Processed  uint64 `json:"processed"`
+	Dropped    uint64 `json:"dropped"`
+	Detections uint64 `json:"detections"`
 }
 
 // Metrics aggregates the shard snapshots. Counters are monotonically
 // increasing since manager start; QueueDepth is instantaneous.
 type Metrics struct {
-	Sessions   int
-	Enqueued   uint64
-	Processed  uint64
-	Dropped    uint64
-	Detections uint64
-	QueueDepth int
-	Shards     []ShardMetrics
+	Sessions   int            `json:"sessions"`
+	Enqueued   uint64         `json:"enqueued"`
+	Processed  uint64         `json:"processed"`
+	Dropped    uint64         `json:"dropped"`
+	Detections uint64         `json:"detections"`
+	QueueDepth int            `json:"queue_depth"`
+	Shards     []ShardMetrics `json:"shards"`
 }
 
 // Metrics snapshots every shard's counters without pausing ingestion: the
 // counters are independent atomics, so a snapshot is consistent per counter
-// but not a cross-counter transaction — exactly what monitoring needs.
+// but not a cross-counter transaction — exactly what monitoring needs. One
+// cross-counter invariant does hold: Processed + Dropped never exceeds
+// Enqueued, because the outflow counters are loaded before the inflow
+// counter (a tuple increments enqueued before processed/dropped, so reading
+// in the opposite order can never observe more out than in).
 func (m *Manager) Metrics() Metrics {
 	out := Metrics{Sessions: m.SessionCount()}
 	for _, sh := range m.shards {
+		processed := sh.processed.Load()
+		dropped := sh.dropped.Load()
 		sm := ShardMetrics{
 			Shard:      sh.id,
 			Sessions:   int(sh.sessions.Load()),
 			QueueDepth: len(sh.queue),
 			Enqueued:   sh.enqueued.Load(),
-			Processed:  sh.processed.Load(),
-			Dropped:    sh.dropped.Load(),
+			Processed:  processed,
+			Dropped:    dropped,
 			Detections: sh.detections.Load(),
 		}
 		out.Enqueued += sm.Enqueued

@@ -238,6 +238,12 @@ func (m *Manager) enqueue(s *Session, t stream.Tuple) error {
 	}
 	sh := s.shard
 	env := envelope{sess: s, tuple: t}
+	// Count the tuple in before it becomes visible to the worker: once past
+	// the closed check the tuple is guaranteed to be admitted and drained,
+	// and counting first means no snapshot can ever observe more tuples out
+	// of a queue than went in.
+	s.in.Add(1)
+	sh.enqueued.Add(1)
 	switch m.cfg.Policy {
 	case Block:
 		// The worker keeps draining until Close, and Close waits for this
@@ -263,8 +269,6 @@ func (m *Manager) enqueue(s *Session, t stream.Tuple) error {
 			}
 		}
 	}
-	s.in.Add(1)
-	sh.enqueued.Add(1)
 	return nil
 }
 

@@ -31,8 +31,12 @@ type Session struct {
 	out     atomic.Uint64
 	dropped atomic.Uint64
 
-	detMu sync.Mutex
-	dets  []anduin.Detection
+	// collect gates the internal detection buffer. Remote consumers that
+	// stream detections out via OnDetection switch it off so a long-lived
+	// session does not accumulate results it will never read.
+	collect atomic.Bool
+	detMu   sync.Mutex
+	dets    []anduin.Detection
 }
 
 // CreateSession builds a session, deploys the named plans (all registered
@@ -68,10 +72,13 @@ func (m *Manager) CreateSession(id string, gestures ...string) (*Session, error)
 	}
 	// The collector subscription is installed before any tuple can be fed,
 	// so no detection is ever missed.
+	s.collect.Store(true)
 	engine.Subscribe(func(d anduin.Detection) {
-		s.detMu.Lock()
-		s.dets = append(s.dets, d)
-		s.detMu.Unlock()
+		if s.collect.Load() {
+			s.detMu.Lock()
+			s.dets = append(s.dets, d)
+			s.detMu.Unlock()
+		}
 		s.shard.detections.Add(1)
 	})
 	for _, p := range plans {
@@ -134,6 +141,13 @@ func (s *Session) FeedFrames(frames []kinect.Frame) error {
 func (s *Session) OnDetection(fn func(anduin.Detection)) func() {
 	return s.engine.Subscribe(fn)
 }
+
+// SetCollect switches the internal detection buffer on or off. Sessions
+// start collecting; consumers that stream every detection out through
+// OnDetection (e.g. the network ingestion layer) disable it to keep
+// long-lived sessions memory-bounded. Disabling does not clear detections
+// already buffered — drain them with TakeDetections if needed.
+func (s *Session) SetCollect(enabled bool) { s.collect.Store(enabled) }
 
 // Detections returns a copy of all detections collected so far.
 func (s *Session) Detections() []anduin.Detection {

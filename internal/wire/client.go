@@ -1,0 +1,386 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"gesturecep/internal/anduin"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/serve"
+	"gesturecep/internal/stream"
+)
+
+// DefaultBatchSize is the number of tuples buffered client-side before a
+// batch frame is flushed to the socket.
+const DefaultBatchSize = 64
+
+// Client is one wire-protocol connection. Multiple remote sessions may be
+// attached and fed concurrently; socket writes are serialized internally
+// and control round trips are issued one at a time per connection.
+type Client struct {
+	c net.Conn
+
+	wmu sync.Mutex
+	w   *Writer
+
+	reqMu  sync.Mutex // serializes control round trips (FIFO with replies)
+	respCh chan controlResp
+
+	mu       sync.Mutex
+	sessions map[uint32]*RemoteSession
+
+	closed atomic.Bool
+	err    atomic.Value // error that killed the connection
+	done   chan struct{}
+}
+
+type controlResp struct {
+	frameType FrameType
+	payload   []byte // copied out of the reader buffer
+}
+
+// Dial connects to a gestured server.
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(c), nil
+}
+
+// NewClient speaks the wire protocol over an established connection and
+// takes ownership of it.
+func NewClient(c net.Conn) *Client {
+	cl := &Client{
+		c:        c,
+		w:        NewWriter(c),
+		respCh:   make(chan controlResp, 1),
+		sessions: make(map[uint32]*RemoteSession),
+		done:     make(chan struct{}),
+	}
+	go cl.readLoop()
+	return cl
+}
+
+// Close tears down the connection. Attached sessions become unusable.
+func (cl *Client) Close() error {
+	if cl.closed.Swap(true) {
+		return nil
+	}
+	err := cl.c.Close()
+	<-cl.done
+	return err
+}
+
+// errBox gives atomic.Value a single concrete type to store errors under.
+type errBox struct{ err error }
+
+// Err returns the error that terminated the connection, if any.
+func (cl *Client) Err() error {
+	if b, ok := cl.err.Load().(errBox); ok {
+		return b.err
+	}
+	return nil
+}
+
+// fail records the connection-killing error and wakes pending requests.
+func (cl *Client) fail(err error) {
+	if cl.err.Load() == nil {
+		cl.err.Store(errBox{err})
+	}
+	cl.closed.Store(true)
+	cl.c.Close()
+}
+
+// readLoop dispatches incoming frames: detection pushes go straight to
+// their session, control replies to the single in-flight request.
+func (cl *Client) readLoop() {
+	defer close(cl.done)
+	r := NewReader(cl.c)
+	for {
+		f, err := r.Next()
+		if err != nil {
+			cl.fail(err)
+			return
+		}
+		switch f.Type {
+		case FrameDetections:
+			handle, dropped, dets, err := DecodeDetections(f.Payload)
+			if err != nil {
+				cl.fail(err)
+				return
+			}
+			cl.mu.Lock()
+			rs := cl.sessions[handle]
+			cl.mu.Unlock()
+			if rs != nil {
+				rs.deliver(dropped, dets)
+			}
+		case FrameAttachOK, FrameFlushOK, FrameDetachOK, FrameMetricsOK, FrameError:
+			payload := append([]byte(nil), f.Payload...)
+			select {
+			case cl.respCh <- controlResp{frameType: f.Type, payload: payload}:
+			default:
+				cl.fail(fmt.Errorf("wire: unsolicited %s frame", f.Type))
+				return
+			}
+		default:
+			cl.fail(fmt.Errorf("wire: unexpected %s frame from server", f.Type))
+			return
+		}
+	}
+}
+
+// roundTrip sends one control frame and waits for the matching reply type.
+// A FrameError reply is surfaced as *ErrorReply.
+func (cl *Client) roundTrip(req FrameType, v any, wantReply FrameType, out any) error {
+	cl.reqMu.Lock()
+	defer cl.reqMu.Unlock()
+	if cl.closed.Load() {
+		return cl.closedErr()
+	}
+	cl.wmu.Lock()
+	err := cl.w.WriteJSON(req, v)
+	cl.wmu.Unlock()
+	if err != nil {
+		cl.fail(err)
+		return err
+	}
+	select {
+	case resp := <-cl.respCh:
+		switch resp.frameType {
+		case wantReply:
+			if out == nil {
+				return nil
+			}
+			return unmarshalStrict(resp.payload, out)
+		case FrameError:
+			var er ErrorReply
+			if err := unmarshalStrict(resp.payload, &er); err != nil {
+				return err
+			}
+			return &er
+		default:
+			err := fmt.Errorf("wire: got %s reply, want %s", resp.frameType, wantReply)
+			cl.fail(err)
+			return err
+		}
+	case <-cl.done:
+		return cl.closedErr()
+	}
+}
+
+func (cl *Client) closedErr() error {
+	if err := cl.Err(); err != nil {
+		return fmt.Errorf("wire: connection closed: %w", err)
+	}
+	return fmt.Errorf("wire: connection closed")
+}
+
+// AttachOptions tunes one remote session.
+type AttachOptions struct {
+	// Gestures names the plans to deploy; empty deploys every registered
+	// plan.
+	Gestures []string
+	// BatchSize is the client-side tuple batching threshold (default
+	// DefaultBatchSize, 1 disables batching).
+	BatchSize int
+	// OnDetection, when non-nil, runs on the client's read goroutine for
+	// every pushed detection — keep it fast. Detections are additionally
+	// collected for Detections/TakeDetections unless Discard is set.
+	OnDetection func(anduin.Detection)
+	// Discard skips the client-side detection buffer (use with
+	// OnDetection for long-lived sessions).
+	Discard bool
+}
+
+// Attach opens a remote session under the given ID.
+func (cl *Client) Attach(id string, opts AttachOptions) (*RemoteSession, error) {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	if opts.BatchSize > MaxBatch {
+		opts.BatchSize = MaxBatch
+	}
+	var reply AttachReply
+	err := cl.roundTrip(FrameAttach, &AttachRequest{
+		Version:  ProtocolVersion,
+		ID:       id,
+		Gestures: opts.Gestures,
+	}, FrameAttachOK, &reply)
+	if err != nil {
+		return nil, err
+	}
+	rs := &RemoteSession{
+		cl:        cl,
+		handle:    reply.Handle,
+		id:        id,
+		fields:    reply.Fields,
+		plans:     reply.Plans,
+		batchSize: opts.BatchSize,
+		onDet:     opts.OnDetection,
+		discard:   opts.Discard,
+	}
+	cl.mu.Lock()
+	cl.sessions[reply.Handle] = rs
+	cl.mu.Unlock()
+	return rs, nil
+}
+
+// Metrics fetches the server's fleet-wide metrics snapshot.
+func (cl *Client) Metrics() (serve.Metrics, error) {
+	var m serve.Metrics
+	err := cl.roundTrip(FrameMetricsReq, struct{}{}, FrameMetricsOK, &m)
+	return m, err
+}
+
+// RemoteSession is the client-side handle of one served session: tuples go
+// out in batches, detections and drop counts come back asynchronously.
+// Feed/FeedTuple/FlushBatch must be called from one goroutine at a time per
+// session; distinct sessions of one client may feed concurrently.
+type RemoteSession struct {
+	cl        *Client
+	handle    uint32
+	id        string
+	fields    int
+	plans     []string
+	batchSize int
+	onDet     func(anduin.Detection)
+	discard   bool
+
+	batch  []stream.Tuple // pending tuples, flushed at batchSize
+	encBuf []byte         // batch encode scratch
+
+	dmu     sync.Mutex
+	dets    []anduin.Detection
+	dropped atomic.Uint64 // server-reported cumulative tuple drops
+}
+
+// ID returns the session identifier.
+func (rs *RemoteSession) ID() string { return rs.id }
+
+// Plans returns the plan names the session deployed.
+func (rs *RemoteSession) Plans() []string { return append([]string(nil), rs.plans...) }
+
+// Fields returns the server's raw tuple schema width.
+func (rs *RemoteSession) Fields() int { return rs.fields }
+
+// deliver runs on the client read goroutine for every detection push.
+func (rs *RemoteSession) deliver(dropped uint64, dets []anduin.Detection) {
+	rs.dropped.Store(dropped)
+	if !rs.discard {
+		rs.dmu.Lock()
+		rs.dets = append(rs.dets, dets...)
+		rs.dmu.Unlock()
+	}
+	if rs.onDet != nil {
+		for _, d := range dets {
+			rs.onDet(d)
+		}
+	}
+}
+
+// Feed enqueues one camera frame.
+func (rs *RemoteSession) Feed(f kinect.Frame) error {
+	return rs.FeedTuple(kinect.ToTuple(f))
+}
+
+// FeedFrames enqueues a frame sequence in order.
+func (rs *RemoteSession) FeedFrames(frames []kinect.Frame) error {
+	for i := range frames {
+		if err := rs.Feed(frames[i]); err != nil {
+			return fmt.Errorf("wire: frame %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// FeedTuple buffers one raw tuple, flushing a full batch to the socket.
+// The tuple's field slice is copied during encoding; the caller may reuse it.
+func (rs *RemoteSession) FeedTuple(t stream.Tuple) error {
+	if len(t.Fields) != rs.fields {
+		return fmt.Errorf("wire: tuple has %d fields, session schema expects %d", len(t.Fields), rs.fields)
+	}
+	rs.batch = append(rs.batch, t)
+	if len(rs.batch) >= rs.batchSize {
+		return rs.FlushBatch()
+	}
+	return nil
+}
+
+// FlushBatch sends any buffered tuples immediately.
+func (rs *RemoteSession) FlushBatch() error {
+	if len(rs.batch) == 0 {
+		return nil
+	}
+	if rs.cl.closed.Load() {
+		return rs.cl.closedErr()
+	}
+	buf, err := AppendBatch(rs.encBuf[:0], rs.handle, rs.fields, rs.batch)
+	if err != nil {
+		return err
+	}
+	rs.encBuf = buf[:0]
+	rs.batch = rs.batch[:0]
+	rs.cl.wmu.Lock()
+	err = rs.cl.w.WriteFrame(FrameBatch, buf)
+	rs.cl.wmu.Unlock()
+	if err != nil {
+		rs.cl.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Flush pushes buffered tuples, waits until the server has drained the
+// session's queue, and returns the server-side counters. All detections for
+// tuples fed before the call are delivered before Flush returns.
+func (rs *RemoteSession) Flush() (SessionCounters, error) {
+	var counters SessionCounters
+	if err := rs.FlushBatch(); err != nil {
+		return counters, err
+	}
+	err := rs.cl.roundTrip(FrameFlush, &SessionRef{Handle: rs.handle}, FrameFlushOK, &counters)
+	if err == nil {
+		rs.dropped.Store(counters.Dropped)
+	}
+	return counters, err
+}
+
+// Detach flushes, closes the remote session and returns the final counters.
+func (rs *RemoteSession) Detach() (SessionCounters, error) {
+	var counters SessionCounters
+	if err := rs.FlushBatch(); err != nil {
+		return counters, err
+	}
+	err := rs.cl.roundTrip(FrameDetach, &SessionRef{Handle: rs.handle}, FrameDetachOK, &counters)
+	rs.cl.mu.Lock()
+	delete(rs.cl.sessions, rs.handle)
+	rs.cl.mu.Unlock()
+	if err == nil {
+		rs.dropped.Store(counters.Dropped)
+	}
+	return counters, err
+}
+
+// Detections returns a copy of the detections received so far.
+func (rs *RemoteSession) Detections() []anduin.Detection {
+	rs.dmu.Lock()
+	defer rs.dmu.Unlock()
+	return append([]anduin.Detection(nil), rs.dets...)
+}
+
+// TakeDetections drains and returns the received detections.
+func (rs *RemoteSession) TakeDetections() []anduin.Detection {
+	rs.dmu.Lock()
+	defer rs.dmu.Unlock()
+	out := rs.dets
+	rs.dets = nil
+	return out
+}
+
+// Dropped returns the last server-reported cumulative tuple-drop count for
+// this session (non-zero only under the DropOldest policy).
+func (rs *RemoteSession) Dropped() uint64 { return rs.dropped.Load() }

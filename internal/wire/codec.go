@@ -1,0 +1,265 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"gesturecep/internal/anduin"
+	"gesturecep/internal/stream"
+)
+
+const headerSize = 5 // u32 payload length + u8 frame type
+
+// Frame is one decoded frame. Payload references the Reader's internal
+// buffer and is only valid until the next call to Next.
+type Frame struct {
+	Type    FrameType
+	Payload []byte
+}
+
+// Reader decodes frames from a byte stream, reusing one payload buffer
+// across frames. It is not safe for concurrent use.
+type Reader struct {
+	r   *bufio.Reader
+	hdr [headerSize]byte
+	buf []byte
+}
+
+// NewReader wraps r for frame decoding.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 32<<10)}
+}
+
+// Next reads one frame. The returned payload is valid until the next call.
+// A frame whose declared length exceeds MaxFrame or whose type is unknown
+// is rejected before its payload is read.
+func (d *Reader) Next() (Frame, error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(d.hdr[:4])
+	t := FrameType(d.hdr[4])
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("wire: frame of %d bytes exceeds the %d maximum", n, MaxFrame)
+	}
+	if t == FrameInvalid || t >= frameTypeEnd {
+		return Frame{}, fmt.Errorf("wire: unknown frame type %d", uint8(t))
+	}
+	if cap(d.buf) < int(n) {
+		d.buf = make([]byte, n)
+	}
+	payload := d.buf[:n]
+	if _, err := io.ReadFull(d.r, payload); err != nil {
+		return Frame{}, fmt.Errorf("wire: short %s frame: %w", t, err)
+	}
+	return Frame{Type: t, Payload: payload}, nil
+}
+
+// Writer encodes frames onto a byte stream, reusing one scratch buffer. It
+// is not safe for concurrent use; callers serialize with their own lock.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter wraps w for frame encoding.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteFrame emits one frame. Header and payload go out in a single Write
+// so a frame is never interleaved with another writer's bytes as long as
+// callers hold the connection write lock.
+func (e *Writer) WriteFrame(t FrameType, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds the %d maximum", len(payload), MaxFrame)
+	}
+	need := headerSize + len(payload)
+	if cap(e.buf) < need {
+		e.buf = make([]byte, need)
+	}
+	b := e.buf[:need]
+	binary.BigEndian.PutUint32(b[:4], uint32(len(payload)))
+	b[4] = byte(t)
+	copy(b[headerSize:], payload)
+	_, err := e.w.Write(b)
+	return err
+}
+
+// WriteJSON emits one control frame with a JSON payload.
+func (e *Writer) WriteJSON(t FrameType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return e.WriteFrame(t, payload)
+}
+
+// --- Tuple batch (data plane, client → server). ---
+
+const tupleHeadSize = 16 // ts i64 + seq u64
+
+// AppendBatch appends a FrameBatch payload for the given tuples to dst and
+// returns the extended slice. Every tuple must have exactly fields values.
+func AppendBatch(dst []byte, handle uint32, fields int, tuples []stream.Tuple) ([]byte, error) {
+	if len(tuples) == 0 || len(tuples) > MaxBatch {
+		return nil, fmt.Errorf("wire: batch of %d tuples (want 1..%d)", len(tuples), MaxBatch)
+	}
+	if fields <= 0 || fields > MaxTupleFields {
+		return nil, fmt.Errorf("wire: %d fields per tuple (want 1..%d)", fields, MaxTupleFields)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, handle)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(tuples)))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(fields))
+	for i := range tuples {
+		t := &tuples[i]
+		if len(t.Fields) != fields {
+			return nil, fmt.Errorf("wire: tuple %d has %d fields, batch declares %d", i, len(t.Fields), fields)
+		}
+		dst = binary.BigEndian.AppendUint64(dst, uint64(t.Ts.UnixNano()))
+		dst = binary.BigEndian.AppendUint64(dst, t.Seq)
+		for _, f := range t.Fields {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+		}
+	}
+	return dst, nil
+}
+
+// Batch is a decoded FrameBatch. Tuples share one freshly allocated field
+// arena per decode; they remain valid after the next Reader.Next and may be
+// retained by the engine (matched tuples feed output measures).
+type Batch struct {
+	Handle uint32
+	Fields int
+	Tuples []stream.Tuple
+}
+
+// DecodeBatch decodes a FrameBatch payload. The payload must be consumed
+// exactly; the tuple count and width are validated against the payload
+// length before the arena is allocated.
+func DecodeBatch(payload []byte) (Batch, error) {
+	if len(payload) < 8 {
+		return Batch{}, fmt.Errorf("wire: batch payload of %d bytes is shorter than its header", len(payload))
+	}
+	b := Batch{Handle: binary.BigEndian.Uint32(payload[:4])}
+	count := int(binary.BigEndian.Uint16(payload[4:6]))
+	b.Fields = int(binary.BigEndian.Uint16(payload[6:8]))
+	body := payload[8:]
+	if count == 0 || count > MaxBatch {
+		return Batch{}, fmt.Errorf("wire: batch of %d tuples (want 1..%d)", count, MaxBatch)
+	}
+	if b.Fields == 0 || b.Fields > MaxTupleFields {
+		return Batch{}, fmt.Errorf("wire: batch declares %d fields per tuple (want 1..%d)", b.Fields, MaxTupleFields)
+	}
+	tupleSize := tupleHeadSize + 8*b.Fields
+	if len(body) != count*tupleSize {
+		return Batch{}, fmt.Errorf("wire: batch body of %d bytes, want %d×%d", len(body), count, tupleSize)
+	}
+	arena := make([]float64, count*b.Fields)
+	b.Tuples = make([]stream.Tuple, count)
+	for i := 0; i < count; i++ {
+		off := i * tupleSize
+		fields := arena[i*b.Fields : (i+1)*b.Fields : (i+1)*b.Fields]
+		for j := range fields {
+			fields[j] = math.Float64frombits(binary.BigEndian.Uint64(body[off+tupleHeadSize+8*j:]))
+		}
+		b.Tuples[i] = stream.Tuple{
+			Ts:     decodeTime(int64(binary.BigEndian.Uint64(body[off:]))),
+			Seq:    binary.BigEndian.Uint64(body[off+8:]),
+			Fields: fields,
+		}
+	}
+	return b, nil
+}
+
+// --- Detection push (data plane, server → client). ---
+
+// AppendDetections appends a FrameDetections payload to dst: the session's
+// cumulative tuple-drop counter plus the detections themselves.
+func AppendDetections(dst []byte, handle uint32, dropped uint64, dets []anduin.Detection) ([]byte, error) {
+	if len(dets) > MaxDetections {
+		return nil, fmt.Errorf("wire: %d detections in one frame (max %d)", len(dets), MaxDetections)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, handle)
+	dst = binary.BigEndian.AppendUint64(dst, dropped)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(dets)))
+	for i := range dets {
+		d := &dets[i]
+		if len(d.Gesture) > 0xffff {
+			return nil, fmt.Errorf("wire: gesture name of %d bytes", len(d.Gesture))
+		}
+		if d.QueryID < 0 || int64(d.QueryID) > 0xffffffff {
+			return nil, fmt.Errorf("wire: query id %d out of range", d.QueryID)
+		}
+		if len(d.Measures) > 0xffff {
+			return nil, fmt.Errorf("wire: %d measures", len(d.Measures))
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(d.Gesture)))
+		dst = append(dst, d.Gesture...)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(d.QueryID))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(d.Start.UnixNano()))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(d.End.UnixNano()))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(d.Measures)))
+		for _, m := range d.Measures {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m))
+		}
+	}
+	return dst, nil
+}
+
+// minDetSize is the encoded size of a detection with no name and no
+// measures; it bounds how many detections a payload can possibly hold.
+const minDetSize = 2 + 4 + 8 + 8 + 2
+
+// DecodeDetections decodes a FrameDetections payload strictly.
+func DecodeDetections(payload []byte) (handle uint32, dropped uint64, dets []anduin.Detection, err error) {
+	if len(payload) < 14 {
+		return 0, 0, nil, fmt.Errorf("wire: detections payload of %d bytes is shorter than its header", len(payload))
+	}
+	handle = binary.BigEndian.Uint32(payload[:4])
+	dropped = binary.BigEndian.Uint64(payload[4:12])
+	count := int(binary.BigEndian.Uint16(payload[12:14]))
+	body := payload[14:]
+	if count > MaxDetections {
+		return 0, 0, nil, fmt.Errorf("wire: %d detections in one frame (max %d)", count, MaxDetections)
+	}
+	if max := len(body) / minDetSize; count > max {
+		return 0, 0, nil, fmt.Errorf("wire: %d detections cannot fit in %d payload bytes", count, len(body))
+	}
+	dets = make([]anduin.Detection, 0, count)
+	for i := 0; i < count; i++ {
+		if len(body) < 2 {
+			return 0, 0, nil, fmt.Errorf("wire: detection %d truncated", i)
+		}
+		nameLen := int(binary.BigEndian.Uint16(body[:2]))
+		body = body[2:]
+		if len(body) < nameLen+22 {
+			return 0, 0, nil, fmt.Errorf("wire: detection %d truncated", i)
+		}
+		var d anduin.Detection
+		d.Gesture = string(body[:nameLen])
+		body = body[nameLen:]
+		d.QueryID = int(binary.BigEndian.Uint32(body[:4]))
+		d.Start = decodeTime(int64(binary.BigEndian.Uint64(body[4:12])))
+		d.End = decodeTime(int64(binary.BigEndian.Uint64(body[12:20])))
+		nm := int(binary.BigEndian.Uint16(body[20:22]))
+		body = body[22:]
+		if len(body) < 8*nm {
+			return 0, 0, nil, fmt.Errorf("wire: detection %d measures truncated", i)
+		}
+		if nm > 0 {
+			d.Measures = make([]float64, nm)
+			for j := range d.Measures {
+				d.Measures[j] = math.Float64frombits(binary.BigEndian.Uint64(body[8*j:]))
+			}
+			body = body[8*nm:]
+		}
+		dets = append(dets, d)
+	}
+	if len(body) != 0 {
+		return 0, 0, nil, fmt.Errorf("wire: %d trailing bytes after detections", len(body))
+	}
+	return handle, dropped, dets, nil
+}

@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"gesturecep/internal/anduin"
+	"gesturecep/internal/stream"
+)
+
+// FuzzDecodeFrame feeds adversarial bytes to the frame reader and the
+// data-plane payload decoders. Contracts: never panic, never allocate
+// beyond the declared limits however the length fields lie, and decode
+// strictly enough that every accepted data-plane payload re-encodes to the
+// identical bytes (canonical encoding).
+func FuzzDecodeFrame(f *testing.F) {
+	ts := time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC)
+	seed := func(t FrameType, payload []byte) {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteFrame(t, payload); err == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	if p, err := AppendBatch(nil, 1, 3, []stream.Tuple{
+		{Ts: ts, Seq: 1, Fields: []float64{1, 2, 3}},
+		{Ts: ts.Add(33 * time.Millisecond), Seq: 2, Fields: []float64{-1, 0.5, 9e99}},
+	}); err == nil {
+		seed(FrameBatch, p)
+	}
+	if p, err := AppendDetections(nil, 1, 5, []anduin.Detection{
+		{Gesture: "swipe_right", QueryID: 2, Start: ts, End: ts.Add(time.Second), Measures: []float64{7}},
+	}); err == nil {
+		seed(FrameDetections, p)
+	}
+	seed(FrameAttach, []byte(`{"version":1,"id":"u"}`))
+	seed(FrameFlush, []byte(`{"handle":1}`))
+	// Lying length prefix and truncated header.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, byte(FrameBatch)})
+	f.Add([]byte{0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewReader(bytes.NewReader(data))
+		for i := 0; i < 16; i++ {
+			fr, err := d.Next()
+			if err != nil {
+				return
+			}
+			if len(fr.Payload) > MaxFrame {
+				t.Fatalf("frame payload of %d bytes exceeds MaxFrame", len(fr.Payload))
+			}
+			// The reader's buffer must never grow past the frame cap — the
+			// over-allocation guard against hostile length prefixes.
+			if cap(d.buf) > MaxFrame {
+				t.Fatalf("reader buffer grew to %d bytes", cap(d.buf))
+			}
+			switch fr.Type {
+			case FrameBatch:
+				b, err := DecodeBatch(fr.Payload)
+				if err != nil {
+					continue
+				}
+				if len(b.Tuples) > MaxBatch || b.Fields > MaxTupleFields {
+					t.Fatalf("decoded batch exceeds limits: %d×%d", len(b.Tuples), b.Fields)
+				}
+				re, err := AppendBatch(nil, b.Handle, b.Fields, b.Tuples)
+				if err != nil {
+					t.Fatalf("accepted batch does not re-encode: %v", err)
+				}
+				if !bytes.Equal(re, fr.Payload) {
+					t.Fatalf("batch decode/encode not canonical:\nin:  %x\nout: %x", fr.Payload, re)
+				}
+			case FrameDetections:
+				handle, dropped, dets, err := DecodeDetections(fr.Payload)
+				if err != nil {
+					continue
+				}
+				if len(dets) > MaxDetections {
+					t.Fatalf("decoded %d detections", len(dets))
+				}
+				re, err := AppendDetections(nil, handle, dropped, dets)
+				if err != nil {
+					t.Fatalf("accepted detections do not re-encode: %v", err)
+				}
+				if !bytes.Equal(re, fr.Payload) {
+					t.Fatalf("detections decode/encode not canonical:\nin:  %x\nout: %x", fr.Payload, re)
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeBatch hits the batch decoder directly (no frame header), so the
+// mutator spends its budget on payload structure.
+func FuzzDecodeBatch(f *testing.F) {
+	ts := time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC)
+	if p, err := AppendBatch(nil, 3, 2, []stream.Tuple{{Ts: ts, Seq: 9, Fields: []float64{4, 5}}}); err == nil {
+		f.Add(p)
+	}
+	var lying []byte
+	lying = binary.BigEndian.AppendUint32(lying, 1)
+	lying = binary.BigEndian.AppendUint16(lying, 0xffff) // claims 65535 tuples
+	lying = binary.BigEndian.AppendUint16(lying, 0xffff) // of 65535 fields
+	f.Add(lying)
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		b, err := DecodeBatch(payload)
+		if err != nil {
+			return
+		}
+		re, err := AppendBatch(nil, b.Handle, b.Fields, b.Tuples)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, payload) {
+			t.Fatalf("batch decode/encode not canonical")
+		}
+	})
+}

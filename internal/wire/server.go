@@ -1,0 +1,417 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"gesturecep/internal/anduin"
+	"gesturecep/internal/serve"
+)
+
+// maxPendingDetections bounds a session's detection push buffer. The buffer
+// absorbs bursts while the client socket is busy; past the cap the oldest
+// pending detection is evicted and counted, mirroring DropOldest semantics
+// (a detection listener runs on the shard worker and must never block on a
+// slow client socket).
+const maxPendingDetections = 65536
+
+// Server accepts wire-protocol connections and multiplexes their sessions
+// onto a serve.Manager. The manager's backpressure policy decides the
+// socket behaviour: Block parks the connection's reader goroutine on the
+// full shard queue (TCP flow control pushes back to the remote producer),
+// DropOldest keeps the reader draining and surfaces drop counts to the
+// client.
+type Server struct {
+	mgr *serve.Manager
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer creates a server over an existing session manager. The caller
+// keeps ownership of the manager and closes it after the server.
+func NewServer(mgr *serve.Manager) *Server {
+	return &Server{mgr: mgr, conns: make(map[*conn]struct{})}
+}
+
+// Manager returns the session manager the server serves.
+func (s *Server) Manager() *serve.Manager { return s.mgr }
+
+// Serve accepts connections on ln until Close. It always returns a non-nil
+// error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		cc := &conn{srv: s, c: c, r: NewReader(c), w: NewWriter(c), sessions: make(map[uint32]*connSession)}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return net.ErrClosed
+		}
+		s.conns[cc] = struct{}{}
+		// Register with the handler group under the lock: Close marks
+		// closed before calling Wait, so an Add here cannot race a Wait
+		// that is already draining.
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			cc.serve()
+			s.mu.Lock()
+			delete(s.conns, cc)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address once Serve is running.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes every connection and waits for their
+// handlers to finish. The underlying manager is left running.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// conn is one client connection: a reader goroutine processing frames
+// synchronously (the backpressure path) plus per-session pusher goroutines
+// streaming detections back.
+type conn struct {
+	srv *Server
+	c   net.Conn
+	r   *Reader
+
+	wmu sync.Mutex
+	w   *Writer
+
+	mu         sync.Mutex
+	sessions   map[uint32]*connSession
+	nextHandle uint32
+}
+
+// connSession is one attached session with its detection push state.
+type connSession struct {
+	handle uint32
+	sess   *serve.Session
+	cancel func()
+
+	pmu        sync.Mutex
+	pending    []anduin.Detection
+	detSent    atomic.Uint64
+	detDropped atomic.Uint64
+	notify     chan struct{}
+	done       chan struct{}
+	encBuf     []byte // detection encode scratch; guarded by conn.wmu
+}
+
+// serve runs the connection's frame loop until the peer disconnects or a
+// protocol violation occurs, then tears down every attached session.
+func (c *conn) serve() {
+	defer c.teardown()
+	for {
+		f, err := c.r.Next()
+		if err != nil {
+			return
+		}
+		if err := c.handle(f); err != nil {
+			// Protocol violation: report once and drop the connection.
+			c.wmu.Lock()
+			c.w.WriteJSON(FrameError, &ErrorReply{Msg: err.Error()})
+			c.wmu.Unlock()
+			return
+		}
+	}
+}
+
+func (c *conn) teardown() {
+	c.c.Close()
+	c.mu.Lock()
+	sessions := make([]*connSession, 0, len(c.sessions))
+	for h, cs := range c.sessions {
+		sessions = append(sessions, cs)
+		delete(c.sessions, h)
+	}
+	c.mu.Unlock()
+	for _, cs := range sessions {
+		cs.cancel()
+		close(cs.done)
+		cs.sess.Close()
+	}
+}
+
+// handle processes one frame on the reader goroutine. Returning an error
+// closes the connection; session-scoped failures are reported with
+// FrameError instead and keep the connection alive.
+func (c *conn) handle(f Frame) error {
+	switch f.Type {
+	case FrameAttach:
+		return c.handleAttach(f.Payload)
+	case FrameBatch:
+		return c.handleBatch(f.Payload)
+	case FrameFlush:
+		return c.handleSessionOp(f.Payload, FrameFlushOK, false)
+	case FrameDetach:
+		return c.handleSessionOp(f.Payload, FrameDetachOK, true)
+	case FrameMetricsReq:
+		c.wmu.Lock()
+		defer c.wmu.Unlock()
+		return c.w.WriteJSON(FrameMetricsOK, c.srv.mgr.Metrics())
+	default:
+		return fmt.Errorf("unexpected %s frame from client", f.Type)
+	}
+}
+
+func (c *conn) handleAttach(payload []byte) error {
+	var req AttachRequest
+	if err := unmarshalStrict(payload, &req); err != nil {
+		return fmt.Errorf("attach: %w", err)
+	}
+	if req.Version != ProtocolVersion {
+		return fmt.Errorf("attach: protocol version %d, server speaks %d", req.Version, ProtocolVersion)
+	}
+	sess, err := c.srv.mgr.CreateSession(req.ID, req.Gestures...)
+	if err != nil {
+		return c.sessionError(0, err)
+	}
+	c.mu.Lock()
+	c.nextHandle++
+	cs := &connSession{
+		handle: c.nextHandle,
+		sess:   sess,
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	c.sessions[cs.handle] = cs
+	c.mu.Unlock()
+
+	// Stream detections out instead of buffering them in the session: the
+	// listener runs on the shard worker, so it only appends to the pending
+	// slice; the pusher goroutine owns the socket writes.
+	cs.cancel = sess.OnDetection(func(d anduin.Detection) {
+		cs.pmu.Lock()
+		if len(cs.pending) >= maxPendingDetections {
+			cs.pending = cs.pending[1:]
+			cs.detDropped.Add(1)
+		}
+		cs.pending = append(cs.pending, d)
+		cs.pmu.Unlock()
+		select {
+		case cs.notify <- struct{}{}:
+		default:
+		}
+	})
+	sess.SetCollect(false)
+	go c.pushLoop(cs)
+
+	plans := req.Gestures
+	if len(plans) == 0 {
+		plans = c.srv.mgr.Registry().Names()
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.w.WriteJSON(FrameAttachOK, &AttachReply{
+		Handle: cs.handle,
+		Fields: rawFields(sess),
+		Plans:  plans,
+	})
+}
+
+// rawFields returns the width of the session's raw ingestion schema.
+func rawFields(sess *serve.Session) int {
+	if raw, ok := sess.Engine().Stream(anduin.RawStreamName); ok {
+		return raw.Schema().Len()
+	}
+	return 0
+}
+
+func (c *conn) handleBatch(payload []byte) error {
+	b, err := DecodeBatch(payload)
+	if err != nil {
+		return err
+	}
+	cs := c.session(b.Handle)
+	if cs == nil {
+		return fmt.Errorf("batch for unknown session handle %d", b.Handle)
+	}
+	for i := range b.Tuples {
+		// FeedTuple blocks on a full shard queue under serve.Block — this
+		// is the backpressure path: the reader goroutine stalls, the kernel
+		// socket buffer fills, TCP flow control paces the remote client.
+		if err := cs.sess.FeedTuple(b.Tuples[i]); err != nil {
+			// A feed failure means the session or manager closed under the
+			// connection; treat it as fatal so the client never receives an
+			// error frame it has no request in flight for.
+			return fmt.Errorf("session %q: %w", cs.sess.ID(), err)
+		}
+	}
+	return nil
+}
+
+// handleSessionOp implements flush and detach: wait until the session's
+// queue is drained, push any pending detections, then acknowledge with the
+// final counters — all under the write lock, so the client is guaranteed to
+// have every detection for tuples fed before the request once the ack
+// arrives.
+func (c *conn) handleSessionOp(payload []byte, ack FrameType, detach bool) error {
+	var ref SessionRef
+	if err := unmarshalStrict(payload, &ref); err != nil {
+		return fmt.Errorf("%s: %w", ack, err)
+	}
+	cs := c.session(ref.Handle)
+	if cs == nil {
+		// The client has a request in flight, so this is answerable as a
+		// session-scoped error (e.g. a double Detach) — the connection and
+		// its other sessions survive.
+		return c.sessionError(ref.Handle, fmt.Errorf("wire: no session with handle %d", ref.Handle))
+	}
+	cs.sess.Flush()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.writeDetectionsLocked(cs); err != nil {
+		return err
+	}
+	in, out, dropped := cs.sess.Counters()
+	counters := SessionCounters{
+		Handle:            cs.handle,
+		In:                in,
+		Out:               out,
+		Dropped:           dropped,
+		Detections:        cs.detSent.Load(),
+		DetectionsDropped: cs.detDropped.Load(),
+	}
+	if detach {
+		c.mu.Lock()
+		delete(c.sessions, cs.handle)
+		c.mu.Unlock()
+		cs.cancel()
+		close(cs.done)
+		cs.sess.Close()
+	}
+	return c.w.WriteJSON(ack, &counters)
+}
+
+func (c *conn) session(handle uint32) *connSession {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessions[handle]
+}
+
+// sessionError reports a session-scoped failure without closing the
+// connection.
+func (c *conn) sessionError(handle uint32, err error) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.w.WriteJSON(FrameError, &ErrorReply{Handle: handle, Msg: err.Error()})
+}
+
+// pushLoop streams pending detections to the client until the session
+// detaches or the connection dies.
+func (c *conn) pushLoop(cs *connSession) {
+	for {
+		select {
+		case <-cs.notify:
+			c.wmu.Lock()
+			err := c.writeDetectionsLocked(cs)
+			c.wmu.Unlock()
+			if err != nil {
+				c.c.Close() // wake the reader goroutine, which tears down
+				return
+			}
+		case <-cs.done:
+			return
+		}
+	}
+}
+
+// writeDetectionsLocked drains the session's pending detections into
+// FrameDetections frames. Callers hold c.wmu, which makes take-and-write
+// atomic: no acknowledgement can overtake a detection taken before it.
+func (c *conn) writeDetectionsLocked(cs *connSession) error {
+	for {
+		cs.pmu.Lock()
+		pending := cs.pending
+		cs.pending = nil
+		cs.pmu.Unlock()
+		if len(pending) == 0 {
+			return nil
+		}
+		_, _, dropped := cs.sess.Counters()
+		for len(pending) > 0 {
+			n := len(pending)
+			if n > MaxDetections {
+				n = MaxDetections
+			}
+			buf, err := AppendDetections(cs.encBuf[:0], cs.handle, dropped, pending[:n])
+			if err != nil {
+				return err
+			}
+			cs.encBuf = buf[:0]
+			if err := c.w.WriteFrame(FrameDetections, buf); err != nil {
+				return err
+			}
+			cs.detSent.Add(uint64(n))
+			pending = pending[n:]
+		}
+	}
+}
+
+// unmarshalStrict decodes a JSON control payload; json.Unmarshal already
+// rejects trailing non-whitespace data.
+func unmarshalStrict(payload []byte, v any) error {
+	return json.Unmarshal(payload, v)
+}

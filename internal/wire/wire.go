@@ -1,0 +1,156 @@
+// Package wire is the network ingestion layer of the serving runtime: a
+// compact length-prefixed binary frame protocol spoken over TCP between
+// remote sensor clients and a gestured server process, multiplexing many
+// remote sessions onto one serve.Manager.
+//
+// The paper runs its learned CEP queries inside AnduIN, a networked DSMS
+// that remote sensor clients publish into; this package is that deployment
+// shape for the reproduction. Design points:
+//
+//   - the data plane (tuple batches, detection pushes) is hand-rolled
+//     big-endian binary with reused buffers — no reflection, no JSON, no
+//     per-tuple allocations beyond the tuple field arena itself;
+//   - the control plane (attach/detach/flush/metrics) is small JSON
+//     payloads, where clarity beats nanoseconds;
+//   - backpressure propagates from the shard queues to the socket: each
+//     connection's frames are processed synchronously on its reader
+//     goroutine, so a full shard queue under serve.Block stops the read
+//     loop and lets TCP flow control pace the remote producer, while
+//     serve.DropOldest keeps the reader draining and reports the session's
+//     cumulative drop count back to the client on every detection push and
+//     flush acknowledgement.
+//
+// # Frame layout
+//
+// Every frame is a 5-byte header followed by a payload:
+//
+//	+----------------+---------+-------------------+
+//	| length uint32  | type u8 | payload (length B) |
+//	+----------------+---------+-------------------+
+//
+// length counts payload bytes only and must not exceed MaxFrame. Multi-byte
+// integers are big-endian throughout.
+//
+// Data-plane payloads:
+//
+//	FrameBatch      handle u32 | count u16 | fields u16 |
+//	                count × (ts i64 unix-ns | seq u64 | fields × f64)
+//	FrameDetections handle u32 | dropped u64 | count u16 |
+//	                count × (nameLen u16 | name | queryID u32 |
+//	                         start i64 | end i64 | nMeasures u16 |
+//	                         nMeasures × f64)
+//
+// Control-plane payloads are JSON-encoded structs (AttachRequest,
+// AttachReply, SessionRef, SessionCounters, serve.Metrics, ErrorReply).
+// Decoding is strict: a payload must be consumed exactly, and counts are
+// validated against the remaining payload length before any allocation, so
+// an adversarial length prefix can never make the decoder over-allocate.
+package wire
+
+import (
+	"fmt"
+	"time"
+)
+
+// ProtocolVersion identifies the frame protocol. It is carried in the
+// attach handshake; servers reject clients speaking a different version.
+const ProtocolVersion = 1
+
+// Limits enforced by the codec. Frames above MaxFrame are rejected before
+// their payload is read; batch geometry is validated against the actual
+// payload size before decoding.
+const (
+	// MaxFrame bounds a frame payload (1 MiB): a full batch of 1024
+	// 45-field tuples is ~376 KiB, so the cap leaves generous headroom
+	// without letting a hostile peer demand unbounded buffers.
+	MaxFrame = 1 << 20
+	// MaxBatch bounds tuples per batch frame.
+	MaxBatch = 1024
+	// MaxTupleFields bounds attributes per tuple (the kinect schema has 45).
+	MaxTupleFields = 1024
+	// MaxDetections bounds detections per push frame.
+	MaxDetections = 4096
+)
+
+// FrameType discriminates frame payloads.
+type FrameType uint8
+
+// Frame types. Client→server: Attach, Batch, Flush, Detach, MetricsReq.
+// Server→client: AttachOK, Detections, FlushOK, DetachOK, MetricsOK, Error.
+const (
+	FrameInvalid    FrameType = 0
+	FrameAttach     FrameType = 1  // JSON AttachRequest
+	FrameAttachOK   FrameType = 2  // JSON AttachReply
+	FrameDetach     FrameType = 3  // JSON SessionRef
+	FrameDetachOK   FrameType = 4  // JSON SessionCounters
+	FrameBatch      FrameType = 5  // binary tuple batch
+	FrameDetections FrameType = 6  // binary detection push
+	FrameFlush      FrameType = 7  // JSON SessionRef
+	FrameFlushOK    FrameType = 8  // JSON SessionCounters
+	FrameMetricsReq FrameType = 9  // empty
+	FrameMetricsOK  FrameType = 10 // JSON serve.Metrics
+	FrameError      FrameType = 11 // JSON ErrorReply
+	frameTypeEnd    FrameType = 12
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	names := [...]string{
+		"invalid", "attach", "attach-ok", "detach", "detach-ok", "batch",
+		"detections", "flush", "flush-ok", "metrics-req", "metrics-ok", "error",
+	}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("frame(%d)", uint8(t))
+}
+
+// AttachRequest opens a session on the server. Gestures names the plans to
+// deploy (empty = every registered plan).
+type AttachRequest struct {
+	Version  int      `json:"version"`
+	ID       string   `json:"id"`
+	Gestures []string `json:"gestures,omitempty"`
+}
+
+// AttachReply acknowledges an attach: the connection-local session handle
+// used by all subsequent data frames, the raw tuple schema width, and the
+// deployed plan names.
+type AttachReply struct {
+	Handle uint32   `json:"handle"`
+	Fields int      `json:"fields"`
+	Plans  []string `json:"plans"`
+}
+
+// SessionRef addresses one attached session in control frames.
+type SessionRef struct {
+	Handle uint32 `json:"handle"`
+}
+
+// SessionCounters reports a session's ingestion accounting: tuples admitted
+// (In), tuples that left the queue (Out), tuples evicted under DropOldest
+// (Dropped), detections pushed to the client (Detections), and detections
+// evicted from the push buffer because the client read too slowly
+// (DetectionsDropped).
+type SessionCounters struct {
+	Handle            uint32 `json:"handle"`
+	In                uint64 `json:"in"`
+	Out               uint64 `json:"out"`
+	Dropped           uint64 `json:"dropped"`
+	Detections        uint64 `json:"detections"`
+	DetectionsDropped uint64 `json:"detections_dropped"`
+}
+
+// ErrorReply reports a request failure. Handle 0 addresses the connection
+// itself (protocol violations; the server closes the connection after).
+type ErrorReply struct {
+	Handle uint32 `json:"handle,omitempty"`
+	Msg    string `json:"msg"`
+}
+
+// Error implements the error interface.
+func (e *ErrorReply) Error() string { return "wire: server: " + e.Msg }
+
+// decodeTime reconstructs an event time from wire nanoseconds in UTC, so
+// both endpoints observe the identical instant regardless of host timezone.
+func decodeTime(ns int64) time.Time { return time.Unix(0, ns).UTC() }
