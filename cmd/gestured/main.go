@@ -5,8 +5,11 @@
 //
 //	go run ./cmd/gestured -addr :7474
 //	go run ./cmd/gestured -addr :7474 -shards 8 -policy drop-oldest -queue 128
+//	go run ./cmd/gestured -addr :7474 -record-dir recordings
 //
-// Drive it with cmd/gestureload.
+// Drive it with cmd/gestureload. With -record-dir every session's tuple
+// stream is additionally written to a durable stream store; replay or
+// backfill it afterwards with cmd/gesturereplay.
 package main
 
 import (
@@ -21,6 +24,8 @@ import (
 	"gesturecep/internal/kinect"
 	"gesturecep/internal/learn"
 	"gesturecep/internal/serve"
+	"gesturecep/internal/store"
+	"gesturecep/internal/stream"
 	"gesturecep/internal/wire"
 )
 
@@ -28,22 +33,23 @@ var gestureNames = kinect.DemoGestureNames()
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":7474", "TCP listen address")
-		shards   = flag.Int("shards", 0, "ingestion shards (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 256, "per-shard queue depth")
-		policy   = flag.String("policy", "block", "backpressure policy: block or drop-oldest")
-		gestures = flag.Int("gestures", 4, "gestures to learn and register (1-8)")
-		seed     = flag.Int64("seed", 1, "trainer random seed")
-		verbose  = flag.Bool("v", false, "print the per-shard metric table on shutdown")
+		addr      = flag.String("addr", ":7474", "TCP listen address")
+		shards    = flag.Int("shards", 0, "ingestion shards (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 256, "per-shard queue depth")
+		policy    = flag.String("policy", "block", "backpressure policy: block or drop-oldest")
+		gestures  = flag.Int("gestures", 4, "gestures to learn and register (1-8)")
+		seed      = flag.Int64("seed", 1, "trainer random seed")
+		recordDir = flag.String("record-dir", "", "record every session's tuple stream into this stream-store directory (replay with cmd/gesturereplay)")
+		verbose   = flag.Bool("v", false, "print the per-shard metric table on shutdown")
 	)
 	flag.Parse()
-	if err := run(*addr, *shards, *queue, *policy, *gestures, *seed, *verbose); err != nil {
+	if err := run(*addr, *shards, *queue, *policy, *gestures, *seed, *recordDir, *verbose); err != nil {
 		log.SetFlags(0)
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, shards, queue int, policyName string, gestures int, seed int64, verbose bool) error {
+func run(addr string, shards, queue int, policyName string, gestures int, seed int64, recordDir string, verbose bool) error {
 	if gestures < 1 || gestures > len(gestureNames) {
 		return fmt.Errorf("gestured: -gestures must be 1..%d", len(gestureNames))
 	}
@@ -83,6 +89,28 @@ func run(addr string, shards, queue int, policyName string, gestures int, seed i
 	}
 	defer m.Close()
 	srv := wire.NewServer(m)
+
+	var arch *store.Archive
+	if recordDir != "" {
+		arch = store.NewArchive(recordDir, store.Options{}, 0)
+		defer arch.Close()
+		srv.TapSessions = func(id string) (func(stream.Tuple), func(bool), error) {
+			rec, err := arch.Record(id, kinect.Schema())
+			if err != nil {
+				return nil, nil, err
+			}
+			return rec.Tap(), func(aborted bool) {
+				end := arch.Release
+				if aborted { // attach failed: drop the never-used recording
+					end = arch.Abort
+				}
+				if err := end(rec); err != nil {
+					log.Printf("gestured: recording %q: %v", rec.Stream(), err)
+				}
+			}, nil
+		}
+		fmt.Printf("recording sessions into %s\n", recordDir)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,213 @@
+// gesturereplay drives the durable stream store from the command line: it
+// lists recorded streams, replays a recording back through a serving
+// session (at wall-clock, scaled or maximum speed), or backfills compiled
+// gesture plans over recorded history offline — the batch half of the
+// lambda-style live+historical system.
+//
+//	go run ./cmd/gesturereplay -dir recordings -list
+//	go run ./cmd/gesturereplay -dir recordings -stream user-1 -mode replay -speed 0
+//	go run ./cmd/gesturereplay -dir recordings -stream user-1 -mode replay -speed 1
+//	go run ./cmd/gesturereplay -dir recordings -stream user-1 -mode backfill -gestures 8
+//
+// Plans are learned from the same deterministic trainer gestured uses, so
+// running with the same -gestures/-seed evaluates the identical compiled
+// queries the live server served — replaying a stream recorded by
+// `gestured -record-dir` reproduces its detections byte for byte. Raising
+// -gestures beyond what the server had deployed is the offline-backfill
+// workflow: new queries evaluated over old data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"gesturecep/internal/anduin"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/learn"
+	"gesturecep/internal/serve"
+	"gesturecep/internal/store"
+)
+
+var gestureNames = kinect.DemoGestureNames()
+
+func main() {
+	var (
+		dir      = flag.String("dir", "recordings", "stream-store directory")
+		name     = flag.String("stream", "", "recorded stream to replay or backfill")
+		mode     = flag.String("mode", "replay", "replay (through a serving session) or backfill (offline plan evaluation)")
+		list     = flag.Bool("list", false, "list recorded streams and exit (reads and CRC-verifies every record)")
+		speed    = flag.Float64("speed", 0, "replay speed: 0 = max, 1 = wall clock, 2 = double speed")
+		gestures = flag.Int("gestures", 4, "gestures to learn and evaluate (1-8)")
+		seed     = flag.Int64("seed", 1, "trainer random seed (match the recording server's)")
+		verbose  = flag.Bool("v", false, "print every detection")
+	)
+	flag.Parse()
+	if err := run(*dir, *name, *mode, *list, *speed, *gestures, *seed, *verbose); err != nil {
+		log.SetFlags(0)
+		log.Fatal(err)
+	}
+}
+
+func run(dir, name, mode string, list bool, speed float64, gestures int, seed int64, verbose bool) error {
+	if list {
+		return listStreams(dir)
+	}
+	if name == "" {
+		return fmt.Errorf("gesturereplay: -stream is required (or -list)")
+	}
+	if gestures < 1 || gestures > len(gestureNames) {
+		return fmt.Errorf("gesturereplay: -gestures must be 1..%d", len(gestureNames))
+	}
+	reg, err := learnPlans(gestures, seed)
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case "replay":
+		return replay(dir, name, reg, speed, verbose)
+	case "backfill":
+		return backfill(dir, name, reg, verbose)
+	default:
+		return fmt.Errorf("gesturereplay: unknown mode %q (want replay or backfill)", mode)
+	}
+}
+
+func listStreams(dir string) error {
+	names, err := store.ListStreams(dir)
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		fmt.Printf("no recorded streams under %s\n", dir)
+		return nil
+	}
+	fmt.Printf("%-24s %10s %12s %10s\n", "stream", "records", "tuples", "span")
+	for _, n := range names {
+		r, err := store.OpenReader(dir, n)
+		if err != nil {
+			return err
+		}
+		var span time.Duration
+		var firstTs, lastTs time.Time
+		for {
+			tuples, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				r.Close()
+				return fmt.Errorf("gesturereplay: stream %q: %w", n, err)
+			}
+			if len(tuples) > 0 {
+				if firstTs.IsZero() {
+					firstTs = tuples[0].Ts
+				}
+				lastTs = tuples[len(tuples)-1].Ts
+			}
+		}
+		if !firstTs.IsZero() {
+			span = lastTs.Sub(firstTs)
+		}
+		records, tuples := r.Counters()
+		r.Close()
+		fmt.Printf("%-24s %10d %12d %10v\n", n, records, tuples, span.Round(time.Millisecond))
+	}
+	return nil
+}
+
+// learnPlans mirrors gestured's startup: the same trainer seed yields the
+// same learned queries and therefore the same compiled plans.
+func learnPlans(gestures int, seed int64) (*serve.Registry, error) {
+	fmt.Printf("learning %d gestures ... ", gestures)
+	begin := time.Now()
+	start := time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC)
+	trainer, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.DefaultNoise(), seed)
+	if err != nil {
+		return nil, err
+	}
+	reg := serve.NewRegistry()
+	specs := kinect.StandardGestures()
+	for _, name := range gestureNames[:gestures] {
+		samples, err := trainer.Samples(specs[name], 4, start, kinect.PerformOpts{PathJitter: 25})
+		if err != nil {
+			return nil, err
+		}
+		res, err := learn.Learn(name, samples, learn.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		if _, err := reg.Register(name, res.QueryText); err != nil {
+			return nil, err
+		}
+	}
+	fmt.Printf("done in %v\n", time.Since(begin).Round(time.Millisecond))
+	return reg, nil
+}
+
+func printDetection(d anduin.Detection) {
+	fmt.Printf("  %s  %s .. %s  (%v)\n",
+		d.Gesture, d.Start.Format("15:04:05.000"), d.End.Format("15:04:05.000"),
+		d.Duration().Round(time.Millisecond))
+}
+
+func replay(dir, name string, reg *serve.Registry, speed float64, verbose bool) error {
+	r, err := store.OpenReader(dir, name)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	m, err := serve.NewManager(serve.Config{}, reg)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	sess, err := m.CreateSession("replay:" + name)
+	if err != nil {
+		return err
+	}
+	stats, err := store.ReplayToSession(r, sess, store.ReplayOptions{Speed: speed})
+	if err != nil {
+		return err
+	}
+	dets := sess.Detections()
+	if verbose {
+		for _, d := range dets {
+			printDetection(d)
+		}
+	}
+	rate := float64(stats.Tuples) / stats.Duration.Seconds()
+	fmt.Printf("replayed %d tuples (%d records, event span %v) in %v — %.0f tuples/s, %d detections\n",
+		stats.Tuples, stats.Records, stats.EventSpan.Round(time.Millisecond),
+		stats.Duration.Round(time.Millisecond), rate, len(dets))
+	return nil
+}
+
+func backfill(dir, name string, reg *serve.Registry, verbose bool) error {
+	r, err := store.OpenReader(dir, name)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	plans, err := reg.Resolve()
+	if err != nil {
+		return err
+	}
+	begin := time.Now()
+	var onDet func(anduin.Detection)
+	if verbose {
+		onDet = printDetection
+	}
+	dets, err := store.Backfill(r, plans, store.BackfillOptions{OnDetection: onDet})
+	if err != nil {
+		return err
+	}
+	records, tuples := r.Counters()
+	elapsed := time.Since(begin)
+	fmt.Printf("backfilled %d plans over %d tuples (%d records) in %v — %.0f tuples/s, %d detections\n",
+		len(plans), tuples, records, elapsed.Round(time.Millisecond),
+		float64(tuples)/elapsed.Seconds(), len(dets))
+	return nil
+}

@@ -26,6 +26,7 @@ import (
 	"gesturecep/internal/kinect"
 	"gesturecep/internal/learn"
 	"gesturecep/internal/serve"
+	"gesturecep/internal/store"
 	"gesturecep/internal/stream"
 	"gesturecep/internal/transform"
 	"gesturecep/internal/validate"
@@ -249,6 +250,12 @@ type (
 	// ServeSession is one tenant: a private engine fed through the
 	// sharded ingestion layer.
 	ServeSession = serve.Session
+	// ServeSessionOptions tunes one session beyond plan selection (e.g.
+	// a stream-store recording tap).
+	ServeSessionOptions = serve.SessionOptions
+	// ServeSessionMetrics is a per-session counter snapshot inside
+	// ServeMetrics.
+	ServeSessionMetrics = serve.SessionMetrics
 	// ServeMetrics is a point-in-time snapshot of the fleet's counters.
 	ServeMetrics = serve.Metrics
 	// BackpressurePolicy selects the behaviour of a full shard queue.
@@ -314,6 +321,80 @@ func NewWireServer(m *ServeManager) *WireServer { return wire.NewServer(m) }
 
 // DialWire connects to a gestured server.
 func DialWire(addr string) (*WireClient, error) { return wire.Dial(addr) }
+
+// --- Durable stream store (the internal/store subsystem). ---
+
+// Re-exported store types, so recording/replay/backfill applications only
+// import this package.
+type (
+	// StoreOptions tunes a stream writer (segment size, record batching,
+	// fsync).
+	StoreOptions = store.Options
+	// StoreManifest is the immutable metadata of one recorded stream.
+	StoreManifest = store.Manifest
+	// StoreWriter appends tuples to one recorded stream as CRC-framed,
+	// segmented records.
+	StoreWriter = store.Writer
+	// StoreReader iterates a recorded stream in append order, verifying
+	// every record.
+	StoreReader = store.Reader
+	// StoreRecorder taps a live serving session into a stream store
+	// without ever blocking the hot path.
+	StoreRecorder = store.Recorder
+	// StoreArchive manages the recordings of a whole server under one
+	// root directory.
+	StoreArchive = store.Archive
+	// ReplayStoreOptions tunes playback speed (0 = max, 1 = wall clock).
+	ReplayStoreOptions = store.ReplayOptions
+	// ReplayStoreStats reports what a replay delivered.
+	ReplayStoreStats = store.ReplayStats
+	// BackfillOptions tunes offline plan evaluation over recorded history.
+	BackfillOptions = store.BackfillOptions
+)
+
+// CreateStore initializes a new recorded stream of raw kinect tuples under
+// root; record into it with NewStoreRecorder or StoreWriter.Append.
+func CreateStore(root, name string, opts StoreOptions) (*StoreWriter, error) {
+	return store.Create(root, name, kinect.Schema(), opts)
+}
+
+// OpenStore resumes appending to an existing recorded stream, repairing a
+// torn tail left by a crash (see StoreWriter.Recovered).
+func OpenStore(root, name string, opts StoreOptions) (*StoreWriter, error) {
+	return store.Open(root, name, opts)
+}
+
+// OpenStoreReader opens a recorded stream for sequential reading.
+func OpenStoreReader(root, name string) (*StoreReader, error) {
+	return store.OpenReader(root, name)
+}
+
+// ListStores lists the recorded streams under root.
+func ListStores(root string) ([]string, error) { return store.ListStreams(root) }
+
+// NewStoreRecorder starts recording into w through a bounded, drop-counting
+// buffer; install the recorder's Tap on a serving session via
+// ServeSessionOptions.Tap.
+func NewStoreRecorder(w *StoreWriter, buffer int) *StoreRecorder {
+	return store.NewRecorder(w, buffer)
+}
+
+// NewStoreArchive creates a per-server recording archive rooted at dir.
+func NewStoreArchive(root string, opts StoreOptions) *StoreArchive {
+	return store.NewArchive(root, opts, 0)
+}
+
+// ReplayStore feeds a recorded history through a serving session at the
+// configured speed; detections are byte-identical to the original run.
+func ReplayStore(r *StoreReader, sess *ServeSession, opts ReplayStoreOptions) (ReplayStoreStats, error) {
+	return store.ReplayToSession(r, sess, opts)
+}
+
+// BackfillStore evaluates compiled plans over a recorded history offline
+// and returns the detections they produce.
+func BackfillStore(r *StoreReader, plans []*Plan, opts BackfillOptions) ([]Detection, error) {
+	return store.Backfill(r, plans, opts)
+}
 
 // Evaluate scores detections against a session's ground truth.
 func Evaluate(truth []TruthInterval, dets []Detection, tolerance time.Duration) map[string]Outcome {

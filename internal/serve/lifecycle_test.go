@@ -1,11 +1,15 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"gesturecep/internal/stream"
 )
 
 // Lifecycle edge cases the base suite does not cover: CloseSession racing
@@ -171,6 +175,20 @@ func TestMetricsSnapshotConsistency(t *testing.T) {
 		if mm.Sessions != sessions {
 			t.Fatalf("snapshot sessions = %d, want %d", mm.Sessions, sessions)
 		}
+		if len(mm.PerSession) != sessions {
+			t.Fatalf("snapshot lists %d sessions, want %d", len(mm.PerSession), sessions)
+		}
+		for i, sm := range mm.PerSession {
+			if sm.Out > sm.In {
+				t.Fatalf("session %q snapshot out > in: %+v", sm.ID, sm)
+			}
+			if sm.Queued != sm.In-sm.Out {
+				t.Fatalf("session %q queued %d != in-out %d", sm.ID, sm.Queued, sm.In-sm.Out)
+			}
+			if i > 0 && mm.PerSession[i-1].ID >= sm.ID {
+				t.Fatalf("per-session snapshot not sorted: %q before %q", mm.PerSession[i-1].ID, sm.ID)
+			}
+		}
 	}
 	stop.Store(true)
 	wg.Wait()
@@ -185,5 +203,106 @@ func TestMetricsSnapshotConsistency(t *testing.T) {
 	}
 	if snapshots == 0 {
 		t.Fatal("no snapshots taken")
+	}
+}
+
+// TestPerSessionMetrics drives two sessions to different depths and checks
+// the per-session snapshot: exact counters per ID, queue drained to zero
+// after Flush, drops attributed to the right session, and JSON tags
+// present (the snapshot is served verbatim over the wire metrics frame).
+func TestPerSessionMetrics(t *testing.T) {
+	m := newTestManager(t, Config{Shards: 2, QueueDepth: 64},
+		map[string]string{"never": neverQuery})
+	tuples := idleTuples(t, 1)
+	a, err := m.CreateSession("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.CreateSession("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.FeedTuple(tuples[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.FeedTuple(tuples[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Flush()
+
+	mm := m.Metrics()
+	if len(mm.PerSession) != 2 {
+		t.Fatalf("PerSession has %d entries, want 2", len(mm.PerSession))
+	}
+	byID := map[string]SessionMetrics{}
+	for _, sm := range mm.PerSession {
+		byID[sm.ID] = sm
+	}
+	if sm := byID["alice"]; sm.In != 10 || sm.Out != 10 || sm.Queued != 0 || sm.Dropped != 0 {
+		t.Errorf("alice snapshot = %+v", sm)
+	}
+	if sm := byID["bob"]; sm.In != 3 || sm.Out != 3 || sm.Queued != 0 {
+		t.Errorf("bob snapshot = %+v", sm)
+	}
+	if sm := byID["alice"]; sm.Shard != a.Shard() {
+		t.Errorf("alice on shard %d, snapshot says %d", a.Shard(), sm.Shard)
+	}
+
+	data, err := json.Marshal(mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"per_session"`, `"queued"`, `"dropped"`, `"id":"alice"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("metrics JSON lacks %s: %s", key, data)
+		}
+	}
+}
+
+// TestSessionTap checks the recording hook: a single-feeder session's tap
+// observes exactly the admitted tuples in feed order, and taps are
+// per-session.
+func TestSessionTap(t *testing.T) {
+	m := newTestManager(t, Config{Shards: 2}, map[string]string{"never": neverQuery})
+	tuples := idleTuples(t, 32)
+
+	var tapped []stream.Tuple
+	s, err := m.CreateSessionWith("tapped", SessionOptions{Tap: func(tu stream.Tuple) {
+		tapped = append(tapped, tu)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := m.CreateSession("plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tuples {
+		if err := s.FeedTuple(tuples[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := other.FeedTuple(tuples[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Flush()
+	if len(tapped) != len(tuples) {
+		t.Fatalf("tap saw %d tuples, fed %d", len(tapped), len(tuples))
+	}
+	for i := range tapped {
+		if tapped[i].Seq != tuples[i].Seq || !tapped[i].Ts.Equal(tuples[i].Ts) {
+			t.Fatalf("tap order diverges at %d: got seq %d, want %d", i, tapped[i].Seq, tuples[i].Seq)
+		}
+	}
+	// A rejected tuple (wrong arity) must not reach the tap.
+	if err := s.FeedTuple(stream.Tuple{Fields: []float64{1}}); err == nil {
+		t.Fatal("short tuple admitted")
+	}
+	if len(tapped) != len(tuples) {
+		t.Fatal("rejected tuple reached the tap")
 	}
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -17,16 +18,31 @@ type ShardMetrics struct {
 	Detections uint64 `json:"detections"`
 }
 
+// SessionMetrics is a point-in-time snapshot of one live session's
+// ingestion counters. In/Out/Dropped/Detections are cumulative since the
+// session was created; Queued is the instantaneous number of its tuples
+// still sitting in the shard queue.
+type SessionMetrics struct {
+	ID         string `json:"id"`
+	Shard      int    `json:"shard"`
+	In         uint64 `json:"in"`
+	Out        uint64 `json:"out"`
+	Queued     uint64 `json:"queued"`
+	Dropped    uint64 `json:"dropped"`
+	Detections uint64 `json:"detections"`
+}
+
 // Metrics aggregates the shard snapshots. Counters are monotonically
 // increasing since manager start; QueueDepth is instantaneous.
 type Metrics struct {
-	Sessions   int            `json:"sessions"`
-	Enqueued   uint64         `json:"enqueued"`
-	Processed  uint64         `json:"processed"`
-	Dropped    uint64         `json:"dropped"`
-	Detections uint64         `json:"detections"`
-	QueueDepth int            `json:"queue_depth"`
-	Shards     []ShardMetrics `json:"shards"`
+	Sessions   int              `json:"sessions"`
+	Enqueued   uint64           `json:"enqueued"`
+	Processed  uint64           `json:"processed"`
+	Dropped    uint64           `json:"dropped"`
+	Detections uint64           `json:"detections"`
+	QueueDepth int              `json:"queue_depth"`
+	Shards     []ShardMetrics   `json:"shards"`
+	PerSession []SessionMetrics `json:"per_session,omitempty"`
 }
 
 // Metrics snapshots every shard's counters without pausing ingestion: the
@@ -37,7 +53,30 @@ type Metrics struct {
 // counter (a tuple increments enqueued before processed/dropped, so reading
 // in the opposite order can never observe more out than in).
 func (m *Manager) Metrics() Metrics {
-	out := Metrics{Sessions: m.SessionCount()}
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+
+	out := Metrics{Sessions: len(sessions)}
+	for _, s := range sessions {
+		// Load out before in: out trails in, so the difference can never
+		// underflow however ingestion races the snapshot.
+		o := s.out.Load()
+		i := s.in.Load()
+		out.PerSession = append(out.PerSession, SessionMetrics{
+			ID:         s.id,
+			Shard:      s.shard.id,
+			In:         i,
+			Out:        o,
+			Queued:     i - o,
+			Dropped:    s.dropped.Load(),
+			Detections: s.detections.Load(),
+		})
+	}
 	for _, sh := range m.shards {
 		processed := sh.processed.Load()
 		dropped := sh.dropped.Load()

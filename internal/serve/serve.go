@@ -238,10 +238,16 @@ func (m *Manager) enqueue(s *Session, t stream.Tuple) error {
 	}
 	sh := s.shard
 	env := envelope{sess: s, tuple: t}
-	// Count the tuple in before it becomes visible to the worker: once past
-	// the closed check the tuple is guaranteed to be admitted and drained,
-	// and counting first means no snapshot can ever observe more tuples out
-	// of a queue than went in.
+	// Past the closed check the tuple is guaranteed to be admitted — this
+	// is where the recording tap observes it, so a recorded stream holds
+	// exactly what the session accepted (including tuples DropOldest may
+	// later evict: drops are a serving artifact, not part of the history).
+	if s.tap != nil {
+		s.tap(t)
+	}
+	// Count the tuple in before it becomes visible to the worker: counting
+	// first means no snapshot can ever observe more tuples out of a queue
+	// than went in.
 	s.in.Add(1)
 	sh.enqueued.Add(1)
 	switch m.cfg.Policy {

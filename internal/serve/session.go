@@ -24,12 +24,18 @@ type Session struct {
 	engine *anduin.Engine
 	raw    *stream.Stream
 
+	// tap, when non-nil, observes every admitted tuple on the feeding
+	// goroutine (the stream-store recording hook). Set at creation, never
+	// mutated, so enqueue reads it without synchronization.
+	tap func(stream.Tuple)
+
 	closed atomic.Bool
 	// in counts tuples admitted to the shard queue; out counts tuples that
 	// left it (published or dropped). in == out means the session is idle.
-	in      atomic.Uint64
-	out     atomic.Uint64
-	dropped atomic.Uint64
+	in         atomic.Uint64
+	out        atomic.Uint64
+	dropped    atomic.Uint64
+	detections atomic.Uint64
 
 	// collect gates the internal detection buffer. Remote consumers that
 	// stream detections out via OnDetection switch it off so a long-lived
@@ -39,14 +45,35 @@ type Session struct {
 	dets    []anduin.Detection
 }
 
+// SessionOptions tunes one session beyond plan selection.
+type SessionOptions struct {
+	// Gestures names the plans to deploy; empty deploys every registered
+	// plan.
+	Gestures []string
+	// Tap, when non-nil, is called with every tuple admitted to the
+	// session's queue, on the feeding goroutine, before shard processing.
+	// It must never block — the standard tap is store.Recorder.Tap, which
+	// does a non-blocking send into a bounded buffer and counts drops.
+	// With a single feeding goroutine (the usual pattern, and what the
+	// wire server guarantees) the tap observes exactly the admitted tuple
+	// order, which is what makes recorded sessions replayable
+	// byte-for-byte.
+	Tap func(stream.Tuple)
+}
+
 // CreateSession builds a session, deploys the named plans (all registered
 // plans when names is empty) and pins it to a shard. The session is live
 // immediately.
 func (m *Manager) CreateSession(id string, gestures ...string) (*Session, error) {
+	return m.CreateSessionWith(id, SessionOptions{Gestures: gestures})
+}
+
+// CreateSessionWith is CreateSession with recording/ingestion options.
+func (m *Manager) CreateSessionWith(id string, opts SessionOptions) (*Session, error) {
 	if id == "" {
 		return nil, fmt.Errorf("serve: empty session id")
 	}
-	plans, err := m.reg.Resolve(gestures...)
+	plans, err := m.reg.Resolve(opts.Gestures...)
 	if err != nil {
 		return nil, err
 	}
@@ -69,6 +96,7 @@ func (m *Manager) CreateSession(id string, gestures ...string) (*Session, error)
 		shard:  m.shardFor(id),
 		engine: engine,
 		raw:    raw,
+		tap:    opts.Tap,
 	}
 	// The collector subscription is installed before any tuple can be fed,
 	// so no detection is ever missed.
@@ -79,6 +107,7 @@ func (m *Manager) CreateSession(id string, gestures ...string) (*Session, error)
 			s.dets = append(s.dets, d)
 			s.detMu.Unlock()
 		}
+		s.detections.Add(1)
 		s.shard.detections.Add(1)
 	})
 	for _, p := range plans {

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"fmt"
+	"io"
+
+	"gesturecep/internal/anduin"
+	"gesturecep/internal/transform"
+)
+
+// BackfillOptions tunes offline evaluation.
+type BackfillOptions struct {
+	// Transform configures the kinect_t view the plans read; nil selects
+	// transform.DefaultConfig() — the same default a serving session uses,
+	// so backfill results line up with live detections.
+	Transform *transform.Config
+	// OnDetection, when non-nil, streams each detection out as it fires,
+	// in order, on the calling goroutine.
+	OnDetection func(anduin.Detection)
+	// Discard skips collecting detections in the returned slice — set it
+	// together with OnDetection when backfilling a history too large to
+	// hold its detections in memory.
+	Discard bool
+}
+
+// Backfill evaluates compiled plans over a recorded history offline: it
+// builds a private engine with the standard kinect pipeline, deploys the
+// plans, and publishes every recorded tuple through it in order — the
+// lambda-style batch path over the same code the live path runs, so a
+// plan backfilled over a recorded session produces exactly the detections
+// a live session deploying it would have produced.
+func Backfill(r *Reader, plans []*anduin.Plan, opts BackfillOptions) ([]anduin.Detection, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("store: backfill needs at least one plan")
+	}
+	cfg := transform.DefaultConfig()
+	if opts.Transform != nil {
+		cfg = *opts.Transform
+	}
+	engine := anduin.New()
+	raw, _, err := engine.KinectPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer engine.UndeployAll()
+	if r.Fields() != raw.Schema().Len() {
+		return nil, fmt.Errorf("store: stream %q is %d fields wide, the kinect pipeline expects %d",
+			r.Manifest().Stream, r.Fields(), raw.Schema().Len())
+	}
+	var dets []anduin.Detection
+	engine.Subscribe(func(d anduin.Detection) {
+		if !opts.Discard {
+			dets = append(dets, d)
+		}
+		if opts.OnDetection != nil {
+			opts.OnDetection(d)
+		}
+	})
+	for _, p := range plans {
+		if _, err := engine.DeployPlan(p); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		tuples, err := r.Next()
+		if err == io.EOF {
+			return dets, nil
+		}
+		if err != nil {
+			return dets, err
+		}
+		for i := range tuples {
+			if err := raw.Publish(tuples[i]); err != nil {
+				return dets, err
+			}
+		}
+	}
+}

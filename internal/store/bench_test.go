@@ -1,0 +1,92 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/stream"
+)
+
+// benchTuples synthesizes kinect-width tuples (45 fields, 30 Hz spacing).
+func benchTuples(n int) []stream.Tuple {
+	schema := kinect.Schema()
+	base := time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC)
+	out := make([]stream.Tuple, n)
+	for i := range out {
+		fs := make([]float64, schema.Len())
+		for j := range fs {
+			fs[j] = float64((i+j)%100) * 0.01
+		}
+		out[i] = stream.Tuple{Ts: base.Add(time.Duration(i) * 33 * time.Millisecond), Seq: uint64(i), Fields: fs}
+	}
+	return out
+}
+
+// BenchmarkRecordAppend measures the disk-side append path (buffered
+// records, CRC framing, segment rolls) at kinect tuple width.
+func BenchmarkRecordAppend(b *testing.B) {
+	tuples := benchTuples(4096)
+	w, err := Create(b.TempDir(), "bench", kinect.Schema(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	bytesPerTuple := int64(tupleBytes(kinect.Schema().Len()))
+	b.SetBytes(bytesPerTuple)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(tuples[i%len(tuples)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkReplayThroughput measures the read path: segment decode, CRC
+// verification and tuple delivery into a no-op sink.
+func BenchmarkReplayThroughput(b *testing.B) {
+	root := b.TempDir()
+	const n = 8192
+	tuples := benchTuples(n)
+	w, err := Create(root, "bench", kinect.Schema(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range tuples {
+		if err := w.Append(tuples[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(n) * int64(tupleBytes(kinect.Schema().Len())))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := OpenReader(root, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var got uint64
+		for {
+			tuples, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			got += uint64(len(tuples))
+		}
+		r.Close()
+		if got != n {
+			b.Fatal(fmt.Errorf("read %d tuples, want %d", got, n))
+		}
+	}
+}

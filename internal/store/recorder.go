@@ -1,0 +1,260 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"gesturecep/internal/stream"
+)
+
+// DefaultRecorderBuffer is the default depth of a Recorder's tap buffer.
+const DefaultRecorderBuffer = 4096
+
+// Recorder decouples a live serving session from disk: the Tap function is
+// installed on the session's feed path and only ever does a non-blocking
+// send into a bounded buffer, so recording can never stall ingestion — if
+// the disk falls behind, tuples are dropped from the recording (never from
+// detection) and counted. A single drain goroutine owns the Writer.
+type Recorder struct {
+	w    *Writer
+	ch   chan stream.Tuple
+	quit chan struct{}
+	done chan struct{}
+
+	// tapMu makes Close a barrier for in-flight taps: taps hold the read
+	// side around the closed-check-then-send, Close flips closed under the
+	// write side, so once Close holds the lock no tap can still sneak a
+	// tuple into the buffer uncounted — Recorded()+Dropped() equals the
+	// number of tap calls exactly.
+	tapMu    sync.RWMutex
+	closed   atomic.Bool
+	recorded atomic.Uint64
+	dropped  atomic.Uint64
+	err      atomic.Value // first Writer error, as errBox
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type errBox struct{ err error }
+
+// NewRecorder starts recording into w, taking ownership of it (Close
+// closes the writer). buffer <= 0 selects DefaultRecorderBuffer.
+func NewRecorder(w *Writer, buffer int) *Recorder {
+	if buffer <= 0 {
+		buffer = DefaultRecorderBuffer
+	}
+	r := &Recorder{
+		w:    w,
+		ch:   make(chan stream.Tuple, buffer),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go r.drain()
+	return r
+}
+
+// Tap returns the function to install on the live feed path (e.g. as
+// serve.SessionOptions.Tap). It never blocks on the disk: a full buffer or
+// a recorder that has stopped counts the tuple as dropped and moves on.
+// (The read lock only contends with Close itself, and only for an
+// instant.)
+func (r *Recorder) Tap() func(stream.Tuple) {
+	return func(t stream.Tuple) {
+		r.tapMu.RLock()
+		defer r.tapMu.RUnlock()
+		if r.closed.Load() || r.err.Load() != nil {
+			r.dropped.Add(1)
+			return
+		}
+		select {
+		case r.ch <- t:
+		default:
+			r.dropped.Add(1)
+		}
+	}
+}
+
+// drain moves tuples from the tap buffer to the writer until Close.
+func (r *Recorder) drain() {
+	defer close(r.done)
+	for {
+		select {
+		case t := <-r.ch:
+			r.append(t)
+		case <-r.quit:
+			// Drain whatever the taps managed to buffer before Close.
+			for {
+				select {
+				case t := <-r.ch:
+					r.append(t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (r *Recorder) append(t stream.Tuple) {
+	if r.err.Load() != nil {
+		r.dropped.Add(1)
+		return
+	}
+	if err := r.w.Append(t); err != nil {
+		r.err.Store(errBox{err})
+		r.dropped.Add(1)
+		return
+	}
+	r.recorded.Add(1)
+}
+
+// Recorded returns the number of tuples handed to the writer.
+func (r *Recorder) Recorded() uint64 { return r.recorded.Load() }
+
+// Dropped returns the number of tuples lost to a full buffer, a stopped
+// recorder or a failed writer.
+func (r *Recorder) Dropped() uint64 { return r.dropped.Load() }
+
+// Err returns the first writer error, if any; once set, the recorder stops
+// appending and counts everything as dropped.
+func (r *Recorder) Err() error {
+	if b, ok := r.err.Load().(errBox); ok {
+		return b.err
+	}
+	return nil
+}
+
+// Stream returns the name of the recorded stream.
+func (r *Recorder) Stream() string { return r.w.Manifest().Stream }
+
+// Close stops the taps, drains the buffer and closes the writer.
+// Idempotent; taps installed on still-live sessions keep working (counting
+// drops) after Close.
+func (r *Recorder) Close() error {
+	r.closeOnce.Do(func() {
+		// The write lock waits out in-flight taps, so every tuple that
+		// passed a closed-check is in the buffer before quit is signalled
+		// and the drain's final sweep picks it up.
+		r.tapMu.Lock()
+		r.closed.Store(true)
+		r.tapMu.Unlock()
+		close(r.quit)
+		<-r.done
+		r.closeErr = r.w.Close()
+		if r.closeErr == nil {
+			r.closeErr = r.Err()
+		}
+	})
+	return r.closeErr
+}
+
+// Archive manages the recordings of a whole server under one root
+// directory: one recorded stream per session, with name collisions (e.g.
+// a remote client reusing a session ID) resolved by a numeric suffix.
+// Safe for concurrent use.
+type Archive struct {
+	root   string
+	opts   Options
+	buffer int
+
+	mu     sync.Mutex
+	open   map[string]*Recorder // by stream name
+	closed bool
+}
+
+// NewArchive creates an archive rooted at dir; streams are created lazily
+// by Record. buffer <= 0 selects DefaultRecorderBuffer per recorder.
+func NewArchive(root string, opts Options, buffer int) *Archive {
+	return &Archive{root: root, opts: opts, buffer: buffer, open: make(map[string]*Recorder)}
+}
+
+// Root returns the archive directory.
+func (a *Archive) Root() string { return a.root }
+
+// Record creates a fresh recorded stream for the given session and returns
+// its recorder. If a stream of that name already exists (an earlier run,
+// or a reused session ID), ".2", ".3", … suffixes are tried.
+func (a *Archive) Record(name string, schema *stream.Schema) (*Recorder, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil, fmt.Errorf("store: archive %s is closed", a.root)
+	}
+	candidate := name
+	for n := 2; ; n++ {
+		_, inUse := a.open[candidate]
+		if !inUse && !Exists(a.root, candidate) {
+			break
+		}
+		candidate = fmt.Sprintf("%s.%d", name, n)
+	}
+	w, err := Create(a.root, candidate, schema, a.opts)
+	if err != nil {
+		return nil, err
+	}
+	rec := NewRecorder(w, a.buffer)
+	a.open[candidate] = rec
+	return rec, nil
+}
+
+// Release closes one recorder and forgets it. Called when its session
+// ends; Close handles any recorder not released by then.
+func (a *Archive) Release(rec *Recorder) error {
+	a.mu.Lock()
+	delete(a.open, rec.Stream())
+	a.mu.Unlock()
+	return rec.Close()
+}
+
+// Abort closes one recorder and deletes its recording entirely — for
+// streams whose session never came to life (e.g. a failed attach), so
+// retries do not litter the archive with empty streams and burn ID
+// suffixes.
+func (a *Archive) Abort(rec *Recorder) error {
+	a.mu.Lock()
+	delete(a.open, rec.Stream())
+	a.mu.Unlock()
+	closeErr := rec.Close()
+	if err := os.RemoveAll(rec.w.Dir()); err != nil {
+		return err
+	}
+	return closeErr
+}
+
+// Streams returns the names of recordings currently open.
+func (a *Archive) Streams() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.open))
+	for name := range a.open {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Close closes every recorder still open. The archive directory remains
+// readable with OpenReader/ListStreams.
+func (a *Archive) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	recs := make([]*Recorder, 0, len(a.open))
+	for name, rec := range a.open {
+		recs = append(recs, rec)
+		delete(a.open, name)
+	}
+	a.mu.Unlock()
+	var first error
+	for _, rec := range recs {
+		if err := rec.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,90 @@
+package store
+
+import (
+	"io"
+	"time"
+
+	"gesturecep/internal/serve"
+	"gesturecep/internal/stream"
+)
+
+// ReplayOptions tunes playback speed.
+type ReplayOptions struct {
+	// Speed scales event time to wall-clock time: 1 replays at the
+	// original rate, 2 at double speed, 0 (the default) as fast as the
+	// sink accepts. Pacing is drift-free — each tuple is scheduled against
+	// the replay start, not the previous tuple, so sleep jitter does not
+	// accumulate.
+	Speed float64
+	// Limit stops the replay after this many tuples (0 = all).
+	Limit uint64
+}
+
+// ReplayStats reports what a replay delivered.
+type ReplayStats struct {
+	Records  uint64
+	Tuples   uint64
+	Duration time.Duration
+	// EventSpan is the event-time distance between the first and last
+	// replayed tuple.
+	EventSpan time.Duration
+}
+
+// Replay streams a recorded history into sink in record order. The sink is
+// called on the calling goroutine; an error from it aborts the replay.
+func Replay(r *Reader, sink func(stream.Tuple) error, opts ReplayOptions) (ReplayStats, error) {
+	var stats ReplayStats
+	wallStart := time.Now()
+	var eventStart, eventLast time.Time
+	first := true
+	for {
+		tuples, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return stats, err
+		}
+		for i := range tuples {
+			t := tuples[i]
+			if first {
+				eventStart, eventLast = t.Ts, t.Ts
+				first = false
+			} else if t.Ts.After(eventLast) {
+				eventLast = t.Ts
+			}
+			if opts.Speed > 0 {
+				target := wallStart.Add(time.Duration(float64(t.Ts.Sub(eventStart)) / opts.Speed))
+				if d := time.Until(target); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			if err := sink(t); err != nil {
+				return stats, err
+			}
+			stats.Tuples++
+			if opts.Limit > 0 && stats.Tuples >= opts.Limit {
+				stats.Records++
+				stats.Duration = time.Since(wallStart)
+				stats.EventSpan = eventLast.Sub(eventStart)
+				return stats, nil
+			}
+		}
+		stats.Records++
+	}
+	stats.Duration = time.Since(wallStart)
+	if !first {
+		stats.EventSpan = eventLast.Sub(eventStart)
+	}
+	return stats, nil
+}
+
+// ReplayToSession feeds a recorded history through a serving session —
+// the same shard queue, transformation view and NFA evaluation a live
+// producer gets, so detections are byte-identical to the original run —
+// and flushes the session before returning.
+func ReplayToSession(r *Reader, sess *serve.Session, opts ReplayOptions) (ReplayStats, error) {
+	stats, err := Replay(r, sess.FeedTuple, opts)
+	sess.Flush()
+	return stats, err
+}

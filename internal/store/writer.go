@@ -1,0 +1,251 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"gesturecep/internal/stream"
+	"gesturecep/internal/wire"
+)
+
+// Writer appends tuples to one recorded stream. Tuples are buffered into
+// records of Options.BatchTuples and framed with a CRC; segments roll at
+// Options.SegmentBytes. Safe for concurrent use (appends serialize on an
+// internal lock), though the usual producer is a single Recorder drain
+// goroutine.
+//
+// Appended tuples are retained until their record is written; callers that
+// mutate field slices after Append must pass a Clone. (Tuples taken off a
+// live stream are immutable by convention and need no copy.)
+type Writer struct {
+	dir  string
+	man  Manifest
+	opts Options
+
+	mu        sync.Mutex
+	f         *os.File
+	bw        *bufio.Writer
+	segIndex  int
+	segBytes  int64
+	records   uint64 // stream-wide records written (== next record ordinal)
+	tuples    uint64 // tuples appended this writer (excludes history)
+	batch     []stream.Tuple
+	encBuf    []byte
+	closed    bool
+	recovered RecoveryInfo
+}
+
+func newWriter(dir string, man Manifest, opts Options) *Writer {
+	return &Writer{dir: dir, man: man, opts: opts.withDefaults(len(man.Fields))}
+}
+
+// Manifest returns the stream's immutable metadata.
+func (w *Writer) Manifest() Manifest { return w.man }
+
+// Dir returns the stream directory.
+func (w *Writer) Dir() string { return w.dir }
+
+// Recovered reports what Open had to repair; zero after Create.
+func (w *Writer) Recovered() RecoveryInfo { return w.recovered }
+
+// Records returns the stream-wide record count (history plus this run).
+func (w *Writer) Records() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+// Tuples returns the number of tuples appended through this writer,
+// including those still buffered.
+func (w *Writer) Tuples() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tuples + uint64(len(w.batch))
+}
+
+// openSegment creates segment index with the given base record ordinal and
+// makes it the append target.
+func (w *Writer) openSegment(index int, baseRecord uint64) error {
+	f, err := os.OpenFile(segmentPath(w.dir, index), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := encodeSegHeader(segHeader{fields: len(w.man.Fields), baseRecord: baseRecord})
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 64<<10)
+	w.segIndex = index
+	w.segBytes = segHeaderBytes
+	w.records = baseRecord
+	return nil
+}
+
+// recover positions the writer at the end of the last valid record,
+// repairing a torn tail: the last segment is scanned record by record and
+// truncated back to the last CRC-valid boundary; a tail segment whose very
+// header is torn is removed and the scan falls back to the previous one.
+func (w *Writer) recover() error {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	for len(segs) > 0 {
+		index := segs[len(segs)-1]
+		path := segmentPath(w.dir, index)
+		scan, headerOK, err := scanSegment(path)
+		if err != nil {
+			return fmt.Errorf("store: segment %d of stream %q: %w", index, w.man.Stream, err)
+		}
+		if !headerOK {
+			if err := os.Remove(path); err != nil {
+				return err
+			}
+			w.recovered.RemovedSegments++
+			segs = segs[:len(segs)-1]
+			continue
+		}
+		if scan.hdr.fields != len(w.man.Fields) {
+			return fmt.Errorf("store: segment %d is %d fields wide, manifest declares %d",
+				index, scan.hdr.fields, len(w.man.Fields))
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY, 0)
+		if err != nil {
+			return err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if st.Size() > scan.validBytes {
+			if err := f.Truncate(scan.validBytes); err != nil {
+				f.Close()
+				return err
+			}
+			w.recovered.TruncatedBytes += st.Size() - scan.validBytes
+		}
+		if _, err := f.Seek(scan.validBytes, 0); err != nil {
+			f.Close()
+			return err
+		}
+		w.f = f
+		w.bw = bufio.NewWriterSize(f, 64<<10)
+		w.segIndex = index
+		w.segBytes = scan.validBytes
+		w.records = scan.hdr.baseRecord + scan.records
+		return nil
+	}
+	// Every segment was torn away (or the stream never got one): start over.
+	return w.openSegment(1, 0)
+}
+
+// Append buffers one tuple; a full buffer is written out as one record.
+func (w *Writer) Append(t stream.Tuple) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("store: writer for %q is closed", w.man.Stream)
+	}
+	if len(t.Fields) != len(w.man.Fields) {
+		return fmt.Errorf("store: tuple has %d fields, stream %q records %d",
+			len(t.Fields), w.man.Stream, len(w.man.Fields))
+	}
+	w.batch = append(w.batch, t)
+	if len(w.batch) >= w.opts.BatchTuples {
+		return w.writeRecordLocked()
+	}
+	return nil
+}
+
+// writeRecordLocked flushes the buffered tuples as one CRC-framed record
+// and rolls the segment if it crossed the size threshold.
+func (w *Writer) writeRecordLocked() error {
+	if len(w.batch) == 0 {
+		return nil
+	}
+	payload, err := wire.AppendBatch(w.encBuf[:0], uint32(w.records), len(w.man.Fields), w.batch)
+	if err != nil {
+		return err
+	}
+	w.encBuf = payload[:0]
+	var hdr [recHeaderBytes]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return err
+	}
+	w.records++
+	w.tuples += uint64(len(w.batch))
+	w.batch = w.batch[:0]
+	w.segBytes += int64(recHeaderBytes + len(payload))
+	if w.segBytes >= w.opts.SegmentBytes {
+		return w.rollLocked()
+	}
+	return nil
+}
+
+// rollLocked seals the current segment and opens the next one.
+func (w *Writer) rollLocked() error {
+	if err := w.sealLocked(); err != nil {
+		return err
+	}
+	return w.openSegment(w.segIndex+1, w.records)
+}
+
+// sealLocked flushes and closes the current segment file.
+func (w *Writer) sealLocked() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if w.opts.Sync {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	return w.f.Close()
+}
+
+// Flush writes any buffered tuples out as a (possibly short) record and
+// pushes everything to the OS; with Options.Sync it also fsyncs.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("store: writer for %q is closed", w.man.Stream)
+	}
+	if err := w.writeRecordLocked(); err != nil {
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if w.opts.Sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// Close flushes buffered tuples and closes the segment file. The stream
+// can be resumed later with Open.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.writeRecordLocked(); err != nil {
+		return err
+	}
+	return w.sealLocked()
+}

@@ -86,12 +86,18 @@ func (cl *Client) Err() error {
 }
 
 // fail records the connection-killing error and wakes pending requests.
-func (cl *Client) fail(err error) {
-	if cl.err.Load() == nil {
+// The first failure wins: a write error that kills the socket is not
+// overwritten by the "use of closed network connection" noise the read
+// loop produces moments later, and a deliberate Close (closed already set)
+// records no error at all. It returns the canonical connection error so
+// call sites surface the root cause rather than whatever secondary error
+// they happened to observe.
+func (cl *Client) fail(err error) error {
+	if !cl.closed.Swap(true) {
 		cl.err.Store(errBox{err})
 	}
-	cl.closed.Store(true)
 	cl.c.Close()
+	return cl.closedErr()
 }
 
 // readLoop dispatches incoming frames: detection pushes go straight to
@@ -145,8 +151,7 @@ func (cl *Client) roundTrip(req FrameType, v any, wantReply FrameType, out any) 
 	err := cl.w.WriteJSON(req, v)
 	cl.wmu.Unlock()
 	if err != nil {
-		cl.fail(err)
-		return err
+		return cl.fail(err)
 	}
 	select {
 	case resp := <-cl.respCh:
@@ -163,9 +168,7 @@ func (cl *Client) roundTrip(req FrameType, v any, wantReply FrameType, out any) 
 			}
 			return &er
 		default:
-			err := fmt.Errorf("wire: got %s reply, want %s", resp.frameType, wantReply)
-			cl.fail(err)
-			return err
+			return cl.fail(fmt.Errorf("wire: got %s reply, want %s", resp.frameType, wantReply))
 		}
 	case <-cl.done:
 		return cl.closedErr()
@@ -328,8 +331,10 @@ func (rs *RemoteSession) FlushBatch() error {
 	err = rs.cl.w.WriteFrame(FrameBatch, buf)
 	rs.cl.wmu.Unlock()
 	if err != nil {
-		rs.cl.fail(err)
-		return err
+		// fail keeps the first error: if the socket died under the read
+		// loop an instant ago, the caller sees that root cause instead of
+		// this write's "use of closed network connection".
+		return rs.cl.fail(err)
 	}
 	return nil
 }

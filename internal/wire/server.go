@@ -9,6 +9,7 @@ import (
 
 	"gesturecep/internal/anduin"
 	"gesturecep/internal/serve"
+	"gesturecep/internal/stream"
 )
 
 // maxPendingDetections bounds a session's detection push buffer. The buffer
@@ -26,6 +27,18 @@ const maxPendingDetections = 65536
 // client.
 type Server struct {
 	mgr *serve.Manager
+
+	// TapSessions, when non-nil, is consulted on every attach: it returns
+	// the tuple tap to install on the new session (see
+	// serve.SessionOptions.Tap) plus a release function called exactly
+	// once when the session ends — aborted=true means the session was
+	// never created (the attach failed after the tap was made), so the
+	// hook can discard a recording no tuple ever reached; aborted=false
+	// means a normal detach or connection teardown. An error fails the
+	// attach. This is how cmd/gestured records remote sessions into a
+	// stream-store archive without the wire layer knowing about disks.
+	// Set it before Serve; it must be safe for concurrent use.
+	TapSessions func(sessionID string) (tap func(stream.Tuple), release func(aborted bool), err error)
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -146,9 +159,10 @@ type conn struct {
 
 // connSession is one attached session with its detection push state.
 type connSession struct {
-	handle uint32
-	sess   *serve.Session
-	cancel func()
+	handle  uint32
+	sess    *serve.Session
+	cancel  func()
+	release func(aborted bool) // recording tap release; nil when not recording
 
 	pmu        sync.Mutex
 	pending    []anduin.Detection
@@ -191,6 +205,9 @@ func (c *conn) teardown() {
 		cs.cancel()
 		close(cs.done)
 		cs.sess.Close()
+		if cs.release != nil {
+			cs.release(false)
+		}
 	}
 }
 
@@ -224,17 +241,30 @@ func (c *conn) handleAttach(payload []byte) error {
 	if req.Version != ProtocolVersion {
 		return fmt.Errorf("attach: protocol version %d, server speaks %d", req.Version, ProtocolVersion)
 	}
-	sess, err := c.srv.mgr.CreateSession(req.ID, req.Gestures...)
+	var tap func(stream.Tuple)
+	var release func(aborted bool)
+	if c.srv.TapSessions != nil {
+		var err error
+		tap, release, err = c.srv.TapSessions(req.ID)
+		if err != nil {
+			return c.sessionError(0, fmt.Errorf("wire: recording %q: %w", req.ID, err))
+		}
+	}
+	sess, err := c.srv.mgr.CreateSessionWith(req.ID, serve.SessionOptions{Gestures: req.Gestures, Tap: tap})
 	if err != nil {
+		if release != nil {
+			release(true)
+		}
 		return c.sessionError(0, err)
 	}
 	c.mu.Lock()
 	c.nextHandle++
 	cs := &connSession{
-		handle: c.nextHandle,
-		sess:   sess,
-		notify: make(chan struct{}, 1),
-		done:   make(chan struct{}),
+		handle:  c.nextHandle,
+		sess:    sess,
+		release: release,
+		notify:  make(chan struct{}, 1),
+		done:    make(chan struct{}),
 	}
 	c.sessions[cs.handle] = cs
 	c.mu.Unlock()
@@ -341,6 +371,9 @@ func (c *conn) handleSessionOp(payload []byte, ack FrameType, detach bool) error
 		cs.cancel()
 		close(cs.done)
 		cs.sess.Close()
+		if cs.release != nil {
+			cs.release(false)
+		}
 	}
 	return c.w.WriteJSON(ack, &counters)
 }

@@ -2,7 +2,9 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"testing"
@@ -491,5 +493,44 @@ func TestCodecRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(dp, rd) {
 		t.Error("detection encoding is not canonical under round trip")
+	}
+}
+
+// TestClientSurfacesWriteError kills the peer under a feeding client and
+// requires the root-cause socket error in the returned chain — not the
+// generic "connection closed" (nor the secondary "use of closed network
+// connection" the read loop produces an instant later).
+func TestClientSurfacesWriteError(t *testing.T) {
+	clientEnd, serverEnd := net.Pipe()
+	cl := NewClient(clientEnd)
+	defer cl.Close()
+	rs := &RemoteSession{cl: cl, handle: 1, fields: 2, batchSize: 1}
+
+	serverEnd.Close() // the socket dies mid-batch
+
+	var err error
+	deadline := time.Now().Add(2 * time.Second)
+	for err == nil && time.Now().Before(deadline) {
+		err = rs.FeedTuple(stream.Tuple{Ts: testTime(), Fields: []float64{1, 2}})
+	}
+	if err == nil {
+		t.Fatal("feeding a dead socket never failed")
+	}
+	if !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("error chain lacks the underlying socket error: %v", err)
+	}
+	if cerr := cl.Err(); !errors.Is(cerr, io.ErrClosedPipe) {
+		t.Fatalf("Client.Err() = %v, want the root-cause socket error", cerr)
+	}
+	// A deliberate Close on a healthy client stays a plain close: no
+	// misleading root cause recorded.
+	c2End, s2End := net.Pipe()
+	go func() { _, _ = io.Copy(io.Discard, s2End) }()
+	cl2 := NewClient(c2End)
+	if err := cl2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl2.Err(); err != nil {
+		t.Fatalf("deliberate Close recorded an error: %v", err)
 	}
 }
