@@ -13,7 +13,6 @@ package gesture
 
 import (
 	"fmt"
-	"net"
 	"strconv"
 	"sync"
 	"testing"
@@ -21,6 +20,7 @@ import (
 
 	"gesturecep/internal/cep"
 	"gesturecep/internal/detect"
+	"gesturecep/internal/e2e"
 	"gesturecep/internal/experiments"
 	"gesturecep/internal/kinect"
 	"gesturecep/internal/learn"
@@ -405,36 +405,10 @@ func BenchmarkWireDecodeBatch(b *testing.B) {
 // BenchmarkWireLoopback measures the complete network path — client codec →
 // TCP loopback → gestured frame loop → sharded session manager → detection
 // push-back — for one remote session replaying a recording per iteration.
+// Its cluster twin is BenchmarkGatewayProxy (internal/cluster): the same
+// path with the gateway hop in between.
 func BenchmarkWireLoopback(b *testing.B) {
-	sim, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.DefaultNoise(), 1)
-	if err != nil {
-		b.Fatal(err)
-	}
-	samples, err := sim.Samples(kinect.StandardGestures()[kinect.GestureSwipeRight], 4,
-		benchTime(), kinect.PerformOpts{PathJitter: 25})
-	if err != nil {
-		b.Fatal(err)
-	}
-	res, err := learn.Learn("swipe_right", samples, learn.DefaultConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
-	reg := serve.NewRegistry()
-	if _, err := reg.Register("swipe_right", res.QueryText); err != nil {
-		b.Fatal(err)
-	}
-	m, err := serve.NewManager(serve.Config{Shards: 2}, reg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer m.Close()
-	srv := wire.NewServer(m)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		b.Fatal(err)
-	}
-	go srv.Serve(ln)
-	defer srv.Close()
+	h := e2e.Start(b, e2e.Options{Serve: serve.Config{Shards: 2}})
 
 	player, err := kinect.NewSimulator(kinect.ChildProfile(), kinect.DefaultNoise(), 7)
 	if err != nil {
@@ -451,11 +425,7 @@ func BenchmarkWireLoopback(b *testing.B) {
 	tuples := kinect.ToTuples(rec.Frames)
 	stride := rec.Duration() + time.Second
 
-	cl, err := wire.Dial(ln.Addr().String())
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer cl.Close()
+	cl := h.Dial()
 	rs, err := cl.Attach("bench", wire.AttachOptions{BatchSize: 64, Discard: true})
 	if err != nil {
 		b.Fatal(err)

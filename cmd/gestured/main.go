@@ -34,6 +34,7 @@ var gestureNames = kinect.DemoGestureNames()
 func main() {
 	var (
 		addr      = flag.String("addr", ":7474", "TCP listen address")
+		name      = flag.String("name", "", "server name reported in ping replies (how a cluster gateway labels this backend)")
 		shards    = flag.Int("shards", 0, "ingestion shards (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 256, "per-shard queue depth")
 		policy    = flag.String("policy", "block", "backpressure policy: block or drop-oldest")
@@ -43,13 +44,13 @@ func main() {
 		verbose   = flag.Bool("v", false, "print the per-shard metric table on shutdown")
 	)
 	flag.Parse()
-	if err := run(*addr, *shards, *queue, *policy, *gestures, *seed, *recordDir, *verbose); err != nil {
+	if err := run(*addr, *name, *shards, *queue, *policy, *gestures, *seed, *recordDir, *verbose); err != nil {
 		log.SetFlags(0)
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, shards, queue int, policyName string, gestures int, seed int64, recordDir string, verbose bool) error {
+func run(addr, name string, shards, queue int, policyName string, gestures int, seed int64, recordDir string, verbose bool) error {
 	if gestures < 1 || gestures > len(gestureNames) {
 		return fmt.Errorf("gestured: -gestures must be 1..%d", len(gestureNames))
 	}
@@ -89,6 +90,7 @@ func run(addr string, shards, queue int, policyName string, gestures int, seed i
 	}
 	defer m.Close()
 	srv := wire.NewServer(m)
+	srv.Name = name
 
 	var arch *store.Archive
 	if recordDir != "" {

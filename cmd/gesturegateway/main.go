@@ -1,0 +1,197 @@
+// gesturegateway is the cluster front door: it terminates the wire
+// protocol and shards remote sessions across a fleet of gestured backends
+// with a bounded-load consistent-hash ring, health-checking each backend
+// and re-homing sessions off dead ones. Clients — cmd/gestureload included
+// — target it exactly as they would a single gestured process.
+//
+// All-in-one mode spawns the backends in-process (learning the gestures
+// once, sharing the compiled plans across the fleet):
+//
+//	go run ./cmd/gesturegateway -addr :7475 -backends 3
+//	go run ./cmd/gestureload -addr localhost:7475 -sessions 256 -verify
+//
+// Fronting external gestured processes instead:
+//
+//	go run ./cmd/gestured -addr :7474 -name b0 &
+//	go run ./cmd/gestured -addr :7476 -name b1 &
+//	go run ./cmd/gesturegateway -addr :7475 -backend b0=localhost:7474 -backend b1=localhost:7476
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gesturecep/internal/cluster"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/learn"
+	"gesturecep/internal/serve"
+	"gesturecep/internal/store"
+	"gesturecep/internal/stream"
+)
+
+var gestureNames = kinect.DemoGestureNames()
+
+// backendFlags collects repeated -backend id=addr values.
+type backendFlags []cluster.Backend
+
+func (b *backendFlags) String() string {
+	parts := make([]string, len(*b))
+	for i, be := range *b {
+		parts[i] = be.ID + "=" + be.Addr
+	}
+	return strings.Join(parts, ",")
+}
+
+func (b *backendFlags) Set(v string) error {
+	id, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		id, addr = v, v // a bare address names itself
+	}
+	*b = append(*b, cluster.Backend{ID: id, Addr: addr})
+	return nil
+}
+
+func main() {
+	var external backendFlags
+	var (
+		addr         = flag.String("addr", ":7475", "TCP listen address for the gateway front")
+		backends     = flag.Int("backends", 3, "in-process backends to spawn (ignored with -backend)")
+		vnodes       = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per backend on the ring")
+		loadFactor   = flag.Float64("load-factor", cluster.DefaultLoadFactor, "bounded-load factor c (max sessions per backend = ceil(c × average))")
+		probe        = flag.Duration("probe", 500*time.Millisecond, "health-probe interval (negative disables probing)")
+		probeTimeout = flag.Duration("probe-timeout", 2*time.Second, "health-probe timeout before a backend is ejected")
+		shards       = flag.Int("shards", 0, "ingestion shards per spawned backend (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 256, "per-shard queue depth of spawned backends")
+		policy       = flag.String("policy", "block", "spawned backends' backpressure policy: block or drop-oldest")
+		gestures     = flag.Int("gestures", 4, "gestures to learn for spawned backends (1-8)")
+		seed         = flag.Int64("seed", 1, "trainer random seed")
+		recordDir    = flag.String("record-dir", "", "record every spawned backend's sessions under this directory (one archive per backend)")
+		verbose      = flag.Bool("v", false, "print the per-backend metric table on shutdown")
+	)
+	flag.Var(&external, "backend", "external backend as id=host:port (repeatable; disables spawning)")
+	flag.Parse()
+	if err := run(*addr, external, *backends, *vnodes, *loadFactor, *probe, *probeTimeout,
+		*shards, *queue, *policy, *gestures, *seed, *recordDir, *verbose); err != nil {
+		log.SetFlags(0)
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, external []cluster.Backend, backends, vnodes int, loadFactor float64,
+	probe, probeTimeout time.Duration, shards, queue int, policyName string,
+	gestures int, seed int64, recordDir string, verbose bool) error {
+	fleet := external
+	if len(external) == 0 {
+		if gestures < 1 || gestures > len(gestureNames) {
+			return fmt.Errorf("gesturegateway: -gestures must be 1..%d", len(gestureNames))
+		}
+		pol, err := serve.ParsePolicy(policyName)
+		if err != nil {
+			return err
+		}
+
+		// Learn each gesture once; the whole fleet shares the plans.
+		fmt.Printf("learning %d gestures ... ", gestures)
+		start := time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC)
+		learnStart := time.Now()
+		trainer, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.DefaultNoise(), seed)
+		if err != nil {
+			return err
+		}
+		reg := serve.NewRegistry()
+		specs := kinect.StandardGestures()
+		for _, name := range gestureNames[:gestures] {
+			samples, err := trainer.Samples(specs[name], 4, start, kinect.PerformOpts{PathJitter: 25})
+			if err != nil {
+				return err
+			}
+			res, err := learn.Learn(name, samples, learn.DefaultConfig())
+			if err != nil {
+				return err
+			}
+			if _, err := reg.Register(name, res.QueryText); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("done in %v\n", time.Since(learnStart).Round(time.Millisecond))
+
+		opts := cluster.SpawnOptions{Serve: serve.Config{Shards: shards, QueueDepth: queue, Policy: pol}}
+		var archives []*store.Archive
+		if recordDir != "" {
+			opts.TapSessions = func(backendID string) func(string) (func(stream.Tuple), func(bool), error) {
+				arch := store.NewArchive(recordDir+"/"+backendID, store.Options{}, 0)
+				archives = append(archives, arch)
+				return func(sessionID string) (func(stream.Tuple), func(bool), error) {
+					rec, err := arch.Record(sessionID, kinect.Schema())
+					if err != nil {
+						return nil, nil, err
+					}
+					return rec.Tap(), func(aborted bool) {
+						end := arch.Release
+						if aborted {
+							end = arch.Abort
+						}
+						if err := end(rec); err != nil {
+							log.Printf("gesturegateway: recording %q: %v", rec.Stream(), err)
+						}
+					}, nil
+				}
+			}
+		}
+		sp, err := cluster.Spawn(backends, reg, opts)
+		if err != nil {
+			return err
+		}
+		defer sp.Close()
+		for _, arch := range archives {
+			defer arch.Close()
+		}
+		if recordDir != "" {
+			fmt.Printf("recording sessions under %s (one archive per backend)\n", recordDir)
+		}
+		fleet = sp.Backends()
+		fmt.Printf("spawned %d backends, %d plans, policy %s\n", backends, reg.Len(), pol)
+	}
+
+	gw, err := cluster.NewGateway(cluster.Config{
+		Backends:      fleet,
+		Name:          "gesturegateway",
+		VNodes:        vnodes,
+		LoadFactor:    loadFactor,
+		ProbeInterval: probe,
+		ProbeTimeout:  probeTimeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- gw.ListenAndServe(addr) }()
+
+	fmt.Printf("gesturegateway listening on %s — %d backends, %d vnodes, load factor %.2f, probe %v\n",
+		addr, len(fleet), vnodes, loadFactor, probe)
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("\n%v: shutting down\n", sig)
+	}
+	mm := gw.Metrics()
+	if err := gw.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("served %s\n", mm)
+	if verbose {
+		fmt.Print(mm.Table())
+	}
+	return nil
+}

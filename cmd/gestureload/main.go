@@ -36,9 +36,10 @@ func main() {
 		repeats  = flag.Int("repeats", 3, "gesture performances per recording")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		verify   = flag.Bool("verify", false, "require identical detections across sessions sharing a recording")
+		metrics  = flag.Bool("metrics", false, "fetch and print the server's metrics table after the run (includes per-backend rows when driving a gateway)")
 	)
 	flag.Parse()
-	if err := run(*addr, *sessions, *conns, *batch, *repeats, *seed, *verify); err != nil {
+	if err := run(*addr, *sessions, *conns, *batch, *repeats, *seed, *verify, *metrics); err != nil {
 		log.SetFlags(0)
 		log.Fatal(err)
 	}
@@ -55,7 +56,7 @@ type sessionResult struct {
 	err       error
 }
 
-func run(addr string, sessions, conns, batch, repeats int, seed int64, verify bool) error {
+func run(addr string, sessions, conns, batch, repeats int, seed int64, verify, metrics bool) error {
 	if sessions < 1 || conns < 1 || repeats < 1 {
 		return fmt.Errorf("gestureload: -sessions, -conns and -repeats must be positive")
 	}
@@ -163,6 +164,14 @@ func run(addr string, sessions, conns, batch, repeats int, seed int64, verify bo
 			return fmt.Errorf("gestureload: %d sessions diverged", diverged)
 		}
 		fmt.Printf("verify: all sessions per recording byte-identical ✓\n")
+	}
+
+	if metrics {
+		mm, err := clients[0].Metrics()
+		if err != nil {
+			return fmt.Errorf("gestureload: fetching metrics: %w", err)
+		}
+		fmt.Printf("\nserver metrics: %s\n%s", mm, mm.Table())
 	}
 	return nil
 }

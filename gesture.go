@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"gesturecep/internal/anduin"
+	"gesturecep/internal/cluster"
 	"gesturecep/internal/detect"
 	"gesturecep/internal/gesturedb"
 	"gesturecep/internal/kinect"
@@ -321,6 +322,55 @@ func NewWireServer(m *ServeManager) *WireServer { return wire.NewServer(m) }
 
 // DialWire connects to a gestured server.
 func DialWire(addr string) (*WireClient, error) { return wire.Dial(addr) }
+
+// --- Cluster gateway (the internal/cluster scale-out layer). ---
+
+// Re-exported cluster types, so scale-out deployments only import this
+// package.
+type (
+	// ClusterBackend describes one wire backend a gateway fronts (ID +
+	// address).
+	ClusterBackend = cluster.Backend
+	// ClusterConfig tunes a gateway: backend fleet, ring geometry
+	// (virtual nodes, bounded-load factor) and health probing.
+	ClusterConfig = cluster.Config
+	// ClusterGateway terminates the wire protocol in front of a backend
+	// fleet, sharding sessions with a bounded-load consistent-hash ring,
+	// ejecting unhealthy backends and re-homing their sessions.
+	ClusterGateway = cluster.Gateway
+	// ClusterRing is the consistent-hash ring (virtual nodes +
+	// bounded-load placement) the gateway shards sessions with.
+	ClusterRing = cluster.Ring
+	// ClusterSpawner runs an in-process fleet of wire backends sharing
+	// one plan registry (the all-in-one cluster deployment).
+	ClusterSpawner = cluster.Spawner
+	// ClusterSpawnOptions tunes spawned backends (serve config, recording
+	// hook).
+	ClusterSpawnOptions = cluster.SpawnOptions
+	// BackendMetrics is the per-backend section of a gateway's aggregated
+	// metrics snapshot.
+	BackendMetrics = serve.BackendMetrics
+)
+
+// NewClusterRing creates an empty consistent-hash ring (vnodes <= 0 and
+// factor < 1 select the defaults).
+func NewClusterRing(vnodes int, factor float64) *ClusterRing {
+	return cluster.NewRing(vnodes, factor)
+}
+
+// NewClusterGateway dials the configured backends and builds the gateway;
+// start it with ListenAndServe (or Serve on an existing listener), exactly
+// like a WireServer.
+func NewClusterGateway(cfg ClusterConfig) (*ClusterGateway, error) {
+	return cluster.NewGateway(cfg)
+}
+
+// SpawnCluster starts n in-process wire backends sharing reg — pass their
+// descriptors (Spawner.Backends) to NewClusterGateway for an all-in-one
+// cluster.
+func SpawnCluster(n int, reg *PlanRegistry, opts ClusterSpawnOptions) (*ClusterSpawner, error) {
+	return cluster.Spawn(n, reg, opts)
+}
 
 // --- Durable stream store (the internal/store subsystem). ---
 

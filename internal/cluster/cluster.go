@@ -1,0 +1,90 @@
+// Package cluster scales the serving runtime horizontally: a Gateway
+// terminates the wire protocol in front of a fleet of gestured backends and
+// partitions remote sessions across them with a bounded-load consistent-hash
+// ring, so the single-node determinism PRs 1–3 established survives
+// scale-out unchanged — a session lives on exactly one backend, its tuples
+// arrive there in feed order through one proxied connection, and its
+// detections come back byte-identical to a direct single-node run.
+//
+// The moving parts:
+//
+//   - Ring — consistent hashing with virtual nodes plus the classic
+//     bounded-load refinement: a backend never holds more than
+//     ceil(c × average) sessions, so a hot arc cannot melt one node while
+//     membership changes still move only ~1/n of the keyspace;
+//   - Gateway — a frame-level proxy: batch payloads are validated
+//     structurally, re-addressed in place and forwarded without decoding a
+//     tuple; control frames (attach/flush/detach) round-trip to the owning
+//     backend so the flush-ack contract ("every detection for tuples fed
+//     before the ack") holds end to end;
+//   - health checking — each backend gets a dedicated probe connection
+//     pinged on an interval; a probe failure, timeout, or data-path write
+//     error ejects the backend from the ring;
+//   - re-home — sessions of an ejected backend re-attach on a healthy
+//     node. Serving state (NFA progress) cannot be migrated, so every
+//     tuple forwarded to the dead incarnation is charged to the session's
+//     Lost/Dropped accounting and surfaced through the existing flush-ack
+//     and detection-push drop counters — loss is explicit, never silent;
+//   - Spawner — an in-process backend fleet (manager + wire server per
+//     backend) for cmd/gesturegateway's all-in-one mode and the e2e test
+//     harness.
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Backend describes one wire backend the gateway fronts.
+type Backend struct {
+	// ID names the backend on the ring and in metrics. Must be unique.
+	ID string
+	// Addr is the backend's wire-protocol TCP address.
+	Addr string
+}
+
+// Config tunes a Gateway.
+type Config struct {
+	// Backends is the initial fleet. All are dialed eagerly by NewGateway.
+	Backends []Backend
+	// Name identifies the gateway in Pong replies.
+	Name string
+	// VNodes is the number of virtual nodes per backend on the ring
+	// (default DefaultVNodes).
+	VNodes int
+	// LoadFactor is the bounded-load factor c (default DefaultLoadFactor).
+	LoadFactor float64
+	// ProbeInterval is the health-check period (default 500ms; negative
+	// disables probing — data-path errors still eject).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe round trip (default 2s).
+	ProbeTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.Backends) == 0 {
+		return fmt.Errorf("cluster: no backends configured")
+	}
+	seen := make(map[string]struct{}, len(c.Backends))
+	for _, b := range c.Backends {
+		if b.ID == "" || b.Addr == "" {
+			return fmt.Errorf("cluster: backend needs both an id and an address, got %+v", b)
+		}
+		if _, dup := seen[b.ID]; dup {
+			return fmt.Errorf("cluster: duplicate backend id %q", b.ID)
+		}
+		seen[b.ID] = struct{}{}
+	}
+	return nil
+}

@@ -1,0 +1,909 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gesturecep/internal/anduin"
+	"gesturecep/internal/serve"
+	"gesturecep/internal/wire"
+)
+
+// maxPendingDetections bounds a proxied session's detection relay buffer,
+// mirroring the wire server's own push buffer: past the cap the oldest
+// pending detection is evicted and counted.
+const maxPendingDetections = 65536
+
+// backend is the gateway's live state for one fleet member: a shared data
+// connection carrying every proxied session homed there, a dedicated probe
+// connection (so a health check never queues behind a long flush), and the
+// per-backend counters Metrics reports.
+type backend struct {
+	id   string
+	addr string
+	cl   *wire.Client // data + control for proxied sessions
+	pr   *wire.Client // health probes only
+
+	mu       sync.Mutex
+	sessions map[*proxySession]struct{}
+	ejected  bool
+
+	batches    atomic.Uint64
+	tuples     atomic.Uint64
+	detections atomic.Uint64
+	lost       atomic.Uint64
+	rehomed    atomic.Uint64
+	probeSeq   atomic.Uint64
+}
+
+func (be *backend) isEjected() bool {
+	be.mu.Lock()
+	defer be.mu.Unlock()
+	return be.ejected
+}
+
+func (be *backend) addSession(ps *proxySession) {
+	be.mu.Lock()
+	be.sessions[ps] = struct{}{}
+	be.mu.Unlock()
+}
+
+func (be *backend) dropSession(ps *proxySession) {
+	be.mu.Lock()
+	delete(be.sessions, ps)
+	be.mu.Unlock()
+}
+
+// Gateway terminates the wire protocol in front of a backend fleet. Remote
+// clients speak to it exactly as they would to a single gestured process —
+// attach, batch, flush, detach, metrics, ping — while each session's frames
+// are proxied to the backend the ring assigns it.
+type Gateway struct {
+	cfg  Config
+	ring *Ring
+
+	mu       sync.Mutex
+	backends map[string]*backend
+	order    []string // backend IDs in configuration order, for metrics
+	conns    map[*frontConn]struct{}
+	ln       net.Listener
+	closed   bool
+
+	wg        sync.WaitGroup // front connection handlers
+	probeQuit chan struct{}
+	probeDone chan struct{}
+}
+
+// NewGateway dials every configured backend (data + probe connections) and
+// builds the ring. It fails fast if any backend is unreachable: a fleet
+// that starts degraded is a configuration error, whereas a backend lost
+// later is a runtime event the gateway survives by ejection.
+func NewGateway(cfg Config) (*Gateway, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	gw := &Gateway{
+		cfg:       cfg,
+		ring:      NewRing(cfg.VNodes, cfg.LoadFactor),
+		backends:  make(map[string]*backend),
+		conns:     make(map[*frontConn]struct{}),
+		probeQuit: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	for _, b := range cfg.Backends {
+		cl, err := wire.Dial(b.Addr)
+		if err != nil {
+			gw.closeBackends()
+			return nil, fmt.Errorf("cluster: backend %s (%s): %w", b.ID, b.Addr, err)
+		}
+		pr, err := wire.Dial(b.Addr)
+		if err != nil {
+			cl.Close()
+			gw.closeBackends()
+			return nil, fmt.Errorf("cluster: backend %s (%s): probe: %w", b.ID, b.Addr, err)
+		}
+		be := &backend{id: b.ID, addr: b.Addr, cl: cl, pr: pr, sessions: make(map[*proxySession]struct{})}
+		gw.backends[b.ID] = be
+		gw.order = append(gw.order, b.ID)
+		if err := gw.ring.Add(b.ID); err != nil {
+			gw.closeBackends()
+			return nil, err
+		}
+	}
+	go gw.probeLoop()
+	return gw, nil
+}
+
+// Ring exposes the placement ring (read-mostly: lookups and load).
+func (gw *Gateway) Ring() *Ring { return gw.ring }
+
+// backend returns a live gateway backend by ID (nil if unknown).
+func (gw *Gateway) backend(id string) *backend {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	return gw.backends[id]
+}
+
+// Serve accepts front connections on ln until Close. It always returns a
+// non-nil error; after Close the error is net.ErrClosed.
+func (gw *Gateway) Serve(ln net.Listener) error {
+	gw.mu.Lock()
+	if gw.closed {
+		gw.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	gw.ln = ln
+	gw.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		fc := &frontConn{gw: gw, c: c, r: wire.NewReader(c), w: wire.NewWriter(c), sessions: make(map[uint32]*proxySession)}
+		gw.mu.Lock()
+		if gw.closed {
+			gw.mu.Unlock()
+			c.Close()
+			return net.ErrClosed
+		}
+		gw.conns[fc] = struct{}{}
+		gw.wg.Add(1)
+		gw.mu.Unlock()
+		go func() {
+			defer gw.wg.Done()
+			fc.serve()
+			gw.mu.Lock()
+			delete(gw.conns, fc)
+			gw.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (gw *Gateway) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return gw.Serve(ln)
+}
+
+// Addr returns the front listener address once Serve is running.
+func (gw *Gateway) Addr() net.Addr {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	if gw.ln == nil {
+		return nil
+	}
+	return gw.ln.Addr()
+}
+
+// Close stops the prober, the listener and every front connection (whose
+// teardown detaches their backend sessions), then drops the backend
+// connections.
+func (gw *Gateway) Close() error {
+	gw.mu.Lock()
+	if gw.closed {
+		gw.mu.Unlock()
+		return nil
+	}
+	gw.closed = true
+	ln := gw.ln
+	conns := make([]*frontConn, 0, len(gw.conns))
+	for fc := range gw.conns {
+		conns = append(conns, fc)
+	}
+	gw.mu.Unlock()
+	close(gw.probeQuit)
+	<-gw.probeDone
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, fc := range conns {
+		fc.c.Close()
+	}
+	gw.wg.Wait()
+	gw.closeBackends()
+	return err
+}
+
+func (gw *Gateway) closeBackends() {
+	gw.mu.Lock()
+	backends := make([]*backend, 0, len(gw.backends))
+	for _, be := range gw.backends {
+		backends = append(backends, be)
+	}
+	gw.mu.Unlock()
+	for _, be := range backends {
+		if be.cl != nil {
+			be.cl.Close()
+		}
+		if be.pr != nil {
+			be.pr.Close()
+		}
+	}
+}
+
+// probeLoop health-checks every live backend on the configured interval
+// over its dedicated probe connection; a failed or timed-out probe ejects
+// the backend and re-homes its sessions.
+func (gw *Gateway) probeLoop() {
+	defer close(gw.probeDone)
+	if gw.cfg.ProbeInterval < 0 {
+		<-gw.probeQuit
+		return
+	}
+	ticker := time.NewTicker(gw.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-gw.probeQuit:
+			return
+		case <-ticker.C:
+		}
+		gw.mu.Lock()
+		backends := make([]*backend, 0, len(gw.backends))
+		for _, be := range gw.backends {
+			backends = append(backends, be)
+		}
+		gw.mu.Unlock()
+		for _, be := range backends {
+			if be.isEjected() {
+				continue
+			}
+			if err := gw.probe(be); err != nil {
+				gw.eject(be, nil)
+			}
+		}
+	}
+}
+
+// probe pings one backend with a timeout. The ping goroutine is unblocked
+// on timeout by the ejection that follows (eject closes the probe client).
+func (gw *Gateway) probe(be *backend) error {
+	done := make(chan error, 1)
+	seq := be.probeSeq.Add(1)
+	go func() {
+		_, err := be.pr.Ping(seq)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(gw.cfg.ProbeTimeout):
+		return fmt.Errorf("cluster: backend %s: probe timeout after %v", be.id, gw.cfg.ProbeTimeout)
+	}
+}
+
+// eject removes a failed backend from the ring, closes its connections and
+// re-homes every session it carried. Idempotent. except, when non-nil,
+// names a session the caller re-homes itself (it already holds that
+// session's lock — re-homing it here would deadlock).
+func (gw *Gateway) eject(be *backend, except *proxySession) {
+	be.mu.Lock()
+	if be.ejected {
+		be.mu.Unlock()
+		return
+	}
+	be.ejected = true
+	be.mu.Unlock()
+	gw.ring.Remove(be.id)
+	// Closing the clients first makes every round trip still blocked on
+	// this backend fail fast, so session locks free up for the re-home
+	// sweep below.
+	be.cl.Close()
+	be.pr.Close()
+	be.mu.Lock()
+	sessions := make([]*proxySession, 0, len(be.sessions))
+	for ps := range be.sessions {
+		if ps != except {
+			sessions = append(sessions, ps)
+		}
+	}
+	be.sessions = make(map[*proxySession]struct{})
+	be.mu.Unlock()
+	for _, ps := range sessions {
+		ps.mu.Lock()
+		if ps.be == be && !ps.detached && ps.rehomeErr == nil {
+			ps.rehomeErr = gw.rehomeLocked(ps)
+		}
+		ps.mu.Unlock()
+	}
+}
+
+// rehomeLocked re-attaches a session whose backend died onto a healthy
+// one. The caller holds ps.mu, and ps.be is the dead backend. Every tuple
+// forwarded to the dead incarnation is charged to the session's lost
+// counter — its NFA state died with the backend, so those tuples can never
+// contribute to a detection again; the flush-ack path surfaces them as
+// drops.
+func (gw *Gateway) rehomeLocked(ps *proxySession) error {
+	old := ps.be
+	old.rehomed.Add(1)
+	old.lost.Add(ps.forwarded)
+	ps.lost.Add(ps.forwarded)
+	ps.forwarded = 0
+	gen := ps.gen.Add(1) // stale pushes from the dead incarnation are ignored
+	ps.backendDropped.Store(0)
+	for {
+		id, ok := gw.ring.Acquire(ps.id)
+		if !ok {
+			return fmt.Errorf("cluster: session %q: no live backend to re-home onto", ps.id)
+		}
+		be := gw.backend(id)
+		if be == nil || be.isEjected() {
+			gw.ring.Release(id)
+			continue
+		}
+		rs, err := be.cl.Attach(ps.id, wire.AttachOptions{
+			Gestures:     ps.gestures,
+			Discard:      true,
+			OnDetections: ps.pushHook(gen),
+		})
+		if err == nil {
+			ps.be, ps.rs = be, rs
+			be.addSession(ps)
+			if !be.isEjected() {
+				return nil
+			}
+			// The backend died between Attach and addSession, and the
+			// eject sweep may have snapshotted its sessions before we
+			// registered (it cannot reach us anyway — we hold ps.mu).
+			// Nothing was forwarded yet, so just move on to the next
+			// backend.
+			be.dropSession(ps)
+			gen = ps.gen.Add(1)
+			continue
+		}
+		gw.ring.Release(id)
+		var er *wire.ErrorReply
+		if errors.As(err, &er) {
+			// The backend is healthy but refused the session (e.g. a
+			// duplicate ID from a split client) — unplaceable, not a fleet
+			// problem.
+			return fmt.Errorf("cluster: session %q: re-home refused: %w", ps.id, err)
+		}
+		gw.eject(be, ps)
+	}
+}
+
+// Metrics aggregates the fleet: every live backend's serve.Metrics summed,
+// plus the per-backend proxy counters (including ejected backends, marked
+// unhealthy).
+func (gw *Gateway) Metrics() serve.Metrics {
+	gw.mu.Lock()
+	order := append([]string(nil), gw.order...)
+	byID := make(map[string]*backend, len(gw.backends))
+	for id, be := range gw.backends {
+		byID[id] = be
+	}
+	gw.mu.Unlock()
+	var out serve.Metrics
+	for _, id := range order {
+		be := byID[id]
+		healthy := !be.isEjected()
+		if healthy {
+			if m, err := gw.fetchMetrics(be); err == nil {
+				out.Sessions += m.Sessions
+				out.Enqueued += m.Enqueued
+				out.Processed += m.Processed
+				out.Dropped += m.Dropped
+				out.Detections += m.Detections
+				out.QueueDepth += m.QueueDepth
+				out.Shards = append(out.Shards, m.Shards...)
+			} else {
+				healthy = false
+			}
+		}
+		be.mu.Lock()
+		proxied := len(be.sessions)
+		be.mu.Unlock()
+		out.Backends = append(out.Backends, serve.BackendMetrics{
+			ID:         be.id,
+			Addr:       be.addr,
+			Healthy:    healthy,
+			Sessions:   proxied,
+			Batches:    be.batches.Load(),
+			Tuples:     be.tuples.Load(),
+			Detections: be.detections.Load(),
+			Lost:       be.lost.Load(),
+			Rehomed:    be.rehomed.Load(),
+		})
+	}
+	return out
+}
+
+// fetchMetrics snapshots one backend's metrics with the probe timeout, so
+// a wedged backend renders as an unhealthy row instead of hanging the
+// front connection that asked (Metrics runs on its reader goroutine). On
+// timeout the fetch goroutine stays parked until the backend answers or is
+// ejected — bounded by one per metrics request.
+func (gw *Gateway) fetchMetrics(be *backend) (serve.Metrics, error) {
+	type result struct {
+		m   serve.Metrics
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		m, err := be.cl.Metrics()
+		done <- result{m, err}
+	}()
+	select {
+	case r := <-done:
+		return r.m, r.err
+	case <-time.After(gw.cfg.ProbeTimeout):
+		return serve.Metrics{}, fmt.Errorf("cluster: backend %s: metrics timeout after %v", be.id, gw.cfg.ProbeTimeout)
+	}
+}
+
+// sessionTotal counts proxied sessions across all front connections.
+func (gw *Gateway) sessionTotal() int {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	n := 0
+	for fc := range gw.conns {
+		fc.mu.Lock()
+		n += len(fc.sessions)
+		fc.mu.Unlock()
+	}
+	return n
+}
+
+// frontConn is one client connection to the gateway: a reader goroutine
+// proxying frames synchronously (so backend-side backpressure propagates to
+// the front socket) plus per-session relay goroutines pushing detections
+// back.
+type frontConn struct {
+	gw *Gateway
+	c  net.Conn
+	r  *wire.Reader
+
+	wmu sync.Mutex
+	w   *wire.Writer
+
+	mu         sync.Mutex
+	sessions   map[uint32]*proxySession
+	nextHandle uint32
+}
+
+// proxySession is one front session and its current backend binding.
+type proxySession struct {
+	fc       *frontConn
+	front    uint32
+	id       string
+	gestures []string
+	fields   int
+
+	// mu serializes the data/control path against re-home: forwards, flush
+	// and detach round trips, and backend re-binding all hold it.
+	mu        sync.Mutex
+	be        *backend
+	rs        *wire.RemoteSession
+	in        uint64 // tuples forwarded, all incarnations
+	forwarded uint64 // tuples forwarded to the current incarnation
+	detached  bool
+	rehomeErr error // sticky re-home failure, surfaced on the next frame
+
+	lost           atomic.Uint64 // tuples charged to dead incarnations
+	backendDropped atomic.Uint64 // current incarnation's reported drops
+	gen            atomic.Uint64 // incarnation generation; bumped on re-home
+
+	pmu        sync.Mutex
+	pending    []anduin.Detection
+	detSent    atomic.Uint64
+	detDropped atomic.Uint64
+	notify     chan struct{}
+	done       chan struct{}
+	encBuf     []byte // detection encode scratch; guarded by fc.wmu
+}
+
+// dropTotal is the cumulative tuple-drop count the front client sees:
+// failover losses plus the live incarnation's DropOldest evictions.
+func (ps *proxySession) dropTotal() uint64 {
+	return ps.lost.Load() + ps.backendDropped.Load()
+}
+
+// pushHook builds the OnDetections callback for one backend incarnation,
+// pinning the generation so a stale push cannot corrupt state after a
+// re-home.
+func (ps *proxySession) pushHook(gen uint64) func(uint64, []anduin.Detection) {
+	return func(dropped uint64, dets []anduin.Detection) { ps.relayPush(gen, dropped, dets) }
+}
+
+// relayPush runs on a backend client's read goroutine for every detection
+// push frame of this session; it parks the detections for the relay
+// goroutine, which owns the front socket writes. The detections are always
+// relayed (they happened), but the drop counter is only taken from the
+// live incarnation: a dead backend's read goroutine may still be mid-push
+// during a re-home, and its cumulative count is already folded into lost.
+func (ps *proxySession) relayPush(gen, dropped uint64, dets []anduin.Detection) {
+	if ps.gen.Load() == gen {
+		ps.backendDropped.Store(dropped)
+	}
+	ps.pmu.Lock()
+	for len(ps.pending)+len(dets) > maxPendingDetections && len(ps.pending) > 0 {
+		ps.pending = ps.pending[1:]
+		ps.detDropped.Add(1)
+	}
+	ps.pending = append(ps.pending, dets...)
+	ps.pmu.Unlock()
+	select {
+	case ps.notify <- struct{}{}:
+	default:
+	}
+}
+
+// serve runs the front connection's frame loop until the peer disconnects
+// or a protocol violation occurs, then tears down every proxied session.
+func (fc *frontConn) serve() {
+	defer fc.teardown()
+	for {
+		f, err := fc.r.Next()
+		if err != nil {
+			return
+		}
+		if err := fc.handle(f); err != nil {
+			fc.wmu.Lock()
+			fc.w.WriteJSON(wire.FrameError, &wire.ErrorReply{Msg: err.Error()})
+			fc.wmu.Unlock()
+			return
+		}
+	}
+}
+
+// teardown detaches every proxied session from its backend (best effort —
+// a dead backend's sessions are simply finalized) and releases ring slots.
+func (fc *frontConn) teardown() {
+	fc.c.Close()
+	fc.mu.Lock()
+	sessions := make([]*proxySession, 0, len(fc.sessions))
+	for h, ps := range fc.sessions {
+		sessions = append(sessions, ps)
+		delete(fc.sessions, h)
+	}
+	fc.mu.Unlock()
+	for _, ps := range sessions {
+		ps.mu.Lock()
+		if !ps.detached {
+			ps.detached = true
+			if ps.rs != nil {
+				ps.rs.Detach()
+				ps.be.dropSession(ps)
+				fc.gw.ring.Release(ps.be.id)
+			}
+			close(ps.done)
+		}
+		ps.mu.Unlock()
+	}
+}
+
+// handle processes one front frame on the reader goroutine. Returning an
+// error closes the connection; session-scoped failures are reported with
+// FrameError instead.
+func (fc *frontConn) handle(f wire.Frame) error {
+	switch f.Type {
+	case wire.FrameAttach:
+		return fc.handleAttach(f.Payload)
+	case wire.FrameBatch:
+		return fc.handleBatch(f.Payload)
+	case wire.FrameFlush:
+		return fc.handleSessionOp(f.Payload, wire.FrameFlushOK, false)
+	case wire.FrameDetach:
+		return fc.handleSessionOp(f.Payload, wire.FrameDetachOK, true)
+	case wire.FrameMetricsReq:
+		m := fc.gw.Metrics()
+		fc.wmu.Lock()
+		defer fc.wmu.Unlock()
+		return fc.w.WriteJSON(wire.FrameMetricsOK, m)
+	case wire.FramePing:
+		var ping wire.Ping
+		if err := unmarshal(f.Payload, &ping); err != nil {
+			return fmt.Errorf("ping: %w", err)
+		}
+		pong := wire.Pong{Seq: ping.Seq, Name: fc.gw.cfg.Name, Sessions: fc.gw.sessionTotal()}
+		fc.wmu.Lock()
+		defer fc.wmu.Unlock()
+		return fc.w.WriteJSON(wire.FramePong, &pong)
+	default:
+		return fmt.Errorf("unexpected %s frame from client", f.Type)
+	}
+}
+
+func (fc *frontConn) handleAttach(payload []byte) error {
+	var req wire.AttachRequest
+	if err := unmarshal(payload, &req); err != nil {
+		return fmt.Errorf("attach: %w", err)
+	}
+	if req.Version != wire.ProtocolVersion {
+		return fmt.Errorf("attach: protocol version %d, gateway speaks %d", req.Version, wire.ProtocolVersion)
+	}
+	ps := &proxySession{
+		fc:       fc,
+		id:       req.ID,
+		gestures: req.Gestures,
+		notify:   make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	var reply *wire.AttachReply
+	for {
+		id, ok := fc.gw.ring.Acquire(req.ID)
+		if !ok {
+			return fc.sessionError(0, fmt.Errorf("cluster: no live backends"))
+		}
+		be := fc.gw.backend(id)
+		if be == nil || be.isEjected() {
+			fc.gw.ring.Release(id)
+			continue
+		}
+		rs, err := be.cl.Attach(req.ID, wire.AttachOptions{
+			Gestures:     req.Gestures,
+			Discard:      true,
+			OnDetections: ps.pushHook(ps.gen.Load()),
+		})
+		if err != nil {
+			fc.gw.ring.Release(id)
+			var er *wire.ErrorReply
+			if errors.As(err, &er) {
+				// Backend refused (duplicate ID, unknown plan, …): a
+				// session-scoped error; the connection survives.
+				return fc.sessionError(0, err)
+			}
+			fc.gw.eject(be, nil)
+			continue
+		}
+		ps.mu.Lock()
+		ps.be, ps.rs = be, rs
+		ps.fields = rs.Fields()
+		ps.mu.Unlock()
+		be.addSession(ps)
+		if be.isEjected() {
+			// The backend died between Attach and addSession; the eject
+			// sweep may have snapshotted its sessions before we registered,
+			// so re-home ourselves (the sweep-vs-self race is settled by
+			// ps.mu plus the ps.be check, exactly as in the sweep).
+			ps.mu.Lock()
+			if ps.be == be && ps.rehomeErr == nil {
+				ps.rehomeErr = fc.gw.rehomeLocked(ps)
+			}
+			err := ps.rehomeErr
+			ps.mu.Unlock()
+			if err != nil {
+				return fc.sessionError(0, err)
+			}
+		}
+		reply = &wire.AttachReply{Fields: rs.Fields(), Plans: rs.Plans()}
+		break
+	}
+	fc.mu.Lock()
+	fc.nextHandle++
+	ps.front = fc.nextHandle
+	fc.sessions[ps.front] = ps
+	fc.mu.Unlock()
+	reply.Handle = ps.front
+	go fc.relayLoop(ps)
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	return fc.w.WriteJSON(wire.FrameAttachOK, reply)
+}
+
+func (fc *frontConn) handleBatch(payload []byte) error {
+	handle, count, fields, err := wire.BatchGeometry(payload)
+	if err != nil {
+		return err
+	}
+	ps := fc.session(handle)
+	if ps == nil {
+		return fmt.Errorf("batch for unknown session handle %d", handle)
+	}
+	if fields != ps.fields {
+		return fmt.Errorf("session %q: batch carries %d-field tuples, schema expects %d", ps.id, fields, ps.fields)
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if err := ps.failedLocked(); err != nil {
+		return err
+	}
+	for {
+		// The forward write blocks when the backend connection's socket
+		// fills — that is serve.Block's backpressure, relayed one hop: this
+		// reader goroutine stalls, the front socket fills, TCP paces the
+		// remote producer.
+		if _, err := ps.be.cl.ProxyBatch(ps.rs.Handle(), payload); err == nil {
+			ps.in += uint64(count)
+			ps.forwarded += uint64(count)
+			ps.be.batches.Add(1)
+			ps.be.tuples.Add(uint64(count))
+			return nil
+		}
+		// The backend died under the write: eject it, re-home this session
+		// and retry the batch on the new owner — the tuples of THIS batch
+		// were never admitted anywhere, so forwarding them again loses
+		// nothing and drops nothing.
+		fc.gw.eject(ps.be, ps)
+		if ps.be.isEjected() && ps.rehomeErr == nil {
+			ps.rehomeErr = fc.gw.rehomeLocked(ps)
+		}
+		if err := ps.failedLocked(); err != nil {
+			return err
+		}
+	}
+}
+
+// failedLocked reports a sticky session failure (an unplaceable re-home).
+// Callers hold ps.mu.
+func (ps *proxySession) failedLocked() error {
+	if ps.rehomeErr != nil {
+		return fmt.Errorf("session %q: %w", ps.id, ps.rehomeErr)
+	}
+	if ps.detached {
+		return fmt.Errorf("session %q is detached", ps.id)
+	}
+	return nil
+}
+
+// handleSessionOp implements flush and detach: round-trip to the owning
+// backend (which guarantees every prior tuple's detection was pushed to the
+// gateway first), then drain the relay buffer and acknowledge with
+// gateway-adjusted counters — all under the front write lock, so the ack
+// can never overtake a detection.
+func (fc *frontConn) handleSessionOp(payload []byte, ack wire.FrameType, detach bool) error {
+	var ref wire.SessionRef
+	if err := unmarshal(payload, &ref); err != nil {
+		return fmt.Errorf("%s: %w", ack, err)
+	}
+	ps := fc.session(ref.Handle)
+	if ps == nil {
+		return fc.sessionError(ref.Handle, fmt.Errorf("cluster: no session with handle %d", ref.Handle))
+	}
+	ps.mu.Lock()
+	if err := ps.failedLocked(); err != nil {
+		ps.mu.Unlock()
+		return fc.sessionError(ref.Handle, err)
+	}
+	var bc wire.SessionCounters
+	var err error
+	for {
+		if detach {
+			bc, err = ps.rs.Detach()
+		} else {
+			bc, err = ps.rs.Flush()
+		}
+		if err == nil {
+			break
+		}
+		var er *wire.ErrorReply
+		if errors.As(err, &er) {
+			ps.mu.Unlock()
+			return fc.sessionError(ref.Handle, err)
+		}
+		// Backend died under the round trip. For a flush: eject, re-home
+		// and flush the fresh (empty) session — the lost tuples are now in
+		// the drop accounting. For a detach: the session is going away
+		// anyway; finalize locally instead of re-homing a corpse.
+		fc.gw.eject(ps.be, ps)
+		if detach {
+			ps.lost.Add(ps.forwarded)
+			ps.be.lost.Add(ps.forwarded)
+			ps.forwarded = 0
+			ps.backendDropped.Store(0)
+			bc = wire.SessionCounters{}
+			break
+		}
+		if ps.be.isEjected() && ps.rehomeErr == nil {
+			ps.rehomeErr = fc.gw.rehomeLocked(ps)
+		}
+		if err := ps.failedLocked(); err != nil {
+			ps.mu.Unlock()
+			return fc.sessionError(ref.Handle, err)
+		}
+	}
+	ps.backendDropped.Store(bc.Dropped)
+	lost := ps.lost.Load()
+	counters := wire.SessionCounters{
+		Handle:            ps.front,
+		In:                ps.in,
+		Out:               lost + bc.Out,
+		Dropped:           lost + bc.Dropped,
+		DetectionsDropped: bc.DetectionsDropped + ps.detDropped.Load(),
+	}
+	if detach {
+		ps.detached = true
+		if !ps.be.isEjected() {
+			ps.be.dropSession(ps)
+			fc.gw.ring.Release(ps.be.id)
+		}
+		close(ps.done)
+	}
+	ps.mu.Unlock()
+	if detach {
+		fc.mu.Lock()
+		delete(fc.sessions, ps.front)
+		fc.mu.Unlock()
+	}
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	if err := fc.relayDetectionsLocked(ps); err != nil {
+		return err
+	}
+	counters.Detections = ps.detSent.Load()
+	return fc.w.WriteJSON(ack, &counters)
+}
+
+func (fc *frontConn) session(handle uint32) *proxySession {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.sessions[handle]
+}
+
+// sessionError reports a session-scoped failure without closing the front
+// connection.
+func (fc *frontConn) sessionError(handle uint32, err error) error {
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	return fc.w.WriteJSON(wire.FrameError, &wire.ErrorReply{Handle: handle, Msg: err.Error()})
+}
+
+// relayLoop streams parked detections to the front client until the
+// session detaches or the connection dies.
+func (fc *frontConn) relayLoop(ps *proxySession) {
+	for {
+		select {
+		case <-ps.notify:
+			fc.wmu.Lock()
+			err := fc.relayDetectionsLocked(ps)
+			fc.wmu.Unlock()
+			if err != nil {
+				fc.c.Close() // wake the reader, which tears down
+				return
+			}
+		case <-ps.done:
+			return
+		}
+	}
+}
+
+// relayDetectionsLocked drains the session's parked detections into
+// FrameDetections frames addressed with the front handle and the
+// gateway-adjusted drop count. Callers hold fc.wmu.
+func (fc *frontConn) relayDetectionsLocked(ps *proxySession) error {
+	for {
+		ps.pmu.Lock()
+		pending := ps.pending
+		ps.pending = nil
+		ps.pmu.Unlock()
+		if len(pending) == 0 {
+			return nil
+		}
+		dropped := ps.dropTotal()
+		for len(pending) > 0 {
+			n := len(pending)
+			if n > wire.MaxDetections {
+				n = wire.MaxDetections
+			}
+			buf, err := wire.AppendDetections(ps.encBuf[:0], ps.front, dropped, pending[:n])
+			if err != nil {
+				return err
+			}
+			ps.encBuf = buf[:0]
+			if err := fc.w.WriteFrame(wire.FrameDetections, buf); err != nil {
+				return err
+			}
+			ps.detSent.Add(uint64(n))
+			ps.be.detections.Add(uint64(n))
+			pending = pending[n:]
+		}
+	}
+}
+
+// unmarshal decodes a JSON control payload.
+func unmarshal(payload []byte, v any) error {
+	return json.Unmarshal(payload, v)
+}

@@ -1,0 +1,454 @@
+package cluster_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gesturecep/internal/anduin"
+	"gesturecep/internal/e2e"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/serve"
+	"gesturecep/internal/wire"
+)
+
+// TestGatewayZeroDivergence is the cluster acceptance bar: 64 sessions
+// driven through the gateway across 3 backends must produce detections
+// byte-identical to the same stream on a single direct node AND to the
+// bare-engine reference replay — scale-out must not perturb semantics.
+func TestGatewayZeroDivergence(t *testing.T) {
+	frames := e2e.PlaybackFrames(t, 7)
+	tuples := kinect.ToTuples(frames)
+	h := e2e.Start(t, e2e.Options{
+		Backends: 3,
+		Gateway:  true,
+		Serve:    serve.Config{Shards: 2, QueueDepth: 128},
+	})
+
+	plan, _ := h.Registry.Get("swipe_right")
+	want := e2e.EncodeDets(t, e2e.BareReplay(t, plan, e2e.WireTuples(t, tuples)))
+
+	// The same stream against one backend directly, bypassing the gateway.
+	direct, err := wire.Dial(h.Spawner.Addr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	drs, err := direct.Attach("direct-reference", wire.AttachOptions{BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range tuples {
+		if err := drs.FeedTuple(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := drs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e2e.EncodeDets(t, drs.Detections()); !bytes.Equal(got, want) {
+		t.Fatal("single direct node diverges from bare replay")
+	}
+
+	const sessions, conns = 64, 4
+	clients := make([]*wire.Client, conns)
+	for i := range clients {
+		clients[i] = h.Dial()
+	}
+	results := make([][]byte, sessions)
+	counters := make([]wire.SessionCounters, sessions)
+	errs := make(chan error, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rs, err := clients[i%conns].Attach(fmt.Sprintf("user-%02d", i), wire.AttachOptions{BatchSize: 16})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for _, tp := range tuples {
+				if err := rs.FeedTuple(tp); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if _, err := rs.Flush(); err != nil {
+				errs <- err
+				return
+			}
+			results[i] = e2e.EncodeDets(t, rs.Detections())
+			if counters[i], err = rs.Detach(); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if bytes.Equal(want, e2e.EncodeDets(t, nil)) {
+		t.Fatal("bare replay detected nothing")
+	}
+	for i, got := range results {
+		if !bytes.Equal(got, want) {
+			t.Errorf("session %d routed through the gateway diverged from the direct node", i)
+		}
+		if c := counters[i]; c.In != uint64(len(tuples)) || c.Out != c.In || c.Dropped != 0 {
+			t.Errorf("session %d counters = %+v, want in=out=%d dropped=0", i, c, len(tuples))
+		}
+	}
+
+	// The load actually spread: at least two backends forwarded tuples, and
+	// the per-backend forward counters account for every tuple fed.
+	mm := h.Gateway.Metrics()
+	if len(mm.Backends) != 3 {
+		t.Fatalf("gateway reports %d backends, want 3", len(mm.Backends))
+	}
+	var forwarded uint64
+	busy := 0
+	for _, be := range mm.Backends {
+		forwarded += be.Tuples
+		if be.Tuples > 0 {
+			busy++
+		}
+		if !be.Healthy {
+			t.Errorf("backend %s unhealthy after a clean run", be.ID)
+		}
+	}
+	if wantFwd := uint64(sessions * len(tuples)); forwarded != wantFwd {
+		t.Errorf("backends saw %d forwarded tuples, want %d", forwarded, wantFwd)
+	}
+	if busy < 2 {
+		t.Errorf("only %d backends received traffic; the ring did not spread 64 sessions", busy)
+	}
+}
+
+// TestGatewayFailover kills a backend while sessions are mid-stream and
+// checks the re-home contract: every session finishes on a healthy
+// backend, detections acknowledged before the kill survive it, the
+// post-re-home detections are exactly a replay of what the surviving
+// backend admitted, and the reported drop count equals fed-minus-recorded
+// — the recorder's tally. Run under -race in CI, this is the failover soak.
+func TestGatewayFailover(t *testing.T) {
+	frames := e2e.PlaybackFrames(t, 9)
+	tuples := kinect.ToTuples(frames)
+	half := len(tuples) / 2
+	chunk1, chunk2 := tuples[:half], tuples[half:]
+
+	const backends = 3
+	h := e2e.Start(t, e2e.Options{
+		Backends:       backends,
+		Gateway:        true,
+		Serve:          serve.Config{Shards: 2, QueueDepth: 128},
+		Record:         true,
+		RecorderBuffer: 1 << 15,
+		ProbeInterval:  25 * time.Millisecond,
+	})
+	plan, _ := h.Registry.Get("swipe_right")
+
+	const sessions = 12
+	cl := h.Dial()
+	ids := make([]string, sessions)
+	rss := make([]*wire.RemoteSession, sessions)
+	preKill := make([][]byte, sessions)
+	for i := range rss {
+		ids[i] = fmt.Sprintf("soak-%02d", i)
+		rs, err := cl.Attach(ids[i], wire.AttachOptions{BatchSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rss[i] = rs
+		for _, tp := range chunk1 {
+			if err := rs.FeedTuple(tp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := rs.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		preKill[i] = e2e.EncodeDets(t, rs.Detections())
+	}
+
+	// Pick the victim: a backend that owns at least one session. Recording
+	// streams are created at attach, so the archive tells us placement.
+	victim := -1
+	onVictim := make(map[string]bool)
+	for b := 0; b < backends && victim < 0; b++ {
+		for _, id := range ids {
+			if h.HasRecording(b, id) {
+				victim = b
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no backend owns any session")
+	}
+	for _, id := range ids {
+		onVictim[id] = h.HasRecording(victim, id)
+	}
+
+	// Kill it mid-stream: feeders are pushing chunk2 concurrently; the
+	// kill lands once a third of the second half is in flight.
+	var fed atomic.Int64
+	killAt := int64(sessions * len(chunk2) / 3)
+	killed := make(chan struct{})
+	go func() {
+		for fed.Load() < killAt {
+			time.Sleep(time.Millisecond)
+		}
+		h.KillBackend(victim)
+		close(killed)
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := range rss {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, tp := range chunk2 {
+				if err := rss[i].FeedTuple(tp); err != nil {
+					errs <- fmt.Errorf("session %s: %w", ids[i], err)
+					return
+				}
+				fed.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	<-killed
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	finalDets := make([][]byte, sessions)
+	finalCounters := make([]wire.SessionCounters, sessions)
+	for i, rs := range rss {
+		if _, err := rs.Flush(); err != nil {
+			t.Fatalf("session %s: final flush: %v", ids[i], err)
+		}
+		finalDets[i] = e2e.EncodeDets(t, rs.Detections())
+		c, err := rs.Detach()
+		if err != nil {
+			t.Fatalf("session %s: detach: %v", ids[i], err)
+		}
+		finalCounters[i] = c
+	}
+	h.Stop() // flush the surviving archives so recordings are readable
+
+	total := uint64(len(tuples))
+	rehomed := 0
+	for i, id := range ids {
+		c := finalCounters[i]
+		if c.In != total || c.Out != c.In {
+			t.Errorf("session %s counters = %+v, want in=out=%d", id, c, total)
+		}
+		// Locate the session's final home among the survivors.
+		home := -1
+		for b := 0; b < backends; b++ {
+			if b != victim && h.HasRecording(b, id) {
+				home = b
+				break
+			}
+		}
+		if onVictim[id] {
+			rehomed++
+			if home < 0 {
+				t.Errorf("session %s never re-homed off the dead backend", id)
+				continue
+			}
+			if c.Dropped < uint64(len(chunk1)) {
+				t.Errorf("session %s dropped %d tuples, want ≥ %d (its pre-kill state died)",
+					id, c.Dropped, len(chunk1))
+			}
+		} else {
+			if home < 0 {
+				t.Errorf("session %s has no recording on its healthy backend", id)
+				continue
+			}
+			if c.Dropped != 0 {
+				t.Errorf("session %s on a healthy backend dropped %d tuples", id, c.Dropped)
+			}
+		}
+		recorded := h.Recorded(home, id)
+		// The recorder's tally IS the drop accounting: every fed tuple is
+		// either in the final home's recording or reported dropped.
+		if got := total - uint64(len(recorded)); c.Dropped != got {
+			t.Errorf("session %s reports %d drops, recorder tally says %d (fed %d, recorded %d)",
+				id, c.Dropped, got, total, len(recorded))
+		}
+		// No acked detection is lost, and everything after re-home is
+		// byte-identical to a bare replay of what the final home admitted.
+		var want []byte
+		if onVictim[id] {
+			want = mergeDetFrames(t, preKill[i], e2e.BareReplay(t, plan, recorded))
+		} else {
+			want = e2e.EncodeDets(t, e2e.BareReplay(t, plan, recorded))
+		}
+		if !bytes.Equal(finalDets[i], want) {
+			t.Errorf("session %s detections diverge from the deterministic reconstruction", id)
+		}
+	}
+	if rehomed == 0 {
+		t.Fatal("victim backend owned no sessions; failover path never exercised")
+	}
+
+	mm := h.Gateway.Metrics()
+	var lost, rehomedCount uint64
+	for _, be := range mm.Backends {
+		if be.ID == h.Spawner.ID(victim) {
+			if be.Healthy {
+				t.Error("victim backend still marked healthy")
+			}
+			lost = be.Lost
+			rehomedCount = be.Rehomed
+		}
+	}
+	if rehomedCount != uint64(rehomed) {
+		t.Errorf("gateway re-homed %d sessions off the victim, metrics say %d", rehomed, rehomedCount)
+	}
+	var wantLost uint64
+	for i, id := range ids {
+		if onVictim[id] {
+			wantLost += finalCounters[i].Dropped
+		}
+	}
+	if lost != wantLost {
+		t.Errorf("victim Lost = %d, session drop counts sum to %d", lost, wantLost)
+	}
+	for _, id := range h.Gateway.Ring().Backends() {
+		if id == h.Spawner.ID(victim) {
+			t.Error("victim backend still on the ring")
+		}
+	}
+}
+
+// mergeDetFrames appends a detection list to an already-encoded one and
+// re-encodes the concatenation canonically.
+func mergeDetFrames(t testing.TB, encoded []byte, extra []anduin.Detection) []byte {
+	t.Helper()
+	_, _, dets, err := wire.DecodeDetections(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e2e.EncodeDets(t, append(dets, extra...))
+}
+
+// TestGatewayControlPlane exercises ping, metrics aggregation and
+// session-scoped errors through the gateway.
+func TestGatewayControlPlane(t *testing.T) {
+	h := e2e.Start(t, e2e.Options{Backends: 2, Gateway: true, Serve: serve.Config{Shards: 1}})
+	cl := h.Dial()
+
+	pong, err := cl.Ping(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong.Seq != 42 || pong.Name != "e2e-gateway" || pong.Sessions != 0 {
+		t.Errorf("pong = %+v, want seq=42 name=e2e-gateway sessions=0", pong)
+	}
+
+	rs, err := cl.Attach("cp-1", wire.AttachOptions{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rs.Fields(), kinect.Schema().Len(); got != want {
+		t.Errorf("attach reports %d fields, want %d", got, want)
+	}
+	// Duplicate IDs collide on the owning backend and surface as a
+	// session-scoped error; the connection survives.
+	if _, err := cl.Attach("cp-1", wire.AttachOptions{}); err == nil {
+		t.Error("duplicate session id accepted through the gateway")
+	} else if _, ok := err.(*wire.ErrorReply); !ok {
+		t.Errorf("duplicate id error is %T, want *wire.ErrorReply", err)
+	}
+	if _, err := cl.Attach("cp-ghost", wire.AttachOptions{Gestures: []string{"nosuch"}}); err == nil {
+		t.Error("unknown plan accepted through the gateway")
+	}
+
+	frames := e2e.PlaybackFrames(t, 3)
+	if err := rs.FeedFrames(frames); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pong, err = cl.Ping(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong.Sessions != 1 {
+		t.Errorf("gateway reports %d proxied sessions, want 1", pong.Sessions)
+	}
+	mm, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mm.Backends) != 2 {
+		t.Fatalf("aggregated metrics carry %d backends, want 2", len(mm.Backends))
+	}
+	if mm.Enqueued != uint64(len(frames)) || mm.Sessions != 1 {
+		t.Errorf("aggregated metrics = %+v, want %d enqueued across 1 session", mm, len(frames))
+	}
+	if _, err := rs.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Detach(); err == nil {
+		t.Error("double detach succeeded through the gateway")
+	} else if _, ok := err.(*wire.ErrorReply); !ok {
+		t.Errorf("double detach error is %T, want *wire.ErrorReply", err)
+	}
+}
+
+// BenchmarkGatewayProxy measures the full proxied path — client codec →
+// gateway frame relay → backend frame loop → sharded manager → detection
+// relay back through the gateway — for one session replaying a recording
+// per iteration. Compare with BenchmarkWireLoopback (same path minus the
+// gateway hop) for the proxy overhead.
+func BenchmarkGatewayProxy(b *testing.B) {
+	h := e2e.Start(b, e2e.Options{Backends: 3, Gateway: true, Serve: serve.Config{Shards: 2}})
+	player, err := kinect.NewSimulator(kinect.ChildProfile(), kinect.DefaultNoise(), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := player.RunScript([]kinect.ScriptItem{
+		{Idle: 500 * time.Millisecond},
+		{Gesture: kinect.GestureSwipeRight, Opts: kinect.PerformOpts{PathJitter: 15}},
+		{Idle: time.Second},
+	}, e2e.TestTime(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuples := kinect.ToTuples(rec.Frames)
+	stride := rec.Duration() + time.Second
+
+	cl := h.Dial()
+	rs, err := cl.Attach("bench", wire.AttachOptions{BatchSize: 64, Discard: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		offset := time.Duration(i) * stride
+		for _, tp := range tuples {
+			tp.Ts = tp.Ts.Add(offset)
+			if err := rs.FeedTuple(tp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := rs.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(tuples))/b.Elapsed().Seconds(), "tuples/s")
+}

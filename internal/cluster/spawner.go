@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+
+	"gesturecep/internal/serve"
+	"gesturecep/internal/stream"
+	"gesturecep/internal/wire"
+)
+
+// SpawnOptions tunes an in-process backend fleet.
+type SpawnOptions struct {
+	// Serve configures every backend's session manager.
+	Serve serve.Config
+	// TapSessions, when non-nil, builds each backend's recording hook (see
+	// wire.Server.TapSessions) with the backend ID bound — how an
+	// all-in-one gateway process records per-backend archives.
+	TapSessions func(backendID string) func(sessionID string) (func(stream.Tuple), func(bool), error)
+}
+
+// spawned is one in-process backend: its own session manager and wire
+// server on a loopback listener.
+type spawned struct {
+	id     string
+	mgr    *serve.Manager
+	srv    *wire.Server
+	addr   string
+	killed bool
+}
+
+// Spawner runs an in-process fleet of wire backends sharing one plan
+// registry — the all-in-one deployment cmd/gesturegateway defaults to, and
+// the substrate the e2e harness builds clusters from. Every backend is a
+// full gestured node: its own serve.Manager (private shard workers and
+// sessions) behind its own wire.Server on a loopback listener, so a
+// gateway, cmd/gestureload, or any wire client can target it unchanged.
+type Spawner struct {
+	backends []*spawned
+}
+
+// BackendID is the canonical identifier Spawn assigns backend i.
+func BackendID(i int) string { return fmt.Sprintf("backend-%d", i) }
+
+// Spawn starts n backends. The registry is shared — plans compile once for
+// the whole fleet, the per-backend cost is only managers and listeners.
+func Spawn(n int, reg *serve.Registry, opts SpawnOptions) (*Spawner, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: spawn %d backends (want ≥ 1)", n)
+	}
+	sp := &Spawner{}
+	for i := 0; i < n; i++ {
+		id := BackendID(i)
+		mgr, err := serve.NewManager(opts.Serve, reg)
+		if err != nil {
+			sp.Close()
+			return nil, err
+		}
+		srv := wire.NewServer(mgr)
+		srv.Name = id
+		if opts.TapSessions != nil {
+			srv.TapSessions = opts.TapSessions(id)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			mgr.Close()
+			sp.Close()
+			return nil, err
+		}
+		go srv.Serve(ln)
+		sp.backends = append(sp.backends, &spawned{id: id, mgr: mgr, srv: srv, addr: ln.Addr().String()})
+	}
+	return sp, nil
+}
+
+// Backends returns the fleet descriptors for Config.Backends.
+func (sp *Spawner) Backends() []Backend {
+	out := make([]Backend, len(sp.backends))
+	for i, b := range sp.backends {
+		out[i] = Backend{ID: b.id, Addr: b.addr}
+	}
+	return out
+}
+
+// Len returns the number of spawned backends (killed ones included).
+func (sp *Spawner) Len() int { return len(sp.backends) }
+
+// Addr returns backend i's wire address.
+func (sp *Spawner) Addr(i int) string { return sp.backends[i].addr }
+
+// ID returns backend i's identifier.
+func (sp *Spawner) ID(i int) string { return sp.backends[i].id }
+
+// Manager exposes backend i's session manager (tests inspect its metrics).
+func (sp *Spawner) Manager(i int) *serve.Manager { return sp.backends[i].mgr }
+
+// Kill abruptly stops backend i — server, connections, manager — the way a
+// crashed process disappears from its peers. Idempotent.
+func (sp *Spawner) Kill(i int) {
+	b := sp.backends[i]
+	if b.killed {
+		return
+	}
+	b.killed = true
+	b.srv.Close()
+	b.mgr.Close()
+}
+
+// Close stops every backend still running.
+func (sp *Spawner) Close() {
+	for i := range sp.backends {
+		sp.Kill(i)
+	}
+}

@@ -1,0 +1,142 @@
+// Package e2e is the shared end-to-end test harness: it spins up an
+// in-process serving cluster — N wire backends, optionally fronted by a
+// consistent-hash gateway, optionally recording every session into a
+// per-backend stream-store archive — behind one Harness type, plus the
+// deterministic fixtures (a learned query, playback recordings, canonical
+// detection encoding, the bare-engine reference replay) that the cluster,
+// wire and store test suites previously each hand-rolled.
+//
+// It lives outside _test files so multiple packages can import it; only
+// test code should depend on it.
+package e2e
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gesturecep/internal/anduin"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/learn"
+	"gesturecep/internal/stream"
+	"gesturecep/internal/transform"
+	"gesturecep/internal/wire"
+)
+
+// TestTime is the fixed event-time origin every fixture uses (the paper's
+// submission week, as elsewhere in the repo).
+func TestTime() time.Time { return time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC) }
+
+var (
+	learnOnce sync.Once
+	learnTxt  string
+	learnErr  error
+)
+
+// SwipeQuery learns the swipe_right gesture once per test binary and
+// returns the generated query text.
+func SwipeQuery(t testing.TB) string {
+	t.Helper()
+	learnOnce.Do(func() {
+		sim, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.DefaultNoise(), 1)
+		if err != nil {
+			learnErr = err
+			return
+		}
+		samples, err := sim.Samples(kinect.StandardGestures()[kinect.GestureSwipeRight], 4,
+			TestTime(), kinect.PerformOpts{PathJitter: 25})
+		if err != nil {
+			learnErr = err
+			return
+		}
+		res, err := learn.Learn("swipe_right", samples, learn.DefaultConfig())
+		if err != nil {
+			learnErr = err
+			return
+		}
+		learnTxt = res.QueryText
+	})
+	if learnErr != nil {
+		t.Fatal(learnErr)
+	}
+	return learnTxt
+}
+
+// PlaybackFrames synthesizes a deterministic session with two swipes and a
+// circle distractor.
+func PlaybackFrames(t testing.TB, seed int64) []kinect.Frame {
+	t.Helper()
+	player, err := kinect.NewSimulator(kinect.ChildProfile(), kinect.DefaultNoise(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := player.RunScript([]kinect.ScriptItem{
+		{Idle: 500 * time.Millisecond},
+		{Gesture: kinect.GestureSwipeRight, Opts: kinect.PerformOpts{PathJitter: 15}},
+		{Idle: time.Second},
+		{Gesture: kinect.GestureCircle},
+		{Idle: 500 * time.Millisecond},
+		{Gesture: kinect.GestureSwipeRight, Opts: kinect.PerformOpts{PathJitter: 15}},
+		{Idle: 500 * time.Millisecond},
+	}, TestTime(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess.Frames
+}
+
+// EncodeDets canonicalizes a detection list to wire bytes so lists from
+// different code paths compare byte-for-byte.
+func EncodeDets(t testing.TB, dets []anduin.Detection) []byte {
+	t.Helper()
+	buf, err := wire.AppendDetections(nil, 0, 0, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// BareReplay replays tuples through a standalone engine deploying the same
+// shared plan and returns its detections — the single-node reference
+// semantics every served, proxied, recorded or replayed path must match.
+func BareReplay(t testing.TB, plan *anduin.Plan, tuples []stream.Tuple) []anduin.Detection {
+	t.Helper()
+	engine := anduin.New()
+	raw, _, err := engine.KinectPipeline(transform.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []anduin.Detection
+	engine.Subscribe(func(d anduin.Detection) { out = append(out, d) })
+	if _, err := engine.DeployPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Replay(raw, tuples); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// WireTuples round-trips tuples through the batch codec, yielding exactly
+// what a served engine sees after network transport (UTC re-stamped
+// timestamps).
+func WireTuples(t testing.TB, tuples []stream.Tuple) []stream.Tuple {
+	t.Helper()
+	out := make([]stream.Tuple, 0, len(tuples))
+	for start := 0; start < len(tuples); start += wire.MaxBatch {
+		end := start + wire.MaxBatch
+		if end > len(tuples) {
+			end = len(tuples)
+		}
+		payload, err := wire.AppendBatch(nil, 1, len(tuples[start].Fields), tuples[start:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := wire.DecodeBatch(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b.Tuples...)
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package e2e
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gesturecep/internal/cluster"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/serve"
+	"gesturecep/internal/store"
+	"gesturecep/internal/stream"
+	"gesturecep/internal/wire"
+)
+
+// Options configures a Harness.
+type Options struct {
+	// Backends is the number of in-process wire backends (default 1).
+	Backends int
+	// Gateway fronts the backends with a cluster gateway; Addr then points
+	// at the gateway instead of backend 0.
+	Gateway bool
+	// Serve configures every backend's session manager.
+	Serve serve.Config
+	// Plans maps plan names to query text. Nil registers the learned
+	// swipe_right query.
+	Plans map[string]string
+	// Record archives every session's tuple stream per backend under a
+	// test temp dir (read them back with Recorded after Stop).
+	Record bool
+	// RecorderBuffer overrides the recorder tap buffer (0 = store default).
+	RecorderBuffer int
+	// VNodes / LoadFactor / ProbeInterval / ProbeTimeout tune the gateway
+	// ring and health checks; zero values pick fast test defaults.
+	VNodes        int
+	LoadFactor    float64
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+}
+
+// Harness is one in-process serving cluster for end-to-end tests.
+type Harness struct {
+	t        testing.TB
+	Registry *serve.Registry
+	Spawner  *cluster.Spawner
+	Gateway  *cluster.Gateway // nil unless Options.Gateway
+
+	archives []*store.Archive
+	roots    []string
+	gwAddr   string
+
+	stopOnce sync.Once
+}
+
+// Start builds the cluster: registry → backends → optional gateway, with
+// teardown registered on t.Cleanup (Stop may be called earlier to flush
+// recording archives before reading them).
+func Start(t testing.TB, opts Options) *Harness {
+	t.Helper()
+	if opts.Backends <= 0 {
+		opts.Backends = 1
+	}
+	if opts.Plans == nil {
+		opts.Plans = map[string]string{"swipe_right": SwipeQuery(t)}
+	}
+	h := &Harness{t: t, Registry: serve.NewRegistry()}
+	for name, text := range opts.Plans {
+		if _, err := h.Registry.Register(name, text); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	spawnOpts := cluster.SpawnOptions{Serve: opts.Serve}
+	if opts.Record {
+		h.archives = make([]*store.Archive, opts.Backends)
+		h.roots = make([]string, opts.Backends)
+		for i := range h.archives {
+			h.roots[i] = t.TempDir()
+			h.archives[i] = store.NewArchive(h.roots[i], store.Options{}, opts.RecorderBuffer)
+		}
+		archiveOf := make(map[string]*store.Archive, opts.Backends)
+		spawnOpts.TapSessions = func(backendID string) func(string) (func(stream.Tuple), func(bool), error) {
+			arch := archiveOf[backendID]
+			return func(sessionID string) (func(stream.Tuple), func(bool), error) {
+				rec, err := arch.Record(sessionID, kinect.Schema())
+				if err != nil {
+					return nil, nil, err
+				}
+				return rec.Tap(), func(aborted bool) {
+					if aborted {
+						arch.Abort(rec)
+					} else {
+						arch.Release(rec)
+					}
+				}, nil
+			}
+		}
+		// Backend IDs are assigned by Spawn in order; pre-bind them.
+		for i := 0; i < opts.Backends; i++ {
+			archiveOf[cluster.BackendID(i)] = h.archives[i]
+		}
+	}
+
+	sp, err := cluster.Spawn(opts.Backends, h.Registry, spawnOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Spawner = sp
+
+	if opts.Gateway {
+		if opts.ProbeInterval == 0 {
+			opts.ProbeInterval = 50 * time.Millisecond
+		}
+		if opts.ProbeTimeout == 0 {
+			opts.ProbeTimeout = time.Second
+		}
+		gw, err := cluster.NewGateway(cluster.Config{
+			Backends:      sp.Backends(),
+			Name:          "e2e-gateway",
+			VNodes:        opts.VNodes,
+			LoadFactor:    opts.LoadFactor,
+			ProbeInterval: opts.ProbeInterval,
+			ProbeTimeout:  opts.ProbeTimeout,
+		})
+		if err != nil {
+			sp.Close()
+			t.Fatal(err)
+		}
+		h.Gateway = gw
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			gw.Close()
+			sp.Close()
+			t.Fatal(err)
+		}
+		h.gwAddr = ln.Addr().String()
+		go gw.Serve(ln)
+	}
+	t.Cleanup(h.Stop)
+	return h
+}
+
+// Stop tears the cluster down — gateway, then backends, then recording
+// archives (flushing them so Recorded can read complete streams).
+// Idempotent; also registered as the test cleanup.
+func (h *Harness) Stop() {
+	h.stopOnce.Do(func() {
+		if h.Gateway != nil {
+			h.Gateway.Close()
+		}
+		h.Spawner.Close()
+		for _, arch := range h.archives {
+			if err := arch.Close(); err != nil {
+				h.t.Errorf("e2e: closing archive: %v", err)
+			}
+		}
+	})
+}
+
+// Addr returns the address clients should dial: the gateway when fronting,
+// backend 0 otherwise.
+func (h *Harness) Addr() string {
+	if h.Gateway != nil {
+		return h.gwAddr
+	}
+	return h.Spawner.Addr(0)
+}
+
+// Dial connects a wire client to Addr, closed on test cleanup.
+func (h *Harness) Dial() *wire.Client {
+	h.t.Helper()
+	cl, err := wire.Dial(h.Addr())
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// Manager exposes backend i's session manager.
+func (h *Harness) Manager(i int) *serve.Manager { return h.Spawner.Manager(i) }
+
+// KillBackend abruptly stops backend i and flushes its recording archive
+// (the recordings of a crashed backend stay readable, like a disk
+// surviving its process).
+func (h *Harness) KillBackend(i int) {
+	h.Spawner.Kill(i)
+	if h.archives != nil {
+		if err := h.archives[i].Close(); err != nil {
+			h.t.Errorf("e2e: closing killed backend %d archive: %v", i, err)
+		}
+	}
+}
+
+// RecordRoot returns backend i's archive directory (Record only).
+func (h *Harness) RecordRoot(i int) string { return h.roots[i] }
+
+// HasRecording reports whether backend i archived a stream for sessionID.
+func (h *Harness) HasRecording(i int, sessionID string) bool {
+	return store.Exists(h.roots[i], sessionID)
+}
+
+// Recorded reads back every tuple backend i archived for sessionID. Call
+// after Stop (or KillBackend for that backend) so the writer has flushed.
+func (h *Harness) Recorded(i int, sessionID string) []stream.Tuple {
+	h.t.Helper()
+	tuples, err := store.ReadAll(h.roots[i], sessionID)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return tuples
+}

@@ -32,8 +32,33 @@ type SessionMetrics struct {
 	Detections uint64 `json:"detections"`
 }
 
+// BackendMetrics is a point-in-time snapshot of one cluster backend as seen
+// by a gateway fronting it: proxied-session placement, forwarded traffic,
+// and failover accounting. A single-node server never fills these; the
+// cluster gateway attaches them to its aggregated Metrics so one metrics
+// frame describes the whole fleet.
+type BackendMetrics struct {
+	ID       string `json:"id"`
+	Addr     string `json:"addr"`
+	Healthy  bool   `json:"healthy"`
+	Sessions int    `json:"sessions"` // proxied sessions currently homed here
+	Batches  uint64 `json:"batches"`  // batch frames forwarded
+	Tuples   uint64 `json:"tuples"`   // tuples forwarded
+	// Detections counts detections this backend pushed back through the
+	// gateway.
+	Detections uint64 `json:"detections"`
+	// Lost counts tuples whose serving state died with this backend: they
+	// were forwarded here and the backend was ejected before a later
+	// incarnation could re-absorb them. Surfaced to clients as drops.
+	Lost uint64 `json:"lost"`
+	// Rehomed counts sessions moved away from this backend by failover.
+	Rehomed uint64 `json:"rehomed"`
+}
+
 // Metrics aggregates the shard snapshots. Counters are monotonically
-// increasing since manager start; QueueDepth is instantaneous.
+// increasing since manager start; QueueDepth is instantaneous. Backends is
+// only filled by a cluster gateway, which aggregates the shard counters of
+// every backend and appends the per-backend proxy view.
 type Metrics struct {
 	Sessions   int              `json:"sessions"`
 	Enqueued   uint64           `json:"enqueued"`
@@ -43,6 +68,7 @@ type Metrics struct {
 	QueueDepth int              `json:"queue_depth"`
 	Shards     []ShardMetrics   `json:"shards"`
 	PerSession []SessionMetrics `json:"per_session,omitempty"`
+	Backends   []BackendMetrics `json:"backends,omitempty"`
 }
 
 // Metrics snapshots every shard's counters without pausing ingestion: the
@@ -116,5 +142,13 @@ func (m Metrics) Table() string {
 	}
 	fmt.Fprintf(&b, "%-6s %8d %10d %10d %10d %10d %6d\n",
 		"total", m.Sessions, m.Enqueued, m.Processed, m.Dropped, m.Detections, m.QueueDepth)
+	if len(m.Backends) > 0 {
+		fmt.Fprintf(&b, "\n%-12s %-21s %-7s %8s %10s %10s %10s %8s %8s\n",
+			"backend", "addr", "healthy", "sessions", "batches", "tuples", "detections", "lost", "rehomed")
+		for _, be := range m.Backends {
+			fmt.Fprintf(&b, "%-12s %-21s %-7t %8d %10d %10d %10d %8d %8d\n",
+				be.ID, be.Addr, be.Healthy, be.Sessions, be.Batches, be.Tuples, be.Detections, be.Lost, be.Rehomed)
+		}
+	}
 	return b.String()
 }

@@ -2,7 +2,6 @@ package store
 
 import (
 	"bytes"
-	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -540,101 +539,8 @@ func TestDeterminismRecordReplayBackfill(t *testing.T) {
 	}
 }
 
-// TestRecordOverWire runs the full production recording path: a wire
-// server with a TapSessions archive hook, a remote client feeding frames,
-// and a replay of the recorded stream that must reproduce the remote
-// session's detections byte for byte.
-func TestRecordOverWire(t *testing.T) {
-	qtext := swipeQuery(t)
-	frames := playbackFrames(t, 11)
-	root := t.TempDir()
-
-	reg := serve.NewRegistry()
-	if _, err := reg.Register("swipe_right", qtext); err != nil {
-		t.Fatal(err)
-	}
-	m, err := serve.NewManager(serve.Config{Shards: 2}, reg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer m.Close()
-	arch := NewArchive(root, Options{}, 0)
-	srv := wire.NewServer(m)
-	srv.TapSessions = func(id string) (func(stream.Tuple), func(bool), error) {
-		rec, err := arch.Record(id, kinect.Schema())
-		if err != nil {
-			return nil, nil, err
-		}
-		return rec.Tap(), func(aborted bool) {
-			if aborted {
-				arch.Abort(rec)
-			} else {
-				arch.Release(rec)
-			}
-		}, nil
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	go srv.Serve(ln)
-	defer srv.Close()
-
-	cl, err := wire.Dial(ln.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cl.Close()
-
-	// A failed attach (unknown plan) must not leave an empty recording
-	// behind, and must not burn the session's stream name.
-	if _, err := cl.Attach("remote-1", wire.AttachOptions{Gestures: []string{"nope"}}); err == nil {
-		t.Fatal("attach with an unknown plan succeeded")
-	}
-	if Exists(root, "remote-1") {
-		t.Fatal("failed attach littered the archive with an empty stream")
-	}
-
-	rs, err := cl.Attach("remote-1", wire.AttachOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := rs.FeedFrames(frames); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := rs.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	remote := rs.Detections()
-	if len(remote) == 0 {
-		t.Fatal("remote session detected nothing")
-	}
-	if _, err := rs.Detach(); err != nil {
-		t.Fatal(err)
-	}
-	if err := arch.Close(); err != nil {
-		t.Fatal(err)
-	}
-
-	// The recorded stream holds exactly what the server admitted; replay
-	// must reproduce the remote detections.
-	sess, err := m.CreateSession("replay-remote")
-	if err != nil {
-		t.Fatal(err)
-	}
-	r, err := OpenReader(root, "remote-1")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer r.Close()
-	if _, err := ReplayToSession(r, sess, ReplayOptions{}); err != nil {
-		t.Fatal(err)
-	}
-	replayed := sess.Detections()
-	if !bytes.Equal(encodeDets(t, remote), encodeDets(t, replayed)) {
-		t.Errorf("replay of wire recording diverges:\nremote: %+v\nreplay: %+v", remote, replayed)
-	}
-}
+// TestRecordOverWire — the full production recording path over the network
+// — lives in e2e_test.go on top of the shared internal/e2e harness.
 
 // TestRecorderDropAccounting checks the never-block contract: taps on a
 // closed recorder drop (and count) instead of blocking or panicking.

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -124,7 +125,7 @@ func (cl *Client) readLoop() {
 			if rs != nil {
 				rs.deliver(dropped, dets)
 			}
-		case FrameAttachOK, FrameFlushOK, FrameDetachOK, FrameMetricsOK, FrameError:
+		case FrameAttachOK, FrameFlushOK, FrameDetachOK, FrameMetricsOK, FramePong, FrameError:
 			payload := append([]byte(nil), f.Payload...)
 			select {
 			case cl.respCh <- controlResp{frameType: f.Type, payload: payload}:
@@ -194,6 +195,12 @@ type AttachOptions struct {
 	// every pushed detection — keep it fast. Detections are additionally
 	// collected for Detections/TakeDetections unless Discard is set.
 	OnDetection func(anduin.Detection)
+	// OnDetections, when non-nil, runs on the client's read goroutine for
+	// every detection push frame with the frame's detections and the
+	// session's server-reported cumulative tuple-drop count. The cluster
+	// gateway uses it to re-frame whole pushes toward front clients without
+	// touching individual detections.
+	OnDetections func(dropped uint64, dets []anduin.Detection)
 	// Discard skips the client-side detection buffer (use with
 	// OnDetection for long-lived sessions).
 	Discard bool
@@ -224,6 +231,7 @@ func (cl *Client) Attach(id string, opts AttachOptions) (*RemoteSession, error) 
 		plans:     reply.Plans,
 		batchSize: opts.BatchSize,
 		onDet:     opts.OnDetection,
+		onDets:    opts.OnDetections,
 		discard:   opts.Discard,
 	}
 	cl.mu.Lock()
@@ -239,6 +247,41 @@ func (cl *Client) Metrics() (serve.Metrics, error) {
 	return m, err
 }
 
+// Ping probes the server's liveness and returns its identity and session
+// count. The sequence number is echoed back in the reply.
+func (cl *Client) Ping(seq uint64) (Pong, error) {
+	var pong Pong
+	err := cl.roundTrip(FramePing, &Ping{Seq: seq}, FramePong, &pong)
+	if err == nil && pong.Seq != seq {
+		return pong, cl.fail(fmt.Errorf("wire: pong seq %d for ping %d", pong.Seq, seq))
+	}
+	return pong, err
+}
+
+// ProxyBatch forwards an already-encoded FrameBatch payload to the server
+// after re-addressing it to the given session handle — the cluster
+// gateway's zero-copy data path: the payload bytes a front connection read
+// are patched in place and written out, never decoded into tuples. It
+// returns the number of tuples the batch carries. The payload must be a
+// structurally valid batch (the front decoded its geometry to route it).
+func (cl *Client) ProxyBatch(handle uint32, payload []byte) (int, error) {
+	if len(payload) < 8 {
+		return 0, fmt.Errorf("wire: batch payload of %d bytes is shorter than its header", len(payload))
+	}
+	if cl.closed.Load() {
+		return 0, cl.closedErr()
+	}
+	binary.BigEndian.PutUint32(payload[:4], handle)
+	count := int(binary.BigEndian.Uint16(payload[4:6]))
+	cl.wmu.Lock()
+	err := cl.w.WriteFrame(FrameBatch, payload)
+	cl.wmu.Unlock()
+	if err != nil {
+		return 0, cl.fail(err)
+	}
+	return count, nil
+}
+
 // RemoteSession is the client-side handle of one served session: tuples go
 // out in batches, detections and drop counts come back asynchronously.
 // Feed/FeedTuple/FlushBatch must be called from one goroutine at a time per
@@ -251,6 +294,7 @@ type RemoteSession struct {
 	plans     []string
 	batchSize int
 	onDet     func(anduin.Detection)
+	onDets    func(dropped uint64, dets []anduin.Detection)
 	discard   bool
 
 	batch  []stream.Tuple // pending tuples, flushed at batchSize
@@ -263,6 +307,10 @@ type RemoteSession struct {
 
 // ID returns the session identifier.
 func (rs *RemoteSession) ID() string { return rs.id }
+
+// Handle returns the connection-local session handle the server assigned —
+// what ProxyBatch needs to re-address forwarded batch payloads.
+func (rs *RemoteSession) Handle() uint32 { return rs.handle }
 
 // Plans returns the plan names the session deployed.
 func (rs *RemoteSession) Plans() []string { return append([]string(nil), rs.plans...) }
@@ -282,6 +330,9 @@ func (rs *RemoteSession) deliver(dropped uint64, dets []anduin.Detection) {
 		for _, d := range dets {
 			rs.onDet(d)
 		}
+	}
+	if rs.onDets != nil {
+		rs.onDets(dropped, dets)
 	}
 }
 

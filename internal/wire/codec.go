@@ -127,6 +127,31 @@ func AppendBatch(dst []byte, handle uint32, fields int, tuples []stream.Tuple) (
 	return dst, nil
 }
 
+// BatchGeometry validates a FrameBatch payload's structure — header, tuple
+// count, field width, exact body length — without decoding a single tuple,
+// and returns the routing facts a proxy needs. A payload that passes is
+// guaranteed to decode, so a gateway may forward it verbatim knowing the
+// backend cannot reject it as a protocol violation (tuple bodies are
+// arbitrary float64 bits; only geometry can be malformed).
+func BatchGeometry(payload []byte) (handle uint32, count, fields int, err error) {
+	if len(payload) < 8 {
+		return 0, 0, 0, fmt.Errorf("wire: batch payload of %d bytes is shorter than its header", len(payload))
+	}
+	handle = binary.BigEndian.Uint32(payload[:4])
+	count = int(binary.BigEndian.Uint16(payload[4:6]))
+	fields = int(binary.BigEndian.Uint16(payload[6:8]))
+	if count == 0 || count > MaxBatch {
+		return 0, 0, 0, fmt.Errorf("wire: batch of %d tuples (want 1..%d)", count, MaxBatch)
+	}
+	if fields == 0 || fields > MaxTupleFields {
+		return 0, 0, 0, fmt.Errorf("wire: batch declares %d fields per tuple (want 1..%d)", fields, MaxTupleFields)
+	}
+	if body := len(payload) - 8; body != count*(tupleHeadSize+8*fields) {
+		return 0, 0, 0, fmt.Errorf("wire: batch body of %d bytes, want %d×%d", body, count, tupleHeadSize+8*fields)
+	}
+	return handle, count, fields, nil
+}
+
 // Batch is a decoded FrameBatch. Tuples share one freshly allocated field
 // arena per decode; they remain valid after the next Reader.Next and may be
 // retained by the engine (matched tuples feed output measures).
@@ -140,23 +165,13 @@ type Batch struct {
 // exactly; the tuple count and width are validated against the payload
 // length before the arena is allocated.
 func DecodeBatch(payload []byte) (Batch, error) {
-	if len(payload) < 8 {
-		return Batch{}, fmt.Errorf("wire: batch payload of %d bytes is shorter than its header", len(payload))
+	handle, count, fields, err := BatchGeometry(payload)
+	if err != nil {
+		return Batch{}, err
 	}
-	b := Batch{Handle: binary.BigEndian.Uint32(payload[:4])}
-	count := int(binary.BigEndian.Uint16(payload[4:6]))
-	b.Fields = int(binary.BigEndian.Uint16(payload[6:8]))
+	b := Batch{Handle: handle, Fields: fields}
 	body := payload[8:]
-	if count == 0 || count > MaxBatch {
-		return Batch{}, fmt.Errorf("wire: batch of %d tuples (want 1..%d)", count, MaxBatch)
-	}
-	if b.Fields == 0 || b.Fields > MaxTupleFields {
-		return Batch{}, fmt.Errorf("wire: batch declares %d fields per tuple (want 1..%d)", b.Fields, MaxTupleFields)
-	}
 	tupleSize := tupleHeadSize + 8*b.Fields
-	if len(body) != count*tupleSize {
-		return Batch{}, fmt.Errorf("wire: batch body of %d bytes, want %d×%d", len(body), count, tupleSize)
-	}
 	arena := make([]float64, count*b.Fields)
 	b.Tuples = make([]stream.Tuple, count)
 	for i := 0; i < count; i++ {

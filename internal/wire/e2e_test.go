@@ -1,0 +1,298 @@
+package wire_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gesturecep/internal/e2e"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/serve"
+	"gesturecep/internal/stream"
+	"gesturecep/internal/wire"
+)
+
+// End-to-end protocol suites over the shared internal/e2e harness (one
+// in-process backend, no gateway — the single-node deployment).
+
+// TestWireDifferential is the network twin of the serving determinism test:
+// a session driven through the full wire loopback (client → gestured →
+// Manager) must yield byte-identical detections to a bare-engine replay of
+// the same frames.
+func TestWireDifferential(t *testing.T) {
+	frames := e2e.PlaybackFrames(t, 7)
+	h := e2e.Start(t, e2e.Options{Serve: serve.Config{Shards: 4}})
+
+	cl := h.Dial()
+	// An odd batch size exercises partial final batches.
+	rs, err := cl.Attach("user-1", wire.AttachOptions{BatchSize: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rs.Fields(), kinect.Schema().Len(); got != want {
+		t.Fatalf("attach reports %d fields, want %d", got, want)
+	}
+	if err := rs.FeedFrames(frames); err != nil {
+		t.Fatal(err)
+	}
+	counters, err := rs.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters.In != uint64(len(frames)) || counters.Out != counters.In || counters.Dropped != 0 {
+		t.Errorf("counters = %+v, want in=out=%d dropped=0", counters, len(frames))
+	}
+	remote := rs.Detections()
+	if len(remote) == 0 {
+		t.Fatal("remote session detected nothing; expected at least one swipe_right")
+	}
+
+	// Reference: bare engine fed the identical post-transport tuples.
+	plan, _ := h.Registry.Get("swipe_right")
+	bare := e2e.BareReplay(t, plan, e2e.WireTuples(t, kinect.ToTuples(frames)))
+	if !bytes.Equal(e2e.EncodeDets(t, remote), e2e.EncodeDets(t, bare)) {
+		t.Errorf("wire detections diverge from bare engine:\nremote: %+v\nbare:   %+v", remote, bare)
+	}
+
+	if _, err := rs.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Manager(0).SessionCount() != 0 {
+		t.Error("session still live after detach")
+	}
+}
+
+// TestWire64Sessions drives 64 concurrent remote sessions over several
+// connections and requires zero detection divergence from the bare-engine
+// replay — the acceptance bar for the ingestion layer.
+func TestWire64Sessions(t *testing.T) {
+	frames := e2e.PlaybackFrames(t, 7)
+	tuples := kinect.ToTuples(frames)
+	h := e2e.Start(t, e2e.Options{Serve: serve.Config{Shards: 4, QueueDepth: 128}})
+
+	plan, _ := h.Registry.Get("swipe_right")
+	want := e2e.EncodeDets(t, e2e.BareReplay(t, plan, e2e.WireTuples(t, tuples)))
+
+	const sessions, conns = 64, 4
+	clients := make([]*wire.Client, conns)
+	for i := range clients {
+		clients[i] = h.Dial()
+	}
+	var wg sync.WaitGroup
+	results := make([][]byte, sessions)
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rs, err := clients[i%conns].Attach(fmt.Sprintf("user-%02d", i), wire.AttachOptions{BatchSize: 16})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for _, tp := range tuples {
+				if err := rs.FeedTuple(tp); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if _, err := rs.Flush(); err != nil {
+				errs <- err
+				return
+			}
+			results[i] = e2e.EncodeDets(t, rs.Detections())
+			if _, err := rs.Detach(); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if bytes.Equal(want, e2e.EncodeDets(t, nil)) {
+		t.Fatal("bare replay detected nothing")
+	}
+	diverged := 0
+	for i, got := range results {
+		if !bytes.Equal(got, want) {
+			diverged++
+			t.Errorf("session %d diverged from bare replay", i)
+		}
+	}
+	if diverged == 0 {
+		mm := h.Manager(0).Metrics()
+		if mm.Enqueued != uint64(sessions*len(tuples)) {
+			t.Errorf("server enqueued %d tuples, want %d", mm.Enqueued, sessions*len(tuples))
+		}
+	}
+}
+
+// TestWireDropReporting verifies DropOldest drop counts propagate to the
+// client: a single gated shard with a tiny queue must evict tuples, and the
+// flush acknowledgement must carry the session's cumulative drop count.
+func TestWireDropReporting(t *testing.T) {
+	// Eight instantiations of a cheap always-false plan make per-tuple
+	// processing slow enough that a depth-1 queue must drop under a burst.
+	const neverQuery = `SELECT "never" MATCHING kinect_t(rHand_y > 100000);`
+	plans := map[string]string{}
+	for i := 0; i < 8; i++ {
+		plans[fmt.Sprintf("never%d", i)] = neverQuery
+	}
+	h := e2e.Start(t, e2e.Options{
+		Serve: serve.Config{Shards: 1, QueueDepth: 1, Policy: serve.DropOldest},
+		Plans: plans,
+	})
+
+	cl := h.Dial()
+	rs, err := cl.Attach("bursty", wire.AttachOptions{BatchSize: wire.MaxBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.NoNoise(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := sim.Idle(e2e.TestTime(), 10*time.Second)
+
+	var counters wire.SessionCounters
+	fed := uint64(0)
+	for round := 0; round < 50 && counters.Dropped == 0; round++ {
+		if err := rs.FeedFrames(frames); err != nil {
+			t.Fatal(err)
+		}
+		fed += uint64(len(frames))
+		if counters, err = rs.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if counters.Dropped == 0 {
+		t.Fatal("no drops observed through a depth-1 DropOldest queue")
+	}
+	if counters.In != fed || counters.Out != counters.In {
+		t.Errorf("counters = %+v, want in=out=%d", counters, fed)
+	}
+	if rs.Dropped() != counters.Dropped {
+		t.Errorf("client cached drop count %d, flush reported %d", rs.Dropped(), counters.Dropped)
+	}
+}
+
+// TestWireMetricsAndPing fetches a fleet metrics snapshot and a pong over
+// the wire.
+func TestWireMetricsAndPing(t *testing.T) {
+	const neverQuery = `SELECT "never" MATCHING kinect_t(rHand_y > 100000);`
+	h := e2e.Start(t, e2e.Options{Serve: serve.Config{Shards: 2}, Plans: map[string]string{"never": neverQuery}})
+	cl := h.Dial()
+	rs, err := cl.Attach("m", wire.AttachOptions{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.NoNoise(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := sim.Idle(e2e.TestTime(), time.Second)
+	if err := rs.FeedFrames(frames); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.Sessions != 1 || mm.Enqueued != uint64(len(frames)) || len(mm.Shards) != 2 {
+		t.Errorf("metrics = %+v, want 1 session, %d enqueued, 2 shards", mm, len(frames))
+	}
+	pong, err := cl.Ping(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong.Seq != 7 || pong.Name != "backend-0" || pong.Sessions != 1 {
+		t.Errorf("pong = %+v, want seq=7 name=backend-0 sessions=1", pong)
+	}
+}
+
+// TestWireProtocolErrors exercises the failure paths a remote client can
+// trigger: duplicate session IDs, unknown plans, version mismatch, and
+// batches for unknown handles.
+func TestWireProtocolErrors(t *testing.T) {
+	const neverQuery = `SELECT "never" MATCHING kinect_t(rHand_y > 100000);`
+	h := e2e.Start(t, e2e.Options{Serve: serve.Config{Shards: 1}, Plans: map[string]string{"never": neverQuery}})
+	addr := h.Addr()
+
+	cl := h.Dial()
+	if _, err := cl.Attach("dup", wire.AttachOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Attach("dup", wire.AttachOptions{}); err == nil {
+		t.Error("duplicate session id accepted over the wire")
+	} else if _, ok := err.(*wire.ErrorReply); !ok {
+		t.Errorf("duplicate id error is %T, want *wire.ErrorReply", err)
+	}
+	if _, err := cl.Attach("ghost", wire.AttachOptions{Gestures: []string{"nosuch"}}); err == nil {
+		t.Error("unknown plan accepted over the wire")
+	}
+	// Double detach is a session-scoped error, not a connection killer.
+	rs, err := cl.Attach("twice", wire.AttachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Detach(); err == nil {
+		t.Error("double detach succeeded")
+	} else if _, ok := err.(*wire.ErrorReply); !ok {
+		t.Errorf("double detach error is %T, want *wire.ErrorReply", err)
+	}
+
+	// The connection survives session-scoped errors.
+	if _, err := cl.Metrics(); err != nil {
+		t.Errorf("connection dead after session-scoped errors: %v", err)
+	}
+
+	// Version mismatch is connection-fatal.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wire.NewWriter(raw)
+	if err := w.WriteJSON(wire.FrameAttach, &wire.AttachRequest{Version: 99, ID: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	r := wire.NewReader(raw)
+	f, err := r.Next()
+	if err != nil || f.Type != wire.FrameError {
+		t.Fatalf("version mismatch reply = %v/%v, want error frame", f.Type, err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("connection survived a version mismatch")
+	}
+	raw.Close()
+
+	// A batch for a never-attached handle is connection-fatal too.
+	raw2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := wire.NewWriter(raw2)
+	payload, err := wire.AppendBatch(nil, 42, 3, []stream.Tuple{{Ts: e2e.TestTime(), Fields: []float64{1, 2, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.WriteFrame(wire.FrameBatch, payload); err != nil {
+		t.Fatal(err)
+	}
+	r2 := wire.NewReader(raw2)
+	if f, err := r2.Next(); err != nil || f.Type != wire.FrameError {
+		t.Fatalf("unknown-handle reply = %v/%v, want error frame", f.Type, err)
+	}
+	raw2.Close()
+}

@@ -28,6 +28,10 @@ const maxPendingDetections = 65536
 type Server struct {
 	mgr *serve.Manager
 
+	// Name identifies this server in Pong replies (a cluster gateway shows
+	// it in per-backend metrics). Set it before Serve; empty is fine.
+	Name string
+
 	// TapSessions, when non-nil, is consulted on every attach: it returns
 	// the tuple tap to install on the new session (see
 	// serve.SessionOptions.Tap) plus a release function called exactly
@@ -228,6 +232,18 @@ func (c *conn) handle(f Frame) error {
 		c.wmu.Lock()
 		defer c.wmu.Unlock()
 		return c.w.WriteJSON(FrameMetricsOK, c.srv.mgr.Metrics())
+	case FramePing:
+		var ping Ping
+		if err := unmarshalStrict(f.Payload, &ping); err != nil {
+			return fmt.Errorf("ping: %w", err)
+		}
+		c.wmu.Lock()
+		defer c.wmu.Unlock()
+		return c.w.WriteJSON(FramePong, &Pong{
+			Seq:      ping.Seq,
+			Name:     c.srv.Name,
+			Sessions: c.srv.mgr.SessionCount(),
+		})
 	default:
 		return fmt.Errorf("unexpected %s frame from client", f.Type)
 	}

@@ -41,7 +41,8 @@
 //	                         nMeasures × f64)
 //
 // Control-plane payloads are JSON-encoded structs (AttachRequest,
-// AttachReply, SessionRef, SessionCounters, serve.Metrics, ErrorReply).
+// AttachReply, SessionRef, SessionCounters, serve.Metrics, ErrorReply,
+// Ping, Pong).
 // Decoding is strict: a payload must be consumed exactly, and counts are
 // validated against the remaining payload length before any allocation, so
 // an adversarial length prefix can never make the decoder over-allocate.
@@ -90,7 +91,9 @@ const (
 	FrameMetricsReq FrameType = 9  // empty
 	FrameMetricsOK  FrameType = 10 // JSON serve.Metrics
 	FrameError      FrameType = 11 // JSON ErrorReply
-	frameTypeEnd    FrameType = 12
+	FramePing       FrameType = 12 // JSON Ping
+	FramePong       FrameType = 13 // JSON Pong
+	frameTypeEnd    FrameType = 14
 )
 
 // String implements fmt.Stringer.
@@ -98,6 +101,7 @@ func (t FrameType) String() string {
 	names := [...]string{
 		"invalid", "attach", "attach-ok", "detach", "detach-ok", "batch",
 		"detections", "flush", "flush-ok", "metrics-req", "metrics-ok", "error",
+		"ping", "pong",
 	}
 	if int(t) < len(names) {
 		return names[t]
@@ -139,6 +143,21 @@ type SessionCounters struct {
 	Dropped           uint64 `json:"dropped"`
 	Detections        uint64 `json:"detections"`
 	DetectionsDropped uint64 `json:"detections_dropped"`
+}
+
+// Ping is a liveness probe. Seq is echoed back in the matching Pong so a
+// prober can correlate probes with replies.
+type Ping struct {
+	Seq uint64 `json:"seq"`
+}
+
+// Pong answers a Ping with the server's identity and live-session count —
+// enough for a cluster gateway to health-check a backend without paying for
+// a full metrics snapshot.
+type Pong struct {
+	Seq      uint64 `json:"seq"`
+	Name     string `json:"name,omitempty"`
+	Sessions int    `json:"sessions"`
 }
 
 // ErrorReply reports a request failure. Handle 0 addresses the connection

@@ -3,448 +3,21 @@ package wire
 import (
 	"bytes"
 	"errors"
-	"fmt"
 	"io"
 	"net"
-	"sync"
 	"testing"
 	"time"
 
 	"gesturecep/internal/anduin"
-	"gesturecep/internal/kinect"
-	"gesturecep/internal/learn"
-	"gesturecep/internal/serve"
 	"gesturecep/internal/stream"
-	"gesturecep/internal/transform"
 )
+
+// Unit tests of the codec and the client's error plumbing, which need the
+// package internals. The end-to-end protocol suites (differential,
+// 64-session divergence, drop reporting, protocol errors) live in
+// e2e_test.go on top of the shared internal/e2e harness.
 
 func testTime() time.Time { return time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC) }
-
-var (
-	learnOnce  sync.Once
-	learnedTxt string
-	learnErr   error
-)
-
-// swipeQuery learns swipe_right once per test binary.
-func swipeQuery(t testing.TB) string {
-	t.Helper()
-	learnOnce.Do(func() {
-		sim, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.DefaultNoise(), 1)
-		if err != nil {
-			learnErr = err
-			return
-		}
-		samples, err := sim.Samples(kinect.StandardGestures()[kinect.GestureSwipeRight], 4,
-			testTime(), kinect.PerformOpts{PathJitter: 25})
-		if err != nil {
-			learnErr = err
-			return
-		}
-		res, err := learn.Learn("swipe_right", samples, learn.DefaultConfig())
-		if err != nil {
-			learnErr = err
-			return
-		}
-		learnedTxt = res.QueryText
-	})
-	if learnErr != nil {
-		t.Fatal(learnErr)
-	}
-	return learnedTxt
-}
-
-// playbackFrames synthesizes a session with two swipes and a distractor.
-func playbackFrames(t testing.TB, seed int64) []kinect.Frame {
-	t.Helper()
-	player, err := kinect.NewSimulator(kinect.ChildProfile(), kinect.DefaultNoise(), seed)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sess, err := player.RunScript([]kinect.ScriptItem{
-		{Idle: 500 * time.Millisecond},
-		{Gesture: kinect.GestureSwipeRight, Opts: kinect.PerformOpts{PathJitter: 15}},
-		{Idle: time.Second},
-		{Gesture: kinect.GestureCircle},
-		{Idle: 500 * time.Millisecond},
-		{Gesture: kinect.GestureSwipeRight, Opts: kinect.PerformOpts{PathJitter: 15}},
-		{Idle: 500 * time.Millisecond},
-	}, testTime(), nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return sess.Frames
-}
-
-// startServer spins up a manager + wire server on a loopback listener.
-func startServer(t testing.TB, cfg serve.Config, plans map[string]string) (*Server, string) {
-	t.Helper()
-	reg := serve.NewRegistry()
-	for name, text := range plans {
-		if _, err := reg.Register(name, text); err != nil {
-			t.Fatal(err)
-		}
-	}
-	m, err := serve.NewManager(cfg, reg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv := NewServer(m)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	go srv.Serve(ln)
-	t.Cleanup(func() {
-		srv.Close()
-		m.Close()
-	})
-	return srv, ln.Addr().String()
-}
-
-// encodeDets canonicalizes a detection list to wire bytes so lists from
-// different code paths can be compared byte-for-byte.
-func encodeDets(t testing.TB, dets []anduin.Detection) []byte {
-	t.Helper()
-	buf, err := AppendDetections(nil, 0, 0, dets)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return buf
-}
-
-// bareReplay replays tuples through a standalone engine deploying the same
-// shared plan and returns its detections — the reference semantics.
-func bareReplay(t testing.TB, plan *anduin.Plan, tuples []stream.Tuple) []anduin.Detection {
-	t.Helper()
-	engine := anduin.New()
-	raw, _, err := engine.KinectPipeline(transform.DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	var out []anduin.Detection
-	engine.Subscribe(func(d anduin.Detection) { out = append(out, d) })
-	if _, err := engine.DeployPlan(plan); err != nil {
-		t.Fatal(err)
-	}
-	if err := stream.Replay(raw, tuples); err != nil {
-		t.Fatal(err)
-	}
-	return out
-}
-
-// wireTuples round-trips tuples through the batch codec, yielding exactly
-// what a served engine sees after network transport (UTC re-stamped times).
-func wireTuples(t testing.TB, tuples []stream.Tuple) []stream.Tuple {
-	t.Helper()
-	out := make([]stream.Tuple, 0, len(tuples))
-	for start := 0; start < len(tuples); start += MaxBatch {
-		end := start + MaxBatch
-		if end > len(tuples) {
-			end = len(tuples)
-		}
-		payload, err := AppendBatch(nil, 1, len(tuples[start].Fields), tuples[start:end])
-		if err != nil {
-			t.Fatal(err)
-		}
-		b, err := DecodeBatch(payload)
-		if err != nil {
-			t.Fatal(err)
-		}
-		out = append(out, b.Tuples...)
-	}
-	return out
-}
-
-// TestWireDifferential is the network twin of the serving determinism test:
-// a session driven through the full wire loopback (client → gestured →
-// Manager) must yield byte-identical detections to a bare-engine replay of
-// the same frames.
-func TestWireDifferential(t *testing.T) {
-	qtext := swipeQuery(t)
-	frames := playbackFrames(t, 7)
-	srv, addr := startServer(t, serve.Config{Shards: 4}, map[string]string{"swipe_right": qtext})
-
-	cl, err := Dial(addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cl.Close()
-	// An odd batch size exercises partial final batches.
-	rs, err := cl.Attach("user-1", AttachOptions{BatchSize: 7})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got, want := rs.Fields(), kinect.Schema().Len(); got != want {
-		t.Fatalf("attach reports %d fields, want %d", got, want)
-	}
-	if err := rs.FeedFrames(frames); err != nil {
-		t.Fatal(err)
-	}
-	counters, err := rs.Flush()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if counters.In != uint64(len(frames)) || counters.Out != counters.In || counters.Dropped != 0 {
-		t.Errorf("counters = %+v, want in=out=%d dropped=0", counters, len(frames))
-	}
-	remote := rs.Detections()
-	if len(remote) == 0 {
-		t.Fatal("remote session detected nothing; expected at least one swipe_right")
-	}
-
-	// Reference: bare engine fed the identical post-transport tuples.
-	plan, _ := srv.Manager().Registry().Get("swipe_right")
-	bare := bareReplay(t, plan, wireTuples(t, kinect.ToTuples(frames)))
-	if !bytes.Equal(encodeDets(t, remote), encodeDets(t, bare)) {
-		t.Errorf("wire detections diverge from bare engine:\nremote: %+v\nbare:   %+v", remote, bare)
-	}
-
-	if _, err := rs.Detach(); err != nil {
-		t.Fatal(err)
-	}
-	if srv.Manager().SessionCount() != 0 {
-		t.Error("session still live after detach")
-	}
-}
-
-// TestWire64Sessions drives 64 concurrent remote sessions over several
-// connections and requires zero detection divergence from the bare-engine
-// replay — the acceptance bar for the ingestion layer.
-func TestWire64Sessions(t *testing.T) {
-	qtext := swipeQuery(t)
-	frames := playbackFrames(t, 7)
-	tuples := kinect.ToTuples(frames)
-	srv, addr := startServer(t, serve.Config{Shards: 4, QueueDepth: 128}, map[string]string{"swipe_right": qtext})
-
-	plan, _ := srv.Manager().Registry().Get("swipe_right")
-	want := encodeDets(t, bareReplay(t, plan, wireTuples(t, tuples)))
-
-	const sessions, conns = 64, 4
-	clients := make([]*Client, conns)
-	for i := range clients {
-		cl, err := Dial(addr)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer cl.Close()
-		clients[i] = cl
-	}
-	var wg sync.WaitGroup
-	results := make([][]byte, sessions)
-	errs := make(chan error, sessions)
-	for i := 0; i < sessions; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			rs, err := clients[i%conns].Attach(fmt.Sprintf("user-%02d", i), AttachOptions{BatchSize: 16})
-			if err != nil {
-				errs <- err
-				return
-			}
-			for _, tp := range tuples {
-				if err := rs.FeedTuple(tp); err != nil {
-					errs <- err
-					return
-				}
-			}
-			if _, err := rs.Flush(); err != nil {
-				errs <- err
-				return
-			}
-			results[i] = encodeDets(t, rs.Detections())
-			if _, err := rs.Detach(); err != nil {
-				errs <- err
-			}
-		}(i)
-	}
-	wg.Wait()
-	select {
-	case err := <-errs:
-		t.Fatal(err)
-	default:
-	}
-	if bytes.Equal(want, encodeDets(t, nil)) {
-		t.Fatal("bare replay detected nothing")
-	}
-	diverged := 0
-	for i, got := range results {
-		if !bytes.Equal(got, want) {
-			diverged++
-			t.Errorf("session %d diverged from bare replay", i)
-		}
-	}
-	if diverged == 0 {
-		mm := srv.Manager().Metrics()
-		if mm.Enqueued != uint64(sessions*len(tuples)) {
-			t.Errorf("server enqueued %d tuples, want %d", mm.Enqueued, sessions*len(tuples))
-		}
-	}
-}
-
-// TestWireDropReporting verifies DropOldest drop counts propagate to the
-// client: a single gated shard with a tiny queue must evict tuples, and the
-// flush acknowledgement must carry the session's cumulative drop count.
-func TestWireDropReporting(t *testing.T) {
-	// Eight instantiations of a cheap always-false plan make per-tuple
-	// processing slow enough that a depth-1 queue must drop under a burst.
-	const neverQuery = `SELECT "never" MATCHING kinect_t(rHand_y > 100000);`
-	plans := map[string]string{}
-	for i := 0; i < 8; i++ {
-		plans[fmt.Sprintf("never%d", i)] = neverQuery
-	}
-	_, addr := startServer(t, serve.Config{Shards: 1, QueueDepth: 1, Policy: serve.DropOldest}, plans)
-
-	cl, err := Dial(addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cl.Close()
-	rs, err := cl.Attach("bursty", AttachOptions{BatchSize: MaxBatch})
-	if err != nil {
-		t.Fatal(err)
-	}
-	sim, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.NoNoise(), 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	frames := sim.Idle(testTime(), 10*time.Second)
-
-	var counters SessionCounters
-	fed := uint64(0)
-	for round := 0; round < 50 && counters.Dropped == 0; round++ {
-		if err := rs.FeedFrames(frames); err != nil {
-			t.Fatal(err)
-		}
-		fed += uint64(len(frames))
-		if counters, err = rs.Flush(); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if counters.Dropped == 0 {
-		t.Fatal("no drops observed through a depth-1 DropOldest queue")
-	}
-	if counters.In != fed || counters.Out != counters.In {
-		t.Errorf("counters = %+v, want in=out=%d", counters, fed)
-	}
-	if rs.Dropped() != counters.Dropped {
-		t.Errorf("client cached drop count %d, flush reported %d", rs.Dropped(), counters.Dropped)
-	}
-}
-
-// TestWireMetrics fetches a fleet metrics snapshot over the wire.
-func TestWireMetrics(t *testing.T) {
-	const neverQuery = `SELECT "never" MATCHING kinect_t(rHand_y > 100000);`
-	_, addr := startServer(t, serve.Config{Shards: 2}, map[string]string{"never": neverQuery})
-	cl, err := Dial(addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cl.Close()
-	rs, err := cl.Attach("m", AttachOptions{BatchSize: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	sim, err := kinect.NewSimulator(kinect.DefaultProfile(), kinect.NoNoise(), 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	frames := sim.Idle(testTime(), time.Second)
-	if err := rs.FeedFrames(frames); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := rs.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	mm, err := cl.Metrics()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if mm.Sessions != 1 || mm.Enqueued != uint64(len(frames)) || len(mm.Shards) != 2 {
-		t.Errorf("metrics = %+v, want 1 session, %d enqueued, 2 shards", mm, len(frames))
-	}
-}
-
-// TestWireProtocolErrors exercises the failure paths a remote client can
-// trigger: duplicate session IDs, unknown plans, version mismatch, and
-// batches for unknown handles.
-func TestWireProtocolErrors(t *testing.T) {
-	const neverQuery = `SELECT "never" MATCHING kinect_t(rHand_y > 100000);`
-	_, addr := startServer(t, serve.Config{Shards: 1}, map[string]string{"never": neverQuery})
-
-	cl, err := Dial(addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cl.Close()
-	if _, err := cl.Attach("dup", AttachOptions{}); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := cl.Attach("dup", AttachOptions{}); err == nil {
-		t.Error("duplicate session id accepted over the wire")
-	} else if _, ok := err.(*ErrorReply); !ok {
-		t.Errorf("duplicate id error is %T, want *ErrorReply", err)
-	}
-	if _, err := cl.Attach("ghost", AttachOptions{Gestures: []string{"nosuch"}}); err == nil {
-		t.Error("unknown plan accepted over the wire")
-	}
-	// Double detach is a session-scoped error, not a connection killer.
-	rs, err := cl.Attach("twice", AttachOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := rs.Detach(); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := rs.Detach(); err == nil {
-		t.Error("double detach succeeded")
-	} else if _, ok := err.(*ErrorReply); !ok {
-		t.Errorf("double detach error is %T, want *ErrorReply", err)
-	}
-
-	// The connection survives session-scoped errors.
-	if _, err := cl.Metrics(); err != nil {
-		t.Errorf("connection dead after session-scoped errors: %v", err)
-	}
-
-	// Version mismatch is connection-fatal.
-	raw, err := net.Dial("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	w := NewWriter(raw)
-	if err := w.WriteJSON(FrameAttach, &AttachRequest{Version: 99, ID: "v"}); err != nil {
-		t.Fatal(err)
-	}
-	r := NewReader(raw)
-	f, err := r.Next()
-	if err != nil || f.Type != FrameError {
-		t.Fatalf("version mismatch reply = %v/%v, want error frame", f.Type, err)
-	}
-	if _, err := r.Next(); err == nil {
-		t.Error("connection survived a version mismatch")
-	}
-	raw.Close()
-
-	// A batch for a never-attached handle is connection-fatal too.
-	raw2, err := net.Dial("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	w2 := NewWriter(raw2)
-	payload, err := AppendBatch(nil, 42, 3, []stream.Tuple{{Ts: testTime(), Fields: []float64{1, 2, 3}}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := w2.WriteFrame(FrameBatch, payload); err != nil {
-		t.Fatal(err)
-	}
-	r2 := NewReader(raw2)
-	if f, err := r2.Next(); err != nil || f.Type != FrameError {
-		t.Fatalf("unknown-handle reply = %v/%v, want error frame", f.Type, err)
-	}
-	raw2.Close()
-}
 
 // TestCodecRoundTrip pins the canonical encodings: batches and detection
 // lists survive encode → decode exactly.
@@ -493,6 +66,42 @@ func TestCodecRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(dp, rd) {
 		t.Error("detection encoding is not canonical under round trip")
+	}
+}
+
+// TestBatchGeometry checks the proxy-side structural validator agrees with
+// the decoder: a payload passing BatchGeometry decodes, a payload failing
+// it is rejected by DecodeBatch too.
+func TestBatchGeometry(t *testing.T) {
+	tuples := []stream.Tuple{
+		{Ts: testTime(), Seq: 1, Fields: []float64{1, 2, 3}},
+		{Ts: testTime().Add(time.Millisecond), Seq: 2, Fields: []float64{4, 5, 6}},
+	}
+	payload, err := AppendBatch(nil, 99, 3, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handle, count, fields, err := BatchGeometry(payload)
+	if err != nil || handle != 99 || count != 2 || fields != 3 {
+		t.Fatalf("geometry = %d/%d/%d/%v, want 99/2/3/nil", handle, count, fields, err)
+	}
+	for _, bad := range [][]byte{
+		nil,
+		payload[:7],              // shorter than the header
+		payload[:len(payload)-1], // truncated body
+		append(payload, 0),       // trailing byte
+		func() []byte { // count lies
+			p := append([]byte(nil), payload...)
+			p[5] = 3
+			return p
+		}(),
+	} {
+		if _, _, _, err := BatchGeometry(bad); err == nil {
+			t.Errorf("BatchGeometry accepted malformed payload of %d bytes", len(bad))
+		}
+		if _, err := DecodeBatch(bad); err == nil {
+			t.Errorf("DecodeBatch accepted malformed payload of %d bytes", len(bad))
+		}
 	}
 }
 
