@@ -1,8 +1,10 @@
 // gesturegateway is the cluster front door: it terminates the wire
 // protocol and shards remote sessions across a fleet of gestured backends
-// with a bounded-load consistent-hash ring, health-checking each backend
-// and re-homing sessions off dead ones. Clients — cmd/gestureload included
-// — target it exactly as they would a single gestured process.
+// with a bounded-load consistent-hash ring, health-checking each backend,
+// re-homing sessions off dead ones, and (by default) re-admitting a
+// backend once it answers pings again — new sessions then drift back to it
+// through the ring's load bound. Clients — cmd/gestureload included —
+// target it exactly as they would a single gestured process.
 //
 // All-in-one mode spawns the backends in-process (learning the gestures
 // once, sharing the compiled plans across the fleet):
@@ -66,6 +68,10 @@ func main() {
 		loadFactor   = flag.Float64("load-factor", cluster.DefaultLoadFactor, "bounded-load factor c (max sessions per backend = ceil(c × average))")
 		probe        = flag.Duration("probe", 500*time.Millisecond, "health-probe interval (negative disables probing)")
 		probeTimeout = flag.Duration("probe-timeout", 2*time.Second, "health-probe timeout before a backend is ejected")
+		readmit      = flag.Bool("readmit", true, "re-admit ejected backends once they answer pings again (re-dial with capped exponential backoff)")
+		backoff      = flag.Duration("readmit-backoff", 250*time.Millisecond, "initial re-dial delay of the recovery loop (doubles per failed attempt)")
+		maxBackoff   = flag.Duration("readmit-max-backoff", 5*time.Second, "cap on the recovery loop's exponential backoff")
+		tolerateDown = flag.Bool("tolerate-down", false, "start even if some backends are unreachable and admit them when they come up (external backends)")
 		shards       = flag.Int("shards", 0, "ingestion shards per spawned backend (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 256, "per-shard queue depth of spawned backends")
 		policy       = flag.String("policy", "block", "spawned backends' backpressure policy: block or drop-oldest")
@@ -76,16 +82,39 @@ func main() {
 	)
 	flag.Var(&external, "backend", "external backend as id=host:port (repeatable; disables spawning)")
 	flag.Parse()
-	if err := run(*addr, external, *backends, *vnodes, *loadFactor, *probe, *probeTimeout,
+	health := healthConfig{
+		probe:        *probe,
+		probeTimeout: *probeTimeout,
+		readmit:      *readmit,
+		backoff:      *backoff,
+		maxBackoff:   *maxBackoff,
+		tolerateDown: *tolerateDown,
+	}
+	if err := run(*addr, external, *backends, *vnodes, *loadFactor, health,
 		*shards, *queue, *policy, *gestures, *seed, *recordDir, *verbose); err != nil {
 		log.SetFlags(0)
 		log.Fatal(err)
 	}
 }
 
+// healthConfig groups the probing and recovery flags.
+type healthConfig struct {
+	probe        time.Duration
+	probeTimeout time.Duration
+	readmit      bool
+	backoff      time.Duration
+	maxBackoff   time.Duration
+	tolerateDown bool
+}
+
 func run(addr string, external []cluster.Backend, backends, vnodes int, loadFactor float64,
-	probe, probeTimeout time.Duration, shards, queue int, policyName string,
+	health healthConfig, shards, queue int, policyName string,
 	gestures int, seed int64, recordDir string, verbose bool) error {
+	if health.tolerateDown && len(external) == 0 {
+		// Spawned backends are in-process: if one failed to come up, Spawn
+		// already failed. Tolerance is for external fleets.
+		return fmt.Errorf("gesturegateway: -tolerate-down only makes sense with external -backend fleets")
+	}
 	fleet := external
 	if len(external) == 0 {
 		if gestures < 1 || gestures > len(gestureNames) {
@@ -160,12 +189,17 @@ func run(addr string, external []cluster.Backend, backends, vnodes int, loadFact
 	}
 
 	gw, err := cluster.NewGateway(cluster.Config{
-		Backends:      fleet,
-		Name:          "gesturegateway",
-		VNodes:        vnodes,
-		LoadFactor:    loadFactor,
-		ProbeInterval: probe,
-		ProbeTimeout:  probeTimeout,
+		Backends:          fleet,
+		Name:              "gesturegateway",
+		VNodes:            vnodes,
+		LoadFactor:        loadFactor,
+		ProbeInterval:     health.probe,
+		ProbeTimeout:      health.probeTimeout,
+		Readmit:           health.readmit,
+		ReadmitBackoff:    health.backoff,
+		ReadmitMaxBackoff: health.maxBackoff,
+		TolerateDown:      health.tolerateDown,
+		Logf:              log.Printf,
 	})
 	if err != nil {
 		return err
@@ -176,8 +210,12 @@ func run(addr string, external []cluster.Backend, backends, vnodes int, loadFact
 	errc := make(chan error, 1)
 	go func() { errc <- gw.ListenAndServe(addr) }()
 
-	fmt.Printf("gesturegateway listening on %s — %d backends, %d vnodes, load factor %.2f, probe %v\n",
-		addr, len(fleet), vnodes, loadFactor, probe)
+	readmitDesc := "readmit off"
+	if health.readmit {
+		readmitDesc = fmt.Sprintf("readmit backoff %v..%v", health.backoff, health.maxBackoff)
+	}
+	fmt.Printf("gesturegateway listening on %s — %d backends, %d vnodes, load factor %.2f, probe %v, %s\n",
+		addr, len(fleet), vnodes, loadFactor, health.probe, readmitDesc)
 
 	select {
 	case err := <-errc:

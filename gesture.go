@@ -332,8 +332,13 @@ type (
 	// address).
 	ClusterBackend = cluster.Backend
 	// ClusterConfig tunes a gateway: backend fleet, ring geometry
-	// (virtual nodes, bounded-load factor) and health probing.
+	// (virtual nodes, bounded-load factor), health probing and backend
+	// recovery (Readmit / TolerateDown).
 	ClusterConfig = cluster.Config
+	// ClusterBackendState is one step of a gateway backend's lifecycle
+	// state machine: live → ejected → recovering → live again (a fresh
+	// incarnation) on re-admission.
+	ClusterBackendState = cluster.BackendState
 	// ClusterGateway terminates the wire protocol in front of a backend
 	// fleet, sharding sessions with a bounded-load consistent-hash ring,
 	// ejecting unhealthy backends and re-homing their sessions.
@@ -350,6 +355,13 @@ type (
 	// BackendMetrics is the per-backend section of a gateway's aggregated
 	// metrics snapshot.
 	BackendMetrics = serve.BackendMetrics
+)
+
+// Backend lifecycle states, re-exported for ClusterGateway.State callers.
+const (
+	ClusterStateLive       = cluster.StateLive
+	ClusterStateEjected    = cluster.StateEjected
+	ClusterStateRecovering = cluster.StateRecovering
 )
 
 // NewClusterRing creates an empty consistent-hash ring (vnodes <= 0 and

@@ -57,8 +57,29 @@ type Config struct {
 	// ProbeInterval is the health-check period (default 500ms; negative
 	// disables probing — data-path errors still eject).
 	ProbeInterval time.Duration
-	// ProbeTimeout bounds one health probe round trip (default 2s).
+	// ProbeTimeout bounds one health probe round trip (default 2s). It also
+	// bounds each re-dial attempt of the recovery machinery.
 	ProbeTimeout time.Duration
+	// Readmit enables backend recovery: an ejected backend is re-dialed
+	// with capped exponential backoff and returned to the ring once it
+	// answers pings again. Off, ejection is permanent for the gateway's
+	// lifetime (the pre-recovery behavior).
+	Readmit bool
+	// ReadmitBackoff is the recovery loop's initial re-dial delay (default
+	// 250ms); it doubles per failed attempt.
+	ReadmitBackoff time.Duration
+	// ReadmitMaxBackoff caps the exponential backoff (default 5s; raised to
+	// ReadmitBackoff if set below it).
+	ReadmitMaxBackoff time.Duration
+	// TolerateDown admits initially-unreachable backends through the
+	// recovery machinery instead of failing NewGateway: the gateway starts
+	// serving on whatever subset of the fleet answered, and the rest join
+	// the ring when they come up. Startup recovery runs even with Readmit
+	// off; Readmit only governs recovery after a later ejection.
+	TolerateDown bool
+	// Logf, when non-nil, receives one line per backend lifecycle event
+	// (ejection, recovery attempt exhaustion, re-admission).
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -68,8 +89,40 @@ func (c Config) withDefaults() Config {
 	if c.ProbeTimeout <= 0 {
 		c.ProbeTimeout = 2 * time.Second
 	}
+	if c.ReadmitBackoff <= 0 {
+		c.ReadmitBackoff = 250 * time.Millisecond
+	}
+	if c.ReadmitMaxBackoff <= 0 {
+		c.ReadmitMaxBackoff = 5 * time.Second
+	}
+	if c.ReadmitMaxBackoff < c.ReadmitBackoff {
+		c.ReadmitMaxBackoff = c.ReadmitBackoff
+	}
 	return c
 }
+
+// BackendState is one step of a backend's lifecycle state machine:
+//
+//	live ──eject──▶ ejected (terminal unless Readmit)
+//	  ▲                │ Readmit
+//	  │            recovering ──re-dial + ping ok──▶ live (fresh incarnation)
+//	  └────────────────┘
+//
+// A re-admitted backend is a brand-new incarnation — fresh data and probe
+// connections, an empty session set — so a session still bound to a dead
+// incarnation can never write to the new one. TolerateDown enters backends
+// at "recovering" straight from NewGateway.
+type BackendState string
+
+const (
+	// StateLive: on the ring, receiving sessions, health-probed.
+	StateLive BackendState = "live"
+	// StateEjected: off the ring permanently (Readmit disabled).
+	StateEjected BackendState = "ejected"
+	// StateRecovering: off the ring; a recovery loop is re-dialing it with
+	// capped exponential backoff.
+	StateRecovering BackendState = "recovering"
+)
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {

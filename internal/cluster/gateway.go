@@ -19,26 +19,42 @@ import (
 // pending detection is evicted and counted.
 const maxPendingDetections = 65536
 
-// backend is the gateway's live state for one fleet member: a shared data
-// connection carrying every proxied session homed there, a dedicated probe
-// connection (so a health check never queues behind a long flush), and the
-// per-backend counters Metrics reports.
+// backendStats is the per-backend-ID counter block Metrics reports. It is
+// shared by every incarnation of one backend (the gateway allocates it once
+// per configured ID), so counters stay monotonic across eject/re-admit
+// cycles and a session straggling on a dead incarnation still charges its
+// losses to the right row.
+type backendStats struct {
+	batches      atomic.Uint64
+	tuples       atomic.Uint64
+	detections   atomic.Uint64
+	lost         atomic.Uint64
+	rehomed      atomic.Uint64
+	probeSeq     atomic.Uint64
+	probes       atomic.Uint64 // completed successful health probes
+	ejections    atomic.Uint64
+	readmissions atomic.Uint64 // admissions via the recovery loop
+}
+
+// backend is one incarnation of a fleet member: a shared data connection
+// carrying every proxied session homed there, a dedicated probe connection
+// (so a health check never queues behind a long flush), and a reference to
+// the backend ID's cross-incarnation counters. An ejected incarnation is
+// never resurrected — re-admission builds a fresh one with fresh
+// connections, which is what keeps stale sessions from ever writing to a
+// recovered backend's new sockets.
 type backend struct {
-	id   string
-	addr string
-	cl   *wire.Client // data + control for proxied sessions
-	pr   *wire.Client // health probes only
+	id    string
+	addr  string
+	stats *backendStats
+	cl    *wire.Client // data + control for proxied sessions
+	pr    *wire.Client // health probes only
 
 	mu       sync.Mutex
 	sessions map[*proxySession]struct{}
 	ejected  bool
 
-	batches    atomic.Uint64
-	tuples     atomic.Uint64
-	detections atomic.Uint64
-	lost       atomic.Uint64
-	rehomed    atomic.Uint64
-	probeSeq   atomic.Uint64
+	probing atomic.Bool // a health probe is in flight for this incarnation
 }
 
 func (be *backend) isEjected() bool {
@@ -67,22 +83,34 @@ type Gateway struct {
 	cfg  Config
 	ring *Ring
 
+	// stats, addrs and order are built once by NewGateway and read-only
+	// afterwards — one entry per configured backend ID, across every
+	// incarnation.
+	stats map[string]*backendStats
+	addrs map[string]string
+	order []string // backend IDs in configuration order, for metrics
+
 	mu       sync.Mutex
-	backends map[string]*backend
-	order    []string // backend IDs in configuration order, for metrics
+	backends map[string]*backend     // current incarnation; nil while down
+	states   map[string]BackendState // lifecycle state per backend ID
 	conns    map[*frontConn]struct{}
 	ln       net.Listener
 	closed   bool
 
 	wg        sync.WaitGroup // front connection handlers
-	probeQuit chan struct{}
+	quit      chan struct{}
 	probeDone chan struct{}
+	probeWG   sync.WaitGroup // in-flight probes and their ping goroutines
+	recoverWG sync.WaitGroup // per-backend recovery loops
 }
 
 // NewGateway dials every configured backend (data + probe connections) and
-// builds the ring. It fails fast if any backend is unreachable: a fleet
-// that starts degraded is a configuration error, whereas a backend lost
-// later is a runtime event the gateway survives by ejection.
+// builds the ring. By default it fails fast if any backend is unreachable:
+// a fleet that starts degraded is a configuration error, whereas a backend
+// lost later is a runtime event the gateway survives by ejection. With
+// Config.TolerateDown, an unreachable backend is instead admitted through
+// the recovery machinery — the gateway starts on the reachable subset and
+// the rest join the ring when they answer pings.
 func NewGateway(cfg Config) (*Gateway, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -91,33 +119,73 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	gw := &Gateway{
 		cfg:       cfg,
 		ring:      NewRing(cfg.VNodes, cfg.LoadFactor),
+		stats:     make(map[string]*backendStats),
+		addrs:     make(map[string]string),
 		backends:  make(map[string]*backend),
+		states:    make(map[string]BackendState),
 		conns:     make(map[*frontConn]struct{}),
-		probeQuit: make(chan struct{}),
+		quit:      make(chan struct{}),
 		probeDone: make(chan struct{}),
 	}
 	for _, b := range cfg.Backends {
-		cl, err := wire.Dial(b.Addr)
-		if err != nil {
-			gw.closeBackends()
-			return nil, fmt.Errorf("cluster: backend %s (%s): %w", b.ID, b.Addr, err)
-		}
-		pr, err := wire.Dial(b.Addr)
-		if err != nil {
-			cl.Close()
-			gw.closeBackends()
-			return nil, fmt.Errorf("cluster: backend %s (%s): probe: %w", b.ID, b.Addr, err)
-		}
-		be := &backend{id: b.ID, addr: b.Addr, cl: cl, pr: pr, sessions: make(map[*proxySession]struct{})}
-		gw.backends[b.ID] = be
+		gw.stats[b.ID] = &backendStats{}
+		gw.addrs[b.ID] = b.Addr
 		gw.order = append(gw.order, b.ID)
+		be, err := gw.dialBackend(b.ID, b.Addr)
+		if err != nil {
+			if cfg.TolerateDown {
+				gw.backends[b.ID] = nil
+				gw.states[b.ID] = StateRecovering
+				continue
+			}
+			gw.closeBackends()
+			return nil, err
+		}
+		gw.backends[b.ID] = be
+		gw.states[b.ID] = StateLive
 		if err := gw.ring.Add(b.ID); err != nil {
 			gw.closeBackends()
 			return nil, err
 		}
 	}
+	for id, st := range gw.states {
+		if st == StateRecovering {
+			gw.logf("cluster: backend %s (%s) down at startup; admitting through recovery", id, gw.addrs[id])
+			gw.recoverWG.Add(1)
+			go gw.recoverLoop(id, gw.addrs[id])
+		}
+	}
 	go gw.probeLoop()
 	return gw, nil
+}
+
+// dialBackend opens one incarnation's data and probe connections.
+func (gw *Gateway) dialBackend(id, addr string) (*backend, error) {
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: backend %s (%s): %w", id, addr, err)
+	}
+	pr, err := wire.Dial(addr)
+	if err != nil {
+		cl.Close()
+		return nil, fmt.Errorf("cluster: backend %s (%s): probe: %w", id, addr, err)
+	}
+	return &backend{id: id, addr: addr, stats: gw.stats[id], cl: cl, pr: pr,
+		sessions: make(map[*proxySession]struct{})}, nil
+}
+
+// logf reports a backend lifecycle event through Config.Logf, if set.
+func (gw *Gateway) logf(format string, args ...any) {
+	if gw.cfg.Logf != nil {
+		gw.cfg.Logf(format, args...)
+	}
+}
+
+// State reports a backend's lifecycle state ("" for an unknown ID).
+func (gw *Gateway) State(id string) BackendState {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	return gw.states[id]
 }
 
 // Ring exposes the placement ring (read-mostly: lookups and load).
@@ -185,9 +253,9 @@ func (gw *Gateway) Addr() net.Addr {
 	return gw.ln.Addr()
 }
 
-// Close stops the prober, the listener and every front connection (whose
-// teardown detaches their backend sessions), then drops the backend
-// connections.
+// Close stops the prober (waiting out any in-flight pings), the recovery
+// loops, the listener and every front connection (whose teardown detaches
+// their backend sessions), then drops the backend connections.
 func (gw *Gateway) Close() error {
 	gw.mu.Lock()
 	if gw.closed {
@@ -201,8 +269,10 @@ func (gw *Gateway) Close() error {
 		conns = append(conns, fc)
 	}
 	gw.mu.Unlock()
-	close(gw.probeQuit)
+	close(gw.quit)
 	<-gw.probeDone
+	gw.probeWG.Wait()
+	gw.recoverWG.Wait()
 	var err error
 	if ln != nil {
 		err = ln.Close()
@@ -219,74 +289,117 @@ func (gw *Gateway) closeBackends() {
 	gw.mu.Lock()
 	backends := make([]*backend, 0, len(gw.backends))
 	for _, be := range gw.backends {
-		backends = append(backends, be)
+		if be != nil {
+			backends = append(backends, be)
+		}
 	}
 	gw.mu.Unlock()
 	for _, be := range backends {
-		if be.cl != nil {
-			be.cl.Close()
-		}
-		if be.pr != nil {
-			be.pr.Close()
-		}
+		be.cl.Close()
+		be.pr.Close()
 	}
 }
 
-// probeLoop health-checks every live backend on the configured interval
-// over its dedicated probe connection; a failed or timed-out probe ejects
-// the backend and re-homes its sessions.
+// probeLoop health-checks the live fleet on the configured interval, each
+// backend over its dedicated probe connection. The sweep is concurrent: one
+// probe per backend, launched together, so a single timing-out backend
+// cannot delay any other backend's health check (the sequential sweep it
+// replaces stalled the whole fleet for up to ProbeTimeout per sick
+// backend). A backend whose previous probe is still in flight is skipped —
+// at most one outstanding probe per incarnation. A failed or timed-out
+// probe ejects the backend and re-homes its sessions.
 func (gw *Gateway) probeLoop() {
 	defer close(gw.probeDone)
 	if gw.cfg.ProbeInterval < 0 {
-		<-gw.probeQuit
+		<-gw.quit
 		return
 	}
 	ticker := time.NewTicker(gw.cfg.ProbeInterval)
 	defer ticker.Stop()
 	for {
 		select {
-		case <-gw.probeQuit:
+		case <-gw.quit:
 			return
 		case <-ticker.C:
 		}
 		gw.mu.Lock()
 		backends := make([]*backend, 0, len(gw.backends))
 		for _, be := range gw.backends {
-			backends = append(backends, be)
+			if be != nil {
+				backends = append(backends, be)
+			}
 		}
 		gw.mu.Unlock()
 		for _, be := range backends {
-			if be.isEjected() {
+			if be.isEjected() || !be.probing.CompareAndSwap(false, true) {
 				continue
 			}
-			if err := gw.probe(be); err != nil {
-				gw.eject(be, nil)
-			}
+			gw.probeWG.Add(1)
+			go func(be *backend) {
+				defer gw.probeWG.Done()
+				defer be.probing.Store(false)
+				if err := gw.probe(be); err != nil {
+					select {
+					case <-gw.quit: // shutting down; not a health verdict
+					default:
+						gw.logf("cluster: backend %s: %v; ejecting", be.id, err)
+						gw.eject(be, nil)
+					}
+				}
+			}(be)
 		}
 	}
 }
 
-// probe pings one backend with a timeout. The ping goroutine is unblocked
-// on timeout by the ejection that follows (eject closes the probe client).
+// probe pings one backend, bounding the round trip by ProbeTimeout. The
+// in-flight ping's lifetime is tied to the probe's: on timeout or gateway
+// shutdown the probe client is closed, which unblocks the ping goroutine
+// immediately and the probe waits for it to exit — repeated timeouts
+// against a black-holed backend can never accumulate parked goroutines
+// (closing the client is fine: a timed-out probe ejects the incarnation,
+// and a shutdown closes every backend connection anyway).
 func (gw *Gateway) probe(be *backend) error {
 	done := make(chan error, 1)
-	seq := be.probeSeq.Add(1)
+	seq := be.stats.probeSeq.Add(1)
+	gw.probeWG.Add(1)
 	go func() {
+		defer gw.probeWG.Done()
 		_, err := be.pr.Ping(seq)
 		done <- err
 	}()
+	timer := time.NewTimer(gw.cfg.ProbeTimeout)
+	defer timer.Stop()
 	select {
 	case err := <-done:
+		if err == nil {
+			be.stats.probes.Add(1)
+		}
 		return err
-	case <-time.After(gw.cfg.ProbeTimeout):
+	case <-timer.C:
+		be.pr.Close()
+		<-done
 		return fmt.Errorf("cluster: backend %s: probe timeout after %v", be.id, gw.cfg.ProbeTimeout)
+	case <-gw.quit:
+		be.pr.Close()
+		<-done
+		return fmt.Errorf("cluster: backend %s: probe aborted by shutdown", be.id)
 	}
 }
 
-// eject removes a failed backend from the ring, closes its connections and
-// re-homes every session it carried. Idempotent. except, when non-nil,
-// names a session the caller re-homes itself (it already holds that
-// session's lock — re-homing it here would deadlock).
+// eject removes a failed backend incarnation from the ring, closes its
+// connections and re-homes every session it carried. Idempotent: the
+// ejected flag admits exactly one caller per incarnation; every later call
+// returns immediately. The except parameter, when non-nil, names a session
+// the caller re-homes itself, because the caller already holds that
+// session's lock and re-homing it here would deadlock.
+//
+// Lock ordering: ps.mu is always acquired before be.mu (the re-home and
+// detach paths hold a session's lock while registering it on a backend),
+// so a goroutine holding be.mu must never block on ps.mu. eject complies
+// by snapshotting the session set under be.mu, releasing it, and only then
+// locking the sessions one at a time — which is also why the except
+// session, whose ps.mu the caller holds across this whole call, is safe to
+// skip rather than a deadlock.
 func (gw *Gateway) eject(be *backend, except *proxySession) {
 	be.mu.Lock()
 	if be.ejected {
@@ -295,7 +408,23 @@ func (gw *Gateway) eject(be *backend, except *proxySession) {
 	}
 	be.ejected = true
 	be.mu.Unlock()
+	be.stats.ejections.Add(1)
 	gw.ring.Remove(be.id)
+	// Retire the incarnation and, when recovery is on, hand its ID to a
+	// recovery loop that will admit a fresh incarnation once the backend
+	// answers pings again.
+	gw.mu.Lock()
+	if gw.backends[be.id] == be {
+		gw.backends[be.id] = nil
+		if gw.cfg.Readmit && !gw.closed {
+			gw.states[be.id] = StateRecovering
+			gw.recoverWG.Add(1)
+			go gw.recoverLoop(be.id, be.addr)
+		} else {
+			gw.states[be.id] = StateEjected
+		}
+	}
+	gw.mu.Unlock()
 	// Closing the clients first makes every round trip still blocked on
 	// this backend fail fast, so session locks free up for the re-home
 	// sweep below.
@@ -327,8 +456,8 @@ func (gw *Gateway) eject(be *backend, except *proxySession) {
 // drops.
 func (gw *Gateway) rehomeLocked(ps *proxySession) error {
 	old := ps.be
-	old.rehomed.Add(1)
-	old.lost.Add(ps.forwarded)
+	old.stats.rehomed.Add(1)
+	old.stats.lost.Add(ps.forwarded)
 	ps.lost.Add(ps.forwarded)
 	ps.forwarded = 0
 	gen := ps.gen.Add(1) // stale pushes from the dead incarnation are ignored
@@ -375,21 +504,132 @@ func (gw *Gateway) rehomeLocked(ps *proxySession) error {
 	}
 }
 
+// recoverLoop re-dials one ejected (or initially-down) backend with capped
+// exponential backoff until it is re-admitted or the gateway closes. One
+// loop runs per backend in StateRecovering; eject starts it, and it ends
+// by installing a fresh incarnation.
+func (gw *Gateway) recoverLoop(id, addr string) {
+	defer gw.recoverWG.Done()
+	backoff := gw.cfg.ReadmitBackoff
+	timer := time.NewTimer(backoff)
+	defer timer.Stop()
+	for {
+		select {
+		case <-gw.quit:
+			return
+		case <-timer.C:
+		}
+		if gw.tryReadmit(id, addr) {
+			return
+		}
+		backoff *= 2
+		if backoff > gw.cfg.ReadmitMaxBackoff {
+			backoff = gw.cfg.ReadmitMaxBackoff
+		}
+		timer.Reset(backoff)
+	}
+}
+
+// errClosing aborts a recovery attempt because the gateway is shutting
+// down.
+var errClosing = errors.New("cluster: gateway closing")
+
+// redial verifies one connection to a recovering backend (wire.Redial:
+// dial + ping within ProbeTimeout), abandoning the attempt the moment the
+// gateway starts closing so Close never waits out a black-holed address.
+// An abandoned attempt's connection is reaped by a short-lived goroutine
+// bounded by the Redial timeout itself.
+func (gw *Gateway) redial(addr string) (*wire.Client, error) {
+	type result struct {
+		cl  *wire.Client
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		cl, err := wire.Redial(addr, gw.cfg.ProbeTimeout)
+		done <- result{cl, err}
+	}()
+	select {
+	case r := <-done:
+		return r.cl, r.err
+	case <-gw.quit:
+		go func() {
+			if r := <-done; r.cl != nil {
+				r.cl.Close()
+			}
+		}()
+		return nil, errClosing
+	}
+}
+
+// tryReadmit attempts one recovery round trip: re-dial the data and probe
+// connections (each verified live by a ping within ProbeTimeout — a bare
+// TCP accept is not liveness), then install the fresh incarnation and
+// return the backend to the ring. Existing sessions are untouched — no
+// forced migration; the bounded-load ring's ceil(c·avg) cap steers new
+// sessions toward the recovered, empty backend, a gradual re-balance. It
+// returns true when the recovery loop should stop (re-admitted, or the
+// gateway is closing).
+func (gw *Gateway) tryReadmit(id, addr string) bool {
+	cl, err := gw.redial(addr)
+	if err != nil {
+		return err == errClosing
+	}
+	pr, err := gw.redial(addr)
+	if err != nil {
+		cl.Close()
+		return err == errClosing
+	}
+	be := &backend{id: id, addr: addr, stats: gw.stats[id], cl: cl, pr: pr,
+		sessions: make(map[*proxySession]struct{})}
+	// Ring entry and incarnation install must be one atomic step under
+	// gw.mu: nothing can eject the new incarnation before it is published
+	// (probes and sessions only discover it through gw.backends), so an
+	// eject can never interleave between the two and leave the ID on the
+	// ring with a nil incarnation behind it.
+	gw.mu.Lock()
+	if gw.closed {
+		gw.mu.Unlock()
+		cl.Close()
+		pr.Close()
+		return true
+	}
+	if err := gw.ring.Add(id); err != nil {
+		// Unreachable: the ID left the ring when its last incarnation was
+		// ejected, and only one recovery loop per ID runs. Fail safe by
+		// staying in recovery rather than serving with a corrupt ring.
+		gw.mu.Unlock()
+		cl.Close()
+		pr.Close()
+		gw.logf("cluster: backend %s: re-admission ring entry: %v", id, err)
+		return false
+	}
+	gw.backends[id] = be
+	gw.states[id] = StateLive
+	gw.mu.Unlock()
+	be.stats.readmissions.Add(1)
+	gw.logf("cluster: backend %s (%s) re-admitted", id, addr)
+	return true
+}
+
 // Metrics aggregates the fleet: every live backend's serve.Metrics summed,
 // plus the per-backend proxy counters (including ejected backends, marked
 // unhealthy).
 func (gw *Gateway) Metrics() serve.Metrics {
 	gw.mu.Lock()
-	order := append([]string(nil), gw.order...)
 	byID := make(map[string]*backend, len(gw.backends))
+	states := make(map[string]BackendState, len(gw.states))
 	for id, be := range gw.backends {
 		byID[id] = be
 	}
+	for id, st := range gw.states {
+		states[id] = st
+	}
 	gw.mu.Unlock()
 	var out serve.Metrics
-	for _, id := range order {
-		be := byID[id]
-		healthy := !be.isEjected()
+	for _, id := range gw.order {
+		be, st, stats := byID[id], states[id], gw.stats[id]
+		healthy := st == StateLive && be != nil && !be.isEjected()
 		if healthy {
 			if m, err := gw.fetchMetrics(be); err == nil {
 				out.Sessions += m.Sessions
@@ -403,19 +643,25 @@ func (gw *Gateway) Metrics() serve.Metrics {
 				healthy = false
 			}
 		}
-		be.mu.Lock()
-		proxied := len(be.sessions)
-		be.mu.Unlock()
+		proxied := 0
+		if be != nil {
+			be.mu.Lock()
+			proxied = len(be.sessions)
+			be.mu.Unlock()
+		}
 		out.Backends = append(out.Backends, serve.BackendMetrics{
-			ID:         be.id,
-			Addr:       be.addr,
-			Healthy:    healthy,
-			Sessions:   proxied,
-			Batches:    be.batches.Load(),
-			Tuples:     be.tuples.Load(),
-			Detections: be.detections.Load(),
-			Lost:       be.lost.Load(),
-			Rehomed:    be.rehomed.Load(),
+			ID:           id,
+			Addr:         gw.addrs[id],
+			Healthy:      healthy,
+			State:        string(st),
+			Sessions:     proxied,
+			Batches:      stats.batches.Load(),
+			Tuples:       stats.tuples.Load(),
+			Detections:   stats.detections.Load(),
+			Lost:         stats.lost.Load(),
+			Rehomed:      stats.rehomed.Load(),
+			Ejections:    stats.ejections.Load(),
+			Readmissions: stats.readmissions.Load(),
 		})
 	}
 	return out
@@ -577,7 +823,13 @@ func (fc *frontConn) teardown() {
 			if ps.rs != nil {
 				ps.rs.Detach()
 				ps.be.dropSession(ps)
-				fc.gw.ring.Release(ps.be.id)
+				// Only a live incarnation holds a ring slot: ejection
+				// removed the backend's loads wholesale, and with
+				// re-admission on, a stale Release here would debit the
+				// fresh incarnation's load for a session it never carried.
+				if !ps.be.isEjected() {
+					fc.gw.ring.Release(ps.be.id)
+				}
 			}
 			close(ps.done)
 		}
@@ -719,8 +971,8 @@ func (fc *frontConn) handleBatch(payload []byte) error {
 		if _, err := ps.be.cl.ProxyBatch(ps.rs.Handle(), payload); err == nil {
 			ps.in += uint64(count)
 			ps.forwarded += uint64(count)
-			ps.be.batches.Add(1)
-			ps.be.tuples.Add(uint64(count))
+			ps.be.stats.batches.Add(1)
+			ps.be.stats.tuples.Add(uint64(count))
 			return nil
 		}
 		// The backend died under the write: eject it, re-home this session
@@ -791,7 +1043,7 @@ func (fc *frontConn) handleSessionOp(payload []byte, ack wire.FrameType, detach 
 		fc.gw.eject(ps.be, ps)
 		if detach {
 			ps.lost.Add(ps.forwarded)
-			ps.be.lost.Add(ps.forwarded)
+			ps.be.stats.lost.Add(ps.forwarded)
 			ps.forwarded = 0
 			ps.backendDropped.Store(0)
 			bc = wire.SessionCounters{}
@@ -897,7 +1149,7 @@ func (fc *frontConn) relayDetectionsLocked(ps *proxySession) error {
 				return err
 			}
 			ps.detSent.Add(uint64(n))
-			ps.be.detections.Add(uint64(n))
+			ps.be.stats.detections.Add(uint64(n))
 			pending = pending[n:]
 		}
 	}

@@ -3,12 +3,14 @@ package cluster_test
 import (
 	"bytes"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"gesturecep/internal/anduin"
+	"gesturecep/internal/cluster"
 	"gesturecep/internal/e2e"
 	"gesturecep/internal/kinect"
 	"gesturecep/internal/serve"
@@ -329,6 +331,435 @@ func TestGatewayFailover(t *testing.T) {
 		if id == h.Spawner.ID(victim) {
 			t.Error("victim backend still on the ring")
 		}
+	}
+}
+
+// TestGatewayRecovery is the recovery soak (run under -race in CI): a
+// backend is killed mid-stream, its sessions re-home with explicit loss
+// accounting, then the backend restarts on the same address and the
+// gateway must re-admit it — fresh incarnation, back on the ring — within
+// the backoff budget. Existing sessions stay put (no forced migration);
+// new sessions land on the recovered backend through the bounded-load
+// ring. Across the whole episode, all 64 sessions (24 pre-kill + 40
+// post-recovery) must reconcile drop accounting against the stream-store
+// recorder and produce detections byte-identical to the deterministic
+// reconstruction.
+func TestGatewayRecovery(t *testing.T) {
+	frames := e2e.PlaybackFrames(t, 11)
+	tuples := kinect.ToTuples(frames)
+	half := len(tuples) / 2
+	chunk1, chunk2 := tuples[:half], tuples[half:]
+
+	const backends = 3
+	h := e2e.Start(t, e2e.Options{
+		Backends:       backends,
+		Gateway:        true,
+		Serve:          serve.Config{Shards: 2, QueueDepth: 128},
+		Record:         true,
+		RecorderBuffer: 1 << 15,
+		ProbeInterval:  25 * time.Millisecond,
+		Readmit:        true,
+	})
+	plan, _ := h.Registry.Get("swipe_right")
+	want := e2e.EncodeDets(t, e2e.BareReplay(t, plan, e2e.WireTuples(t, tuples)))
+
+	// Phase 1: 24 sessions feed the first half of the stream and ack it.
+	const oldSessions = 24
+	cl := h.Dial()
+	ids := make([]string, oldSessions)
+	rss := make([]*wire.RemoteSession, oldSessions)
+	preKill := make([][]byte, oldSessions)
+	for i := range rss {
+		ids[i] = fmt.Sprintf("soak-%02d", i)
+		rs, err := cl.Attach(ids[i], wire.AttachOptions{BatchSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rss[i] = rs
+		for _, tp := range chunk1 {
+			if err := rs.FeedTuple(tp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := rs.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		preKill[i] = e2e.EncodeDets(t, rs.Detections())
+	}
+
+	// Pick a victim that owns at least one session (placement is visible
+	// through the recording archives).
+	victim := -1
+	onVictim := make(map[string]bool)
+	for b := 0; b < backends && victim < 0; b++ {
+		for _, id := range ids {
+			if h.HasRecording(b, id) {
+				victim = b
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no backend owns any session")
+	}
+	victimID := h.Spawner.ID(victim)
+	for _, id := range ids {
+		onVictim[id] = h.HasRecording(victim, id)
+	}
+
+	// Phase 2: kill the victim while the second half is in flight.
+	var fed atomic.Int64
+	killAt := int64(oldSessions * len(chunk2) / 3)
+	killed := make(chan struct{})
+	go func() {
+		for fed.Load() < killAt {
+			time.Sleep(time.Millisecond)
+		}
+		h.KillBackend(victim)
+		close(killed)
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, oldSessions)
+	for i := range rss {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, tp := range chunk2 {
+				if err := rss[i].FeedTuple(tp); err != nil {
+					errs <- fmt.Errorf("session %s: %w", ids[i], err)
+					return
+				}
+				fed.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	<-killed
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Settle every old session before the restart: a flush forces any
+	// session still bound to the dead incarnation through eject + re-home,
+	// so the fleet deterministically reaches the steady state recovery
+	// starts from — victim ejected, every old session homed on a survivor.
+	for i, rs := range rss {
+		if _, err := rs.Flush(); err != nil {
+			t.Fatalf("session %s: settling flush: %v", ids[i], err)
+		}
+	}
+	settleDeadline := time.Now().Add(10 * time.Second)
+	for h.Gateway.State(victimID) == cluster.StateLive {
+		if time.Now().After(settleDeadline) {
+			t.Fatal("victim never ejected after its kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Phase 3: restart the victim on the same address; the gateway must
+	// re-admit it within the backoff budget (the harness backoff caps at
+	// 100ms — 10s of grace is pure CI slack).
+	h.RestartBackend(victim)
+	deadline := time.Now().Add(10 * time.Second)
+	for h.Gateway.State(victimID) != cluster.StateLive {
+		if time.Now().After(deadline) {
+			t.Fatalf("victim in state %q, not re-admitted within the backoff budget",
+				h.Gateway.State(victimID))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	onRing := false
+	for _, id := range h.Gateway.Ring().Backends() {
+		onRing = onRing || id == victimID
+	}
+	if !onRing {
+		t.Fatal("victim re-admitted but absent from the ring")
+	}
+	// No forced migration: the recovered backend starts empty; every old
+	// session stays where failover put it.
+	mm := h.Gateway.Metrics()
+	for _, be := range mm.Backends {
+		if be.ID == victimID {
+			if !be.Healthy || be.State != string(cluster.StateLive) {
+				t.Errorf("victim row after re-admission: healthy=%t state=%q", be.Healthy, be.State)
+			}
+			if be.Sessions != 0 {
+				t.Errorf("victim carries %d sessions right after re-admission; re-balance must be gradual", be.Sessions)
+			}
+			if be.Ejections != 1 || be.Readmissions != 1 {
+				t.Errorf("victim ejections=%d readmissions=%d, want 1/1", be.Ejections, be.Readmissions)
+			}
+		}
+	}
+
+	// Phase 4: 40 new sessions arrive. The bounded-load ring must steer a
+	// share of them onto the recovered backend (pigeonhole: the two
+	// survivors' caps cannot absorb all of them).
+	const newSessions = 40
+	const conns = 4
+	newClients := make([]*wire.Client, conns)
+	for i := range newClients {
+		newClients[i] = h.Dial()
+	}
+	newIDs := make([]string, newSessions)
+	newRss := make([]*wire.RemoteSession, newSessions)
+	for i := range newRss {
+		newIDs[i] = fmt.Sprintf("fresh-%02d", i)
+		rs, err := newClients[i%conns].Attach(newIDs[i], wire.AttachOptions{BatchSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		newRss[i] = rs
+	}
+	if load := h.Gateway.Ring().Load(victimID); load == 0 {
+		t.Fatal("no new session placed on the recovered backend")
+	}
+	newErrs := make(chan error, newSessions)
+	for i := range newRss {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, tp := range tuples {
+				if err := newRss[i].FeedTuple(tp); err != nil {
+					newErrs <- fmt.Errorf("session %s: %w", newIDs[i], err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-newErrs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Drain everything and snapshot the fleet while it is still alive.
+	finalDets := make([][]byte, oldSessions)
+	finalCounters := make([]wire.SessionCounters, oldSessions)
+	for i, rs := range rss {
+		if _, err := rs.Flush(); err != nil {
+			t.Fatalf("session %s: final flush: %v", ids[i], err)
+		}
+		finalDets[i] = e2e.EncodeDets(t, rs.Detections())
+		c, err := rs.Detach()
+		if err != nil {
+			t.Fatalf("session %s: detach: %v", ids[i], err)
+		}
+		finalCounters[i] = c
+	}
+	newDets := make([][]byte, newSessions)
+	newCounters := make([]wire.SessionCounters, newSessions)
+	for i, rs := range newRss {
+		if _, err := rs.Flush(); err != nil {
+			t.Fatalf("session %s: flush: %v", newIDs[i], err)
+		}
+		newDets[i] = e2e.EncodeDets(t, rs.Detections())
+		c, err := rs.Detach()
+		if err != nil {
+			t.Fatalf("session %s: detach: %v", newIDs[i], err)
+		}
+		newCounters[i] = c
+	}
+	mm = h.Gateway.Metrics()
+	h.Stop() // flush every archive so the recordings are readable
+
+	// Old sessions: same contract as the failover soak — every fed tuple
+	// is either in the final home's recording or reported dropped, and the
+	// detections are exactly the acked prefix plus a bare replay of what
+	// the final home admitted.
+	total := uint64(len(tuples))
+	rehomed := 0
+	for i, id := range ids {
+		c := finalCounters[i]
+		if c.In != total || c.Out != c.In {
+			t.Errorf("session %s counters = %+v, want in=out=%d", id, c, total)
+		}
+		home := -1
+		for b := 0; b < backends; b++ {
+			if b != victim && h.HasRecording(b, id) {
+				home = b
+				break
+			}
+		}
+		if onVictim[id] {
+			rehomed++
+			if home < 0 {
+				t.Errorf("session %s never re-homed off the dead backend", id)
+				continue
+			}
+		} else if home < 0 {
+			t.Errorf("session %s has no recording on its healthy backend", id)
+			continue
+		} else if c.Dropped != 0 {
+			t.Errorf("session %s on a healthy backend dropped %d tuples", id, c.Dropped)
+		}
+		recorded := h.Recorded(home, id)
+		if got := total - uint64(len(recorded)); c.Dropped != got {
+			t.Errorf("session %s reports %d drops, recorder tally says %d (fed %d, recorded %d)",
+				id, c.Dropped, got, total, len(recorded))
+		}
+		var wantDets []byte
+		if onVictim[id] {
+			wantDets = mergeDetFrames(t, preKill[i], e2e.BareReplay(t, plan, recorded))
+		} else {
+			wantDets = e2e.EncodeDets(t, e2e.BareReplay(t, plan, recorded))
+		}
+		if !bytes.Equal(finalDets[i], wantDets) {
+			t.Errorf("session %s detections diverge from the deterministic reconstruction", id)
+		}
+	}
+	if rehomed == 0 {
+		t.Fatal("victim backend owned no sessions; recovery path never stressed")
+	}
+
+	// New sessions: a fully clean run — zero drops, full-stream semantics
+	// byte-identical to the bare replay — wherever they landed, the
+	// recovered backend included.
+	onRecovered := 0
+	for i, id := range newIDs {
+		c := newCounters[i]
+		if c.In != total || c.Out != c.In || c.Dropped != 0 {
+			t.Errorf("session %s counters = %+v, want in=out=%d dropped=0", id, c, total)
+		}
+		home := -1
+		for b := 0; b < backends; b++ {
+			if h.HasRecording(b, id) {
+				home = b
+				break
+			}
+		}
+		if home < 0 {
+			t.Errorf("session %s was never recorded anywhere", id)
+			continue
+		}
+		if home == victim {
+			onRecovered++
+		}
+		if got := uint64(len(h.Recorded(home, id))); got != total {
+			t.Errorf("session %s: home recorded %d of %d tuples", id, got, total)
+		}
+		if !bytes.Equal(newDets[i], want) {
+			t.Errorf("session %s detections diverge from the bare replay", id)
+		}
+	}
+	if onRecovered == 0 {
+		t.Error("no new session served by the recovered backend")
+	}
+
+	// Fleet accounting: the victim's row carries the episode — sessions
+	// re-homed off it, their dead-incarnation tuples as Lost — and the
+	// survivors never flapped.
+	var wantLost uint64
+	for i, id := range ids {
+		if onVictim[id] {
+			wantLost += finalCounters[i].Dropped
+		}
+	}
+	for _, be := range mm.Backends {
+		if be.ID == victimID {
+			if be.Rehomed != uint64(rehomed) {
+				t.Errorf("victim Rehomed = %d, want %d", be.Rehomed, rehomed)
+			}
+			if be.Lost != wantLost {
+				t.Errorf("victim Lost = %d, session drop counts sum to %d", be.Lost, wantLost)
+			}
+		} else {
+			if be.Ejections != 0 || be.Readmissions != 0 || be.State != string(cluster.StateLive) {
+				t.Errorf("survivor %s: ejections=%d readmissions=%d state=%q, want a quiet live row",
+					be.ID, be.Ejections, be.Readmissions, be.State)
+			}
+		}
+	}
+}
+
+// TestGatewayTolerateDown starts a gateway against a fleet with one dead
+// backend: strict mode must refuse, TolerateDown must serve on the live
+// subset and admit the dead backend through the recovery machinery when it
+// comes up.
+func TestGatewayTolerateDown(t *testing.T) {
+	h := e2e.Start(t, e2e.Options{Backends: 2, Serve: serve.Config{Shards: 1}})
+	h.KillBackend(1)
+	downID := h.Spawner.ID(1)
+
+	// Strict mode: a down backend at startup is a configuration error.
+	if _, err := cluster.NewGateway(cluster.Config{Backends: h.Spawner.Backends()}); err == nil {
+		t.Fatal("strict NewGateway accepted a fleet with a dead backend")
+	}
+
+	gw, err := cluster.NewGateway(cluster.Config{
+		Backends:          h.Spawner.Backends(),
+		Name:              "tolerant",
+		ProbeInterval:     25 * time.Millisecond,
+		ProbeTimeout:      time.Second,
+		TolerateDown:      true,
+		ReadmitBackoff:    10 * time.Millisecond,
+		ReadmitMaxBackoff: 100 * time.Millisecond,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	if st := gw.State(downID); st != cluster.StateRecovering {
+		t.Fatalf("down backend state = %q, want %q", st, cluster.StateRecovering)
+	}
+	if ids := gw.Ring().Backends(); len(ids) != 1 || ids[0] != h.Spawner.ID(0) {
+		t.Fatalf("ring holds %v, want only the live backend", ids)
+	}
+
+	// The degraded gateway serves: a session lands on the live backend.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go gw.Serve(ln)
+	cl, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rs, err := cl.Attach("degraded-0", wire.AttachOptions{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := e2e.PlaybackFrames(t, 3)
+	if err := rs.FeedFrames(frames); err != nil {
+		t.Fatal(err)
+	}
+	if c, err := rs.Flush(); err != nil || c.In != uint64(len(frames)) || c.Out != c.In || c.Dropped != 0 {
+		t.Fatalf("degraded flush = %+v, %v; want in=out=%d dropped=0", c, err, len(frames))
+	}
+
+	// Bring the backend up; the recovery loop must admit it.
+	h.RestartBackend(1)
+	deadline := time.Now().Add(10 * time.Second)
+	for gw.State(downID) != cluster.StateLive {
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted backend in state %q, never admitted", gw.State(downID))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := gw.Ring().Len(); got != 2 {
+		t.Fatalf("ring holds %d backends after admission, want 2", got)
+	}
+	for _, be := range gw.Metrics().Backends {
+		if be.ID == downID && (be.Ejections != 0 || be.Readmissions != 1) {
+			t.Errorf("admitted backend ejections=%d readmissions=%d, want 0/1", be.Ejections, be.Readmissions)
+		}
+	}
+
+	// The late-joining backend must start receiving sessions: the live
+	// backend's bounded-load cap cannot absorb them all.
+	for i := 0; i < 8; i++ {
+		if _, err := cl.Attach(fmt.Sprintf("late-%d", i), wire.AttachOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if load := gw.Ring().Load(downID); load == 0 {
+		t.Error("no session placed on the late-joining backend")
 	}
 }
 

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"net"
+	"sync"
 
 	"gesturecep/internal/serve"
 	"gesturecep/internal/stream"
@@ -15,7 +16,9 @@ type SpawnOptions struct {
 	Serve serve.Config
 	// TapSessions, when non-nil, builds each backend's recording hook (see
 	// wire.Server.TapSessions) with the backend ID bound — how an
-	// all-in-one gateway process records per-backend archives.
+	// all-in-one gateway process records per-backend archives. It is
+	// invoked again on Restart, so a hook backed by mutable state (e.g. a
+	// fresh archive per incarnation) picks up the restarted backend.
 	TapSessions func(backendID string) func(sessionID string) (func(stream.Tuple), func(bool), error)
 }
 
@@ -36,6 +39,10 @@ type spawned struct {
 // sessions) behind its own wire.Server on a loopback listener, so a
 // gateway, cmd/gestureload, or any wire client can target it unchanged.
 type Spawner struct {
+	reg  *serve.Registry
+	opts SpawnOptions
+
+	mu       sync.Mutex
 	backends []*spawned
 }
 
@@ -48,7 +55,7 @@ func Spawn(n int, reg *serve.Registry, opts SpawnOptions) (*Spawner, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cluster: spawn %d backends (want ≥ 1)", n)
 	}
-	sp := &Spawner{}
+	sp := &Spawner{reg: reg, opts: opts}
 	for i := 0; i < n; i++ {
 		id := BackendID(i)
 		mgr, err := serve.NewManager(opts.Serve, reg)
@@ -75,6 +82,8 @@ func Spawn(n int, reg *serve.Registry, opts SpawnOptions) (*Spawner, error) {
 
 // Backends returns the fleet descriptors for Config.Backends.
 func (sp *Spawner) Backends() []Backend {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
 	out := make([]Backend, len(sp.backends))
 	for i, b := range sp.backends {
 		out[i] = Backend{ID: b.id, Addr: b.addr}
@@ -92,18 +101,58 @@ func (sp *Spawner) Addr(i int) string { return sp.backends[i].addr }
 func (sp *Spawner) ID(i int) string { return sp.backends[i].id }
 
 // Manager exposes backend i's session manager (tests inspect its metrics).
-func (sp *Spawner) Manager(i int) *serve.Manager { return sp.backends[i].mgr }
+func (sp *Spawner) Manager(i int) *serve.Manager {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.backends[i].mgr
+}
 
 // Kill abruptly stops backend i — server, connections, manager — the way a
 // crashed process disappears from its peers. Idempotent.
 func (sp *Spawner) Kill(i int) {
+	sp.mu.Lock()
 	b := sp.backends[i]
 	if b.killed {
+		sp.mu.Unlock()
 		return
 	}
 	b.killed = true
-	b.srv.Close()
-	b.mgr.Close()
+	srv, mgr := b.srv, b.mgr
+	sp.mu.Unlock()
+	srv.Close()
+	mgr.Close()
+}
+
+// Restart brings a killed backend back up on the same address — the
+// restarted process a recovering cluster re-admits. The incarnation is
+// genuinely fresh, exactly like a crashed gestured coming back: a new
+// manager (empty session table; the old NFA state died with the kill)
+// behind a new server on a re-bound listener, with the recording hook
+// re-derived from SpawnOptions.TapSessions.
+func (sp *Spawner) Restart(i int) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	b := sp.backends[i]
+	if !b.killed {
+		return fmt.Errorf("cluster: backend %s is still running", b.id)
+	}
+	mgr, err := serve.NewManager(sp.opts.Serve, sp.reg)
+	if err != nil {
+		return err
+	}
+	srv := wire.NewServer(mgr)
+	srv.Name = b.id
+	if sp.opts.TapSessions != nil {
+		srv.TapSessions = sp.opts.TapSessions(b.id)
+	}
+	ln, err := net.Listen("tcp", b.addr)
+	if err != nil {
+		mgr.Close()
+		return fmt.Errorf("cluster: backend %s: rebinding %s: %w", b.id, b.addr, err)
+	}
+	b.mgr, b.srv, b.killed = mgr, srv, false
+	go srv.Serve(ln)
+	return nil
 }
 
 // Close stops every backend still running.

@@ -37,6 +37,11 @@ type Options struct {
 	LoadFactor    float64
 	ProbeInterval time.Duration
 	ProbeTimeout  time.Duration
+	// Readmit enables the gateway's backend recovery loop; the backoff
+	// knobs default to fast test values (10ms initial, 100ms cap).
+	Readmit           bool
+	ReadmitBackoff    time.Duration
+	ReadmitMaxBackoff time.Duration
 }
 
 // Harness is one in-process serving cluster for end-to-end tests.
@@ -46,9 +51,11 @@ type Harness struct {
 	Spawner  *cluster.Spawner
 	Gateway  *cluster.Gateway // nil unless Options.Gateway
 
-	archives []*store.Archive
-	roots    []string
-	gwAddr   string
+	archives  []*store.Archive
+	archiveOf map[string]*store.Archive // live archive per backend ID
+	roots     []string
+	recBuf    int
+	gwAddr    string
 
 	stopOnce sync.Once
 }
@@ -73,6 +80,7 @@ func Start(t testing.TB, opts Options) *Harness {
 
 	spawnOpts := cluster.SpawnOptions{Serve: opts.Serve}
 	if opts.Record {
+		h.recBuf = opts.RecorderBuffer
 		h.archives = make([]*store.Archive, opts.Backends)
 		h.roots = make([]string, opts.Backends)
 		for i := range h.archives {
@@ -80,6 +88,7 @@ func Start(t testing.TB, opts Options) *Harness {
 			h.archives[i] = store.NewArchive(h.roots[i], store.Options{}, opts.RecorderBuffer)
 		}
 		archiveOf := make(map[string]*store.Archive, opts.Backends)
+		h.archiveOf = archiveOf
 		spawnOpts.TapSessions = func(backendID string) func(string) (func(stream.Tuple), func(bool), error) {
 			arch := archiveOf[backendID]
 			return func(sessionID string) (func(stream.Tuple), func(bool), error) {
@@ -115,13 +124,23 @@ func Start(t testing.TB, opts Options) *Harness {
 		if opts.ProbeTimeout == 0 {
 			opts.ProbeTimeout = time.Second
 		}
+		if opts.ReadmitBackoff == 0 {
+			opts.ReadmitBackoff = 10 * time.Millisecond
+		}
+		if opts.ReadmitMaxBackoff == 0 {
+			opts.ReadmitMaxBackoff = 100 * time.Millisecond
+		}
 		gw, err := cluster.NewGateway(cluster.Config{
-			Backends:      sp.Backends(),
-			Name:          "e2e-gateway",
-			VNodes:        opts.VNodes,
-			LoadFactor:    opts.LoadFactor,
-			ProbeInterval: opts.ProbeInterval,
-			ProbeTimeout:  opts.ProbeTimeout,
+			Backends:          sp.Backends(),
+			Name:              "e2e-gateway",
+			VNodes:            opts.VNodes,
+			LoadFactor:        opts.LoadFactor,
+			ProbeInterval:     opts.ProbeInterval,
+			ProbeTimeout:      opts.ProbeTimeout,
+			Readmit:           opts.Readmit,
+			ReadmitBackoff:    opts.ReadmitBackoff,
+			ReadmitMaxBackoff: opts.ReadmitMaxBackoff,
+			Logf:              t.Logf,
 		})
 		if err != nil {
 			sp.Close()
@@ -190,6 +209,22 @@ func (h *Harness) KillBackend(i int) {
 		if err := h.archives[i].Close(); err != nil {
 			h.t.Errorf("e2e: closing killed backend %d archive: %v", i, err)
 		}
+	}
+}
+
+// RestartBackend brings a killed backend back up on the same address, so a
+// readmitting gateway can recover it. With recording on, the fresh
+// incarnation records into a fresh archive over the same root directory —
+// the recordings of the dead incarnation stay readable beside the new ones,
+// like a disk surviving its process twice over.
+func (h *Harness) RestartBackend(i int) {
+	h.t.Helper()
+	if h.archives != nil {
+		h.archives[i] = store.NewArchive(h.roots[i], store.Options{}, h.recBuf)
+		h.archiveOf[cluster.BackendID(i)] = h.archives[i]
+	}
+	if err := h.Spawner.Restart(i); err != nil {
+		h.t.Fatal(err)
 	}
 }
 

@@ -38,9 +38,13 @@ type SessionMetrics struct {
 // cluster gateway attaches them to its aggregated Metrics so one metrics
 // frame describes the whole fleet.
 type BackendMetrics struct {
-	ID       string `json:"id"`
-	Addr     string `json:"addr"`
-	Healthy  bool   `json:"healthy"`
+	ID      string `json:"id"`
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	// State is the gateway's lifecycle state for this backend: "live" (on
+	// the ring), "ejected" (off the ring permanently), or "recovering" (off
+	// the ring, being re-dialed for re-admission).
+	State    string `json:"state,omitempty"`
 	Sessions int    `json:"sessions"` // proxied sessions currently homed here
 	Batches  uint64 `json:"batches"`  // batch frames forwarded
 	Tuples   uint64 `json:"tuples"`   // tuples forwarded
@@ -53,6 +57,12 @@ type BackendMetrics struct {
 	Lost uint64 `json:"lost"`
 	// Rehomed counts sessions moved away from this backend by failover.
 	Rehomed uint64 `json:"rehomed"`
+	// Ejections counts how many of this backend's incarnations were
+	// ejected; Readmissions counts admissions through the gateway's
+	// recovery loop (a backend that was down at startup and came up is a
+	// re-admission with zero ejections).
+	Ejections    uint64 `json:"ejections"`
+	Readmissions uint64 `json:"readmissions"`
 }
 
 // Metrics aggregates the shard snapshots. Counters are monotonically
@@ -143,11 +153,22 @@ func (m Metrics) Table() string {
 	fmt.Fprintf(&b, "%-6s %8d %10d %10d %10d %10d %6d\n",
 		"total", m.Sessions, m.Enqueued, m.Processed, m.Dropped, m.Detections, m.QueueDepth)
 	if len(m.Backends) > 0 {
-		fmt.Fprintf(&b, "\n%-12s %-21s %-7s %8s %10s %10s %10s %8s %8s\n",
-			"backend", "addr", "healthy", "sessions", "batches", "tuples", "detections", "lost", "rehomed")
+		fmt.Fprintf(&b, "\n%-12s %-21s %-10s %8s %10s %10s %10s %8s %8s %7s %8s\n",
+			"backend", "addr", "state", "sessions", "batches", "tuples", "detections", "lost", "rehomed", "ejects", "readmits")
 		for _, be := range m.Backends {
-			fmt.Fprintf(&b, "%-12s %-21s %-7t %8d %10d %10d %10d %8d %8d\n",
-				be.ID, be.Addr, be.Healthy, be.Sessions, be.Batches, be.Tuples, be.Detections, be.Lost, be.Rehomed)
+			state := be.State
+			if state == "" {
+				if be.Healthy {
+					state = "live"
+				} else {
+					state = "unhealthy"
+				}
+			} else if state == "live" && !be.Healthy {
+				state = "unreachable" // live on the ring, but the metrics fetch failed
+			}
+			fmt.Fprintf(&b, "%-12s %-21s %-10s %8d %10d %10d %10d %8d %8d %7d %8d\n",
+				be.ID, be.Addr, state, be.Sessions, be.Batches, be.Tuples, be.Detections, be.Lost, be.Rehomed,
+				be.Ejections, be.Readmissions)
 		}
 	}
 	return b.String()

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gesturecep/internal/anduin"
 	"gesturecep/internal/kinect"
@@ -49,6 +50,49 @@ func Dial(addr string) (*Client, error) {
 		return nil, err
 	}
 	return NewClient(c), nil
+}
+
+// DialTimeout connects to a gestured server, bounding the TCP connect
+// instead of waiting out the OS default.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(c), nil
+}
+
+// Redial dials addr and proves the server is actually serving — one ping
+// round trip must complete within timeout — before handing the connection
+// out. A bare TCP accept is not liveness: a listen backlog happily accepts
+// for a process that is wedged or half-dead, which is exactly the state a
+// recovering cluster backend may be in. On any failure the connection is
+// closed and an error returned; the in-flight ping is unblocked by that
+// close, so a timed-out Redial leaves no goroutine behind.
+func Redial(addr string, timeout time.Duration) (*Client, error) {
+	cl, err := DialTimeout(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Ping(0)
+		done <- err
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("wire: redial %s: %w", addr, err)
+		}
+		return cl, nil
+	case <-timer.C:
+		cl.Close()
+		<-done
+		return nil, fmt.Errorf("wire: redial %s: no pong within %v", addr, timeout)
+	}
 }
 
 // NewClient speaks the wire protocol over an established connection and

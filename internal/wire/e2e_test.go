@@ -219,6 +219,69 @@ func TestWireMetricsAndPing(t *testing.T) {
 	}
 }
 
+// TestWireRedial pins the recovery primitive: Redial must hand out a
+// connection only after a ping round trip proves the server is serving —
+// a dead address fails on connect, and a listener that accepts but never
+// answers (a wedged process) fails on the ping timeout without leaking the
+// connection's goroutines.
+func TestWireRedial(t *testing.T) {
+	t.Parallel()
+	h := e2e.Start(t, e2e.Options{Serve: serve.Config{Shards: 1}})
+
+	cl, err := wire.Redial(h.Addr(), time.Second)
+	if err != nil {
+		t.Fatalf("redial against a live server: %v", err)
+	}
+	if pong, err := cl.Ping(7); err != nil || pong.Seq != 7 {
+		t.Fatalf("redialed connection unusable: %+v, %v", pong, err)
+	}
+	cl.Close()
+
+	// A dead address: the listener is gone, so the dial itself fails.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	if _, err := wire.Redial(deadAddr, 250*time.Millisecond); err == nil {
+		t.Fatal("redial against a closed listener succeeded")
+	}
+
+	// A wedged server: accepts the connection, never answers the ping.
+	wedged, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wedged.Close()
+	var held []net.Conn
+	var mu sync.Mutex
+	go func() {
+		for {
+			c, err := wedged.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			held = append(held, c)
+			mu.Unlock()
+		}
+	}()
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range held {
+			c.Close()
+		}
+	}()
+	start := time.Now()
+	if _, err := wire.Redial(wedged.Addr().String(), 100*time.Millisecond); err == nil {
+		t.Fatal("redial against a wedged server succeeded without a pong")
+	} else if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("redial took %v to give up on a wedged server", elapsed)
+	}
+}
+
 // TestWireProtocolErrors exercises the failure paths a remote client can
 // trigger: duplicate session IDs, unknown plans, version mismatch, and
 // batches for unknown handles.
