@@ -18,11 +18,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"gesturecep/internal/kinect"
 	"gesturecep/internal/learn"
+	"gesturecep/internal/obs"
 	"gesturecep/internal/serve"
 	"gesturecep/internal/store"
 	"gesturecep/internal/stream"
@@ -41,16 +44,17 @@ func main() {
 		gestures  = flag.Int("gestures", 4, "gestures to learn and register (1-8)")
 		seed      = flag.Int64("seed", 1, "trainer random seed")
 		recordDir = flag.String("record-dir", "", "record every session's tuple stream into this stream-store directory (replay with cmd/gesturereplay)")
+		adminAddr = flag.String("admin-addr", "", "HTTP admin plane listen address (/metrics, /metrics.json, /healthz, /readyz, /debug/pprof); empty disables")
 		verbose   = flag.Bool("v", false, "print the per-shard metric table on shutdown")
 	)
 	flag.Parse()
-	if err := run(*addr, *name, *shards, *queue, *policy, *gestures, *seed, *recordDir, *verbose); err != nil {
+	if err := run(*addr, *name, *shards, *queue, *policy, *gestures, *seed, *recordDir, *adminAddr, *verbose); err != nil {
 		log.SetFlags(0)
 		log.Fatal(err)
 	}
 }
 
-func run(addr, name string, shards, queue int, policyName string, gestures int, seed int64, recordDir string, verbose bool) error {
+func run(addr, name string, shards, queue int, policyName string, gestures int, seed int64, recordDir, adminAddr string, verbose bool) error {
 	if gestures < 1 || gestures > len(gestureNames) {
 		return fmt.Errorf("gestured: -gestures must be 1..%d", len(gestureNames))
 	}
@@ -91,6 +95,16 @@ func run(addr, name string, shards, queue int, policyName string, gestures int, 
 	defer m.Close()
 	srv := wire.NewServer(m)
 	srv.Name = name
+	ins := serve.NewInstruments()
+	m.SetInstruments(ins)
+	srv.BatchDecode = obs.NewHistogram()
+	srv.Ingress = obs.NewHistogram()
+
+	// Recording throughput counters for the admin plane: live recorders are
+	// summed per scrape, released ones folded into the done totals.
+	var recMu sync.Mutex
+	liveRecs := make(map[*store.Recorder]struct{})
+	var doneTuples, doneDropped, doneBytes atomic.Uint64
 
 	var arch *store.Archive
 	if recordDir != "" {
@@ -101,7 +115,16 @@ func run(addr, name string, shards, queue int, policyName string, gestures int, 
 			if err != nil {
 				return nil, nil, err
 			}
+			recMu.Lock()
+			liveRecs[rec] = struct{}{}
+			recMu.Unlock()
 			return rec.Tap(), func(aborted bool) {
+				recMu.Lock()
+				delete(liveRecs, rec)
+				recMu.Unlock()
+				doneTuples.Add(rec.Recorded())
+				doneDropped.Add(rec.Dropped())
+				doneBytes.Add(rec.Writer().Bytes())
 				end := arch.Release
 				if aborted { // attach failed: drop the never-used recording
 					end = arch.Abort
@@ -112,6 +135,53 @@ func run(addr, name string, shards, queue int, policyName string, gestures int, 
 			}, nil
 		}
 		fmt.Printf("recording sessions into %s\n", recordDir)
+	}
+
+	if adminAddr != "" {
+		admin, err := obs.StartAdmin(adminAddr, obs.AdminConfig{
+			Collect: func(w *obs.PromWriter) {
+				m.Metrics().WriteProm(w)
+				ins.WriteProm(w)
+				w.Histogram("wire_batch_decode_seconds", "FrameBatch decode time of trace-sampled batches.", nil, srv.BatchDecode.Snapshot())
+				w.Histogram("wire_ingress_seconds", "Client-send to server-decode latency of trace-sampled batches.", nil, srv.Ingress.Snapshot())
+				if arch != nil {
+					tuples, dropped, bytes := doneTuples.Load(), doneDropped.Load(), doneBytes.Load()
+					recMu.Lock()
+					for rec := range liveRecs {
+						tuples += rec.Recorded()
+						dropped += rec.Dropped()
+						bytes += rec.Writer().Bytes()
+					}
+					recMu.Unlock()
+					w.Counter("store_record_tuples_total", "Tuples appended to session recordings.", nil, tuples)
+					w.Counter("store_record_dropped_total", "Tuples lost to full recording buffers.", nil, dropped)
+					w.Counter("store_record_bytes_total", "Record bytes written to session recordings.", nil, bytes)
+				}
+			},
+			MetricsJSON: func() any {
+				return struct {
+					Serve  serve.Metrics            `json:"serve"`
+					Stages map[string]obs.HistStats `json:"stages,omitempty"`
+				}{m.Metrics(), ins.Stats()}
+			},
+			Healthy: func() error {
+				if m.Closed() {
+					return fmt.Errorf("gestured: manager closed")
+				}
+				return nil
+			},
+			Ready: func() error {
+				if m.Closed() {
+					return fmt.Errorf("gestured: manager closed")
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer admin.Close()
+		fmt.Printf("admin plane on http://%s/metrics\n", admin.Addr())
 	}
 
 	sigc := make(chan os.Signal, 1)

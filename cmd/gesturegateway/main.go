@@ -32,6 +32,7 @@ import (
 	"gesturecep/internal/cluster"
 	"gesturecep/internal/kinect"
 	"gesturecep/internal/learn"
+	"gesturecep/internal/obs"
 	"gesturecep/internal/serve"
 	"gesturecep/internal/store"
 	"gesturecep/internal/stream"
@@ -78,6 +79,7 @@ func main() {
 		gestures     = flag.Int("gestures", 4, "gestures to learn for spawned backends (1-8)")
 		seed         = flag.Int64("seed", 1, "trainer random seed")
 		recordDir    = flag.String("record-dir", "", "record every spawned backend's sessions under this directory (one archive per backend)")
+		adminAddr    = flag.String("admin-addr", "", "HTTP admin plane listen address (/metrics, /readyz flips with live-backend count, /events, /debug/pprof); empty disables")
 		verbose      = flag.Bool("v", false, "print the per-backend metric table on shutdown")
 	)
 	flag.Var(&external, "backend", "external backend as id=host:port (repeatable; disables spawning)")
@@ -91,7 +93,7 @@ func main() {
 		tolerateDown: *tolerateDown,
 	}
 	if err := run(*addr, external, *backends, *vnodes, *loadFactor, health,
-		*shards, *queue, *policy, *gestures, *seed, *recordDir, *verbose); err != nil {
+		*shards, *queue, *policy, *gestures, *seed, *recordDir, *adminAddr, *verbose); err != nil {
 		log.SetFlags(0)
 		log.Fatal(err)
 	}
@@ -109,7 +111,7 @@ type healthConfig struct {
 
 func run(addr string, external []cluster.Backend, backends, vnodes int, loadFactor float64,
 	health healthConfig, shards, queue int, policyName string,
-	gestures int, seed int64, recordDir string, verbose bool) error {
+	gestures int, seed int64, recordDir, adminAddr string, verbose bool) error {
 	if health.tolerateDown && len(external) == 0 {
 		// Spawned backends are in-process: if one failed to come up, Spawn
 		// already failed. Tolerance is for external fleets.
@@ -203,6 +205,27 @@ func run(addr string, external []cluster.Backend, backends, vnodes int, loadFact
 	})
 	if err != nil {
 		return err
+	}
+
+	if adminAddr != "" {
+		admin, err := obs.StartAdmin(adminAddr, obs.AdminConfig{
+			Collect: gw.WriteProm,
+			MetricsJSON: func() any {
+				return struct {
+					Cluster serve.Metrics            `json:"cluster"`
+					Forward map[string]obs.HistStats `json:"forward,omitempty"`
+				}{gw.Metrics(), gw.ForwardStats()}
+			},
+			Healthy: func() error { return nil }, // the process serves while it runs
+			Ready:   gw.Ready,
+			Events:  gw.Events,
+		})
+		if err != nil {
+			gw.Close()
+			return err
+		}
+		defer admin.Close()
+		fmt.Printf("admin plane on http://%s/metrics\n", admin.Addr())
 	}
 
 	sigc := make(chan os.Signal, 1)

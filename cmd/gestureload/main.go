@@ -14,15 +14,18 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"gesturecep/internal/anduin"
 	"gesturecep/internal/kinect"
+	"gesturecep/internal/obs"
 	"gesturecep/internal/stream"
 	"gesturecep/internal/wire"
 )
@@ -37,12 +40,38 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base random seed")
 		verify   = flag.Bool("verify", false, "require identical detections across sessions sharing a recording")
 		metrics  = flag.Bool("metrics", false, "fetch and print the server's metrics table after the run (includes per-backend rows when driving a gateway)")
+		trace    = flag.Int("trace", 0, "trace-sample one batch in N for end-to-end stage latency (0 disables; 1024 is a good production rate)")
+		jsonOut  = flag.Bool("json", false, "emit the run summary as one JSON object on stdout (suppresses progress output)")
 	)
 	flag.Parse()
-	if err := run(*addr, *sessions, *conns, *batch, *repeats, *seed, *verify, *metrics); err != nil {
+	if err := run(*addr, *sessions, *conns, *batch, *repeats, *seed, *verify, *metrics, *trace, *jsonOut); err != nil {
 		log.SetFlags(0)
 		log.Fatal(err)
 	}
+}
+
+// runSummary is the -json output: one object per run, stable field names, so
+// a CI step or a dashboard scraper can consume gestureload without parsing
+// human-formatted text.
+type runSummary struct {
+	Addr           string         `json:"addr"`
+	Sessions       int            `json:"sessions"`
+	Conns          int            `json:"conns"`
+	Batch          int            `json:"batch"`
+	TraceEvery     int            `json:"trace_every,omitempty"`
+	TuplesFed      uint64         `json:"tuples_fed"`
+	ElapsedNs      time.Duration  `json:"elapsed_ns"`
+	TuplesPerSec   float64        `json:"tuples_per_sec"`
+	Detections     uint64         `json:"detections"`
+	TupleDrops     uint64         `json:"tuple_drops"`
+	DetectionDrops uint64         `json:"detection_drops"`
+	LatencyP50     time.Duration  `json:"latency_p50_ns,omitempty"`
+	LatencyP90     time.Duration  `json:"latency_p90_ns,omitempty"`
+	LatencyP99     time.Duration  `json:"latency_p99_ns,omitempty"`
+	LatencyMax     time.Duration  `json:"latency_max_ns,omitempty"`
+	FlushRTT       *obs.HistStats `json:"flush_rtt,omitempty"`
+	Verified       bool           `json:"verified,omitempty"`
+	Diverged       int            `json:"diverged,omitempty"`
 }
 
 var gestureNames = kinect.DemoGestureNames()
@@ -56,9 +85,13 @@ type sessionResult struct {
 	err       error
 }
 
-func run(addr string, sessions, conns, batch, repeats int, seed int64, verify, metrics bool) error {
+func run(addr string, sessions, conns, batch, repeats int, seed int64, verify, metrics bool, trace int, jsonOut bool) error {
 	if sessions < 1 || conns < 1 || repeats < 1 {
 		return fmt.Errorf("gestureload: -sessions, -conns and -repeats must be positive")
+	}
+	progressf := fmt.Printf
+	if jsonOut {
+		progressf = func(string, ...any) (int, error) { return 0, nil }
 	}
 	if conns > sessions {
 		conns = sessions
@@ -98,10 +131,13 @@ func run(addr string, sessions, conns, batch, repeats int, seed int64, verify, m
 			return fmt.Errorf("gestureload: dial %s: %w", addr, err)
 		}
 		defer cl.Close()
+		if trace > 0 {
+			cl.FlushRTT = obs.NewHistogram()
+		}
 		clients[i] = cl
 	}
 
-	fmt.Printf("driving %d sessions over %d connections (batch %d) against %s\n",
+	progressf("driving %d sessions over %d connections (batch %d) against %s\n",
 		sessions, conns, batch, addr)
 
 	results := make([]sessionResult, sessions)
@@ -111,7 +147,7 @@ func run(addr string, sessions, conns, batch, repeats int, seed int64, verify, m
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = driveSession(clients[i%conns], fmt.Sprintf("load-%04d", i), batch, i%pool, recordings[i%pool])
+			results[i] = driveSession(clients[i%conns], fmt.Sprintf("load-%04d", i), batch, trace, i%pool, recordings[i%pool])
 		}(i)
 	}
 	wg.Wait()
@@ -131,9 +167,22 @@ func run(addr string, sessions, conns, batch, repeats int, seed int64, verify, m
 		detDropped += r.counters.DetectionsDropped
 		allLat = append(allLat, r.latencies...)
 	}
-	fmt.Printf("\nfed %d tuples in %v → %.0f tuples/s aggregate end-to-end\n",
-		fed, elapsed.Round(time.Millisecond), float64(fed)/elapsed.Seconds())
-	fmt.Printf("detections: %d (%.2f per session), tuple drops: %d, detection drops: %d\n",
+	summary := runSummary{
+		Addr:           addr,
+		Sessions:       sessions,
+		Conns:          conns,
+		Batch:          batch,
+		TraceEvery:     trace,
+		TuplesFed:      fed,
+		ElapsedNs:      elapsed,
+		TuplesPerSec:   float64(fed) / elapsed.Seconds(),
+		Detections:     detections,
+		TupleDrops:     dropped,
+		DetectionDrops: detDropped,
+	}
+	progressf("\nfed %d tuples in %v → %.0f tuples/s aggregate end-to-end\n",
+		fed, elapsed.Round(time.Millisecond), summary.TuplesPerSec)
+	progressf("detections: %d (%.2f per session), tuple drops: %d, detection drops: %d\n",
 		detections, float64(detections)/float64(sessions), dropped, detDropped)
 	if len(allLat) > 0 {
 		sort.Slice(allLat, func(i, j int) bool { return allLat[i] < allLat[j] })
@@ -141,8 +190,27 @@ func run(addr string, sessions, conns, batch, repeats int, seed int64, verify, m
 			idx := int(p * float64(len(allLat)-1))
 			return allLat[idx].Round(10 * time.Microsecond)
 		}
-		fmt.Printf("detection latency: p50 %v, p90 %v, p99 %v, max %v\n",
-			pct(0.50), pct(0.90), pct(0.99), allLat[len(allLat)-1].Round(10*time.Microsecond))
+		summary.LatencyP50 = pct(0.50)
+		summary.LatencyP90 = pct(0.90)
+		summary.LatencyP99 = pct(0.99)
+		summary.LatencyMax = allLat[len(allLat)-1].Round(10 * time.Microsecond)
+		progressf("detection latency: p50 %v, p90 %v, p99 %v, max %v\n",
+			summary.LatencyP50, summary.LatencyP90, summary.LatencyP99, summary.LatencyMax)
+	}
+	if trace > 0 {
+		// Flush-ack RTT from the client library's histograms, merged across
+		// connections — the client-side leg of the sampled trace path.
+		var merged obs.HistSnapshot
+		for _, cl := range clients {
+			merged.Merge(cl.FlushRTT.Snapshot())
+		}
+		if merged.Count > 0 {
+			st := merged.Stats()
+			summary.FlushRTT = &st
+			progressf("flush-ack RTT (1/%d sampled): p50 %v, p99 %v over %d flushes\n",
+				trace, time.Duration(st.P50).Round(10*time.Microsecond),
+				time.Duration(st.P99).Round(10*time.Microsecond), st.Count)
+		}
 	}
 
 	if verify {
@@ -157,21 +225,31 @@ func run(addr string, sessions, conns, batch, repeats int, seed int64, verify, m
 			}
 			if !bytes.Equal(want, r.detBytes) {
 				diverged++
-				fmt.Printf("DIVERGENCE: session %d disagrees with its recording-%d peers\n", i, r.recording)
+				progressf("DIVERGENCE: session %d disagrees with its recording-%d peers\n", i, r.recording)
 			}
 		}
+		summary.Verified = diverged == 0
+		summary.Diverged = diverged
 		if diverged > 0 {
+			if jsonOut {
+				json.NewEncoder(os.Stdout).Encode(summary)
+			}
 			return fmt.Errorf("gestureload: %d sessions diverged", diverged)
 		}
-		fmt.Printf("verify: all sessions per recording byte-identical ✓\n")
+		progressf("verify: all sessions per recording byte-identical ✓\n")
 	}
 
-	if metrics {
+	if metrics && !jsonOut {
 		mm, err := clients[0].Metrics()
 		if err != nil {
 			return fmt.Errorf("gestureload: fetching metrics: %w", err)
 		}
 		fmt.Printf("\nserver metrics: %s\n%s", mm, mm.Table())
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(summary)
 	}
 	return nil
 }
@@ -179,12 +257,13 @@ func run(addr string, sessions, conns, batch, repeats int, seed int64, verify, m
 // driveSession feeds one recording through one remote session, tracking the
 // wall-clock send time of every tuple so a detection's latency can be
 // measured when its final tuple's event time comes back.
-func driveSession(cl *wire.Client, id string, batch, recording int, tuples []stream.Tuple) sessionResult {
+func driveSession(cl *wire.Client, id string, batch, trace, recording int, tuples []stream.Tuple) sessionResult {
 	res := sessionResult{recording: recording}
 	sendTimes := make(map[int64]time.Time, len(tuples))
 	var mu sync.Mutex
 	rs, err := cl.Attach(id, wire.AttachOptions{
-		BatchSize: batch,
+		BatchSize:  batch,
+		TraceEvery: trace,
 		OnDetection: func(d anduin.Detection) {
 			mu.Lock()
 			sent, ok := sendTimes[d.End.UnixNano()]

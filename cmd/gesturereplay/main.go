@@ -22,11 +22,13 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"sync/atomic"
 	"time"
 
 	"gesturecep/internal/anduin"
 	"gesturecep/internal/kinect"
 	"gesturecep/internal/learn"
+	"gesturecep/internal/obs"
 	"gesturecep/internal/serve"
 	"gesturecep/internal/store"
 )
@@ -35,23 +37,24 @@ var gestureNames = kinect.DemoGestureNames()
 
 func main() {
 	var (
-		dir      = flag.String("dir", "recordings", "stream-store directory")
-		name     = flag.String("stream", "", "recorded stream to replay or backfill")
-		mode     = flag.String("mode", "replay", "replay (through a serving session) or backfill (offline plan evaluation)")
-		list     = flag.Bool("list", false, "list recorded streams and exit (reads and CRC-verifies every record)")
-		speed    = flag.Float64("speed", 0, "replay speed: 0 = max, 1 = wall clock, 2 = double speed")
-		gestures = flag.Int("gestures", 4, "gestures to learn and evaluate (1-8)")
-		seed     = flag.Int64("seed", 1, "trainer random seed (match the recording server's)")
-		verbose  = flag.Bool("v", false, "print every detection")
+		dir       = flag.String("dir", "recordings", "stream-store directory")
+		name      = flag.String("stream", "", "recorded stream to replay or backfill")
+		mode      = flag.String("mode", "replay", "replay (through a serving session) or backfill (offline plan evaluation)")
+		list      = flag.Bool("list", false, "list recorded streams and exit (reads and CRC-verifies every record)")
+		speed     = flag.Float64("speed", 0, "replay speed: 0 = max, 1 = wall clock, 2 = double speed")
+		gestures  = flag.Int("gestures", 4, "gestures to learn and evaluate (1-8)")
+		seed      = flag.Int64("seed", 1, "trainer random seed (match the recording server's)")
+		adminAddr = flag.String("admin-addr", "", "HTTP admin plane listen address during replay (/metrics with replay progress, /debug/pprof); empty disables")
+		verbose   = flag.Bool("v", false, "print every detection")
 	)
 	flag.Parse()
-	if err := run(*dir, *name, *mode, *list, *speed, *gestures, *seed, *verbose); err != nil {
+	if err := run(*dir, *name, *mode, *list, *speed, *gestures, *seed, *adminAddr, *verbose); err != nil {
 		log.SetFlags(0)
 		log.Fatal(err)
 	}
 }
 
-func run(dir, name, mode string, list bool, speed float64, gestures int, seed int64, verbose bool) error {
+func run(dir, name, mode string, list bool, speed float64, gestures int, seed int64, adminAddr string, verbose bool) error {
 	if list {
 		return listStreams(dir)
 	}
@@ -67,7 +70,7 @@ func run(dir, name, mode string, list bool, speed float64, gestures int, seed in
 	}
 	switch mode {
 	case "replay":
-		return replay(dir, name, reg, speed, verbose)
+		return replay(dir, name, reg, speed, adminAddr, verbose)
 	case "backfill":
 		return backfill(dir, name, reg, verbose)
 	default:
@@ -153,7 +156,7 @@ func printDetection(d anduin.Detection) {
 		d.Duration().Round(time.Millisecond))
 }
 
-func replay(dir, name string, reg *serve.Registry, speed float64, verbose bool) error {
+func replay(dir, name string, reg *serve.Registry, speed float64, adminAddr string, verbose bool) error {
 	r, err := store.OpenReader(dir, name)
 	if err != nil {
 		return err
@@ -168,7 +171,29 @@ func replay(dir, name string, reg *serve.Registry, speed float64, verbose bool) 
 	if err != nil {
 		return err
 	}
-	stats, err := store.ReplayToSession(r, sess, store.ReplayOptions{Speed: speed})
+	var replayed atomic.Uint64
+	begin := time.Now()
+	if adminAddr != "" {
+		admin, err := obs.StartAdmin(adminAddr, obs.AdminConfig{
+			Collect: func(w *obs.PromWriter) {
+				m.Metrics().WriteProm(w)
+				n := replayed.Load()
+				w.Gauge("replay_tuples", "Tuples replayed so far.", nil, float64(n))
+				w.Gauge("replay_tuples_per_second", "Replay throughput since start.", nil,
+					float64(n)/time.Since(begin).Seconds())
+			},
+			MetricsJSON: func() any { return m.Metrics() },
+		})
+		if err != nil {
+			return err
+		}
+		defer admin.Close()
+		fmt.Printf("admin plane on http://%s/metrics\n", admin.Addr())
+	}
+	stats, err := store.ReplayToSession(r, sess, store.ReplayOptions{
+		Speed:    speed,
+		Progress: func(tuples uint64) { replayed.Store(tuples) },
+	})
 	if err != nil {
 		return err
 	}

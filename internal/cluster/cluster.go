@@ -33,6 +33,8 @@ package cluster
 import (
 	"fmt"
 	"time"
+
+	"gesturecep/internal/obs"
 )
 
 // Backend describes one wire backend the gateway fronts.
@@ -77,8 +79,15 @@ type Config struct {
 	// the ring when they come up. Startup recovery runs even with Readmit
 	// off; Readmit only governs recovery after a later ejection.
 	TolerateDown bool
+	// Logger, when non-nil, receives structured backend lifecycle events
+	// (ejection, recovery, re-admission) with backend ID, incarnation and
+	// state fields, and backs the admin plane's /events endpoint. When nil,
+	// the gateway builds its own ring-buffered logger internally — and if
+	// Logf is set, mirrors each event to it as a formatted line.
+	Logger *obs.Logger
 	// Logf, when non-nil, receives one line per backend lifecycle event
-	// (ejection, recovery attempt exhaustion, re-admission).
+	// (ejection, recovery attempt exhaustion, re-admission). Kept as the
+	// printf-compatibility shim over Logger; prefer Logger for new code.
 	Logf func(format string, args ...any)
 }
 

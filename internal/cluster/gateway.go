@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gesturecep/internal/anduin"
+	"gesturecep/internal/obs"
 	"gesturecep/internal/serve"
 	"gesturecep/internal/wire"
 )
@@ -34,6 +35,17 @@ type backendStats struct {
 	probes       atomic.Uint64 // completed successful health probes
 	ejections    atomic.Uint64
 	readmissions atomic.Uint64 // admissions via the recovery loop
+	incarnations atomic.Uint64 // incarnations built for this ID (dial or re-admit)
+
+	// forward records ProxyBatch write latency of trace-sampled batches;
+	// probeRTT records every successful health-probe round trip. Both span
+	// incarnations, like the counters above.
+	forward  *obs.Histogram
+	probeRTT *obs.Histogram
+}
+
+func newBackendStats() *backendStats {
+	return &backendStats{forward: obs.NewHistogram(), probeRTT: obs.NewHistogram()}
 }
 
 // backend is one incarnation of a fleet member: a shared data connection
@@ -46,6 +58,7 @@ type backendStats struct {
 type backend struct {
 	id    string
 	addr  string
+	inc   uint64 // incarnation ordinal (1-based), for lifecycle log fields
 	stats *backendStats
 	cl    *wire.Client // data + control for proxied sessions
 	pr    *wire.Client // health probes only
@@ -82,6 +95,7 @@ func (be *backend) dropSession(ps *proxySession) {
 type Gateway struct {
 	cfg  Config
 	ring *Ring
+	log  *obs.Logger // never nil; see NewGateway
 
 	// stats, addrs and order are built once by NewGateway and read-only
 	// afterwards — one entry per configured backend ID, across every
@@ -116,9 +130,21 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	log := cfg.Logger
+	if log == nil {
+		// Build the event ring ourselves; a configured Logf becomes the
+		// sink, so printf-style consumers keep getting their lines while
+		// the admin plane serves the structured ring.
+		var sink func(obs.Event)
+		if lf := cfg.Logf; lf != nil {
+			sink = func(e obs.Event) { lf("%s", e.String()) }
+		}
+		log = obs.NewLogger(256, sink)
+	}
 	gw := &Gateway{
 		cfg:       cfg,
 		ring:      NewRing(cfg.VNodes, cfg.LoadFactor),
+		log:       log,
 		stats:     make(map[string]*backendStats),
 		addrs:     make(map[string]string),
 		backends:  make(map[string]*backend),
@@ -128,7 +154,7 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		probeDone: make(chan struct{}),
 	}
 	for _, b := range cfg.Backends {
-		gw.stats[b.ID] = &backendStats{}
+		gw.stats[b.ID] = newBackendStats()
 		gw.addrs[b.ID] = b.Addr
 		gw.order = append(gw.order, b.ID)
 		be, err := gw.dialBackend(b.ID, b.Addr)
@@ -150,7 +176,8 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	}
 	for id, st := range gw.states {
 		if st == StateRecovering {
-			gw.logf("cluster: backend %s (%s) down at startup; admitting through recovery", id, gw.addrs[id])
+			gw.log.Warn("backend down at startup; admitting through recovery",
+				obs.F("backend", id), obs.F("addr", gw.addrs[id]), obs.F("state", string(StateRecovering)))
 			gw.recoverWG.Add(1)
 			go gw.recoverLoop(id, gw.addrs[id])
 		}
@@ -170,16 +197,14 @@ func (gw *Gateway) dialBackend(id, addr string) (*backend, error) {
 		cl.Close()
 		return nil, fmt.Errorf("cluster: backend %s (%s): probe: %w", id, addr, err)
 	}
-	return &backend{id: id, addr: addr, stats: gw.stats[id], cl: cl, pr: pr,
+	return &backend{id: id, addr: addr, inc: gw.stats[id].incarnations.Add(1),
+		stats: gw.stats[id], cl: cl, pr: pr,
 		sessions: make(map[*proxySession]struct{})}, nil
 }
 
-// logf reports a backend lifecycle event through Config.Logf, if set.
-func (gw *Gateway) logf(format string, args ...any) {
-	if gw.cfg.Logf != nil {
-		gw.cfg.Logf(format, args...)
-	}
-}
+// Log returns the gateway's structured lifecycle event log (never nil); the
+// admin plane serves its recent ring at /events.
+func (gw *Gateway) Log() *obs.Logger { return gw.log }
 
 // State reports a backend's lifecycle state ("" for an unknown ID).
 func (gw *Gateway) State(id string) BackendState {
@@ -342,7 +367,10 @@ func (gw *Gateway) probeLoop() {
 					select {
 					case <-gw.quit: // shutting down; not a health verdict
 					default:
-						gw.logf("cluster: backend %s: %v; ejecting", be.id, err)
+						gw.log.Error("backend probe failed; ejecting",
+							obs.F("backend", be.id), obs.F("addr", be.addr),
+							obs.F("incarnation", be.inc), obs.F("state", string(StateEjected)),
+							obs.F("err", err.Error()))
 						gw.eject(be, nil)
 					}
 				}
@@ -361,6 +389,7 @@ func (gw *Gateway) probeLoop() {
 func (gw *Gateway) probe(be *backend) error {
 	done := make(chan error, 1)
 	seq := be.stats.probeSeq.Add(1)
+	start := time.Now()
 	gw.probeWG.Add(1)
 	go func() {
 		defer gw.probeWG.Done()
@@ -373,6 +402,7 @@ func (gw *Gateway) probe(be *backend) error {
 	case err := <-done:
 		if err == nil {
 			be.stats.probes.Add(1)
+			be.stats.probeRTT.ObserveSince(start)
 		}
 		return err
 	case <-timer.C:
@@ -439,6 +469,12 @@ func (gw *Gateway) eject(be *backend, except *proxySession) {
 	}
 	be.sessions = make(map[*proxySession]struct{})
 	be.mu.Unlock()
+	gw.mu.Lock()
+	state := gw.states[be.id]
+	gw.mu.Unlock()
+	gw.log.Warn("backend ejected; re-homing its sessions",
+		obs.F("backend", be.id), obs.F("addr", be.addr), obs.F("incarnation", be.inc),
+		obs.F("state", string(state)), obs.F("sessions", len(sessions)))
 	for _, ps := range sessions {
 		ps.mu.Lock()
 		if ps.be == be && !ps.detached && ps.rehomeErr == nil {
@@ -580,7 +616,8 @@ func (gw *Gateway) tryReadmit(id, addr string) bool {
 		cl.Close()
 		return err == errClosing
 	}
-	be := &backend{id: id, addr: addr, stats: gw.stats[id], cl: cl, pr: pr,
+	be := &backend{id: id, addr: addr, inc: gw.stats[id].incarnations.Add(1),
+		stats: gw.stats[id], cl: cl, pr: pr,
 		sessions: make(map[*proxySession]struct{})}
 	// Ring entry and incarnation install must be one atomic step under
 	// gw.mu: nothing can eject the new incarnation before it is published
@@ -601,14 +638,18 @@ func (gw *Gateway) tryReadmit(id, addr string) bool {
 		gw.mu.Unlock()
 		cl.Close()
 		pr.Close()
-		gw.logf("cluster: backend %s: re-admission ring entry: %v", id, err)
+		gw.log.Error("backend re-admission ring entry failed; staying in recovery",
+			obs.F("backend", id), obs.F("addr", addr), obs.F("incarnation", be.inc),
+			obs.F("state", string(StateRecovering)), obs.F("err", err.Error()))
 		return false
 	}
 	gw.backends[id] = be
 	gw.states[id] = StateLive
 	gw.mu.Unlock()
 	be.stats.readmissions.Add(1)
-	gw.logf("cluster: backend %s (%s) re-admitted", id, addr)
+	gw.log.Info("backend re-admitted",
+		obs.F("backend", id), obs.F("addr", addr), obs.F("incarnation", be.inc),
+		obs.F("state", string(StateLive)))
 	return true
 }
 
@@ -963,12 +1004,23 @@ func (fc *frontConn) handleBatch(payload []byte) error {
 	if err := ps.failedLocked(); err != nil {
 		return err
 	}
+	// Only trace-sampled batches pay for forward timing; the flag check is
+	// a byte mask on the raw payload, which rides through ProxyBatch
+	// untouched (it only patches the handle bytes).
+	traced := wire.BatchTraced(payload)
 	for {
 		// The forward write blocks when the backend connection's socket
 		// fills — that is serve.Block's backpressure, relayed one hop: this
 		// reader goroutine stalls, the front socket fills, TCP paces the
 		// remote producer.
+		var start time.Time
+		if traced {
+			start = time.Now()
+		}
 		if _, err := ps.be.cl.ProxyBatch(ps.rs.Handle(), payload); err == nil {
+			if traced {
+				ps.be.stats.forward.ObserveSince(start)
+			}
 			ps.in += uint64(count)
 			ps.forwarded += uint64(count)
 			ps.be.stats.batches.Add(1)

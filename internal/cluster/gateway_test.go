@@ -3,7 +3,10 @@ package cluster_test
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -13,6 +16,7 @@ import (
 	"gesturecep/internal/cluster"
 	"gesturecep/internal/e2e"
 	"gesturecep/internal/kinect"
+	"gesturecep/internal/obs"
 	"gesturecep/internal/serve"
 	"gesturecep/internal/wire"
 )
@@ -20,7 +24,11 @@ import (
 // TestGatewayZeroDivergence is the cluster acceptance bar: 64 sessions
 // driven through the gateway across 3 backends must produce detections
 // byte-identical to the same stream on a single direct node AND to the
-// bare-engine reference replay — scale-out must not perturb semantics.
+// bare-engine reference replay — scale-out must not perturb semantics. The
+// whole run executes with the observability layer live (stage instruments
+// on every backend, trace sampling on every session, the admin plane
+// scraping mid-flight) to prove observing the pipeline does not perturb it
+// either.
 func TestGatewayZeroDivergence(t *testing.T) {
 	frames := e2e.PlaybackFrames(t, 7)
 	tuples := kinect.ToTuples(frames)
@@ -29,6 +37,18 @@ func TestGatewayZeroDivergence(t *testing.T) {
 		Gateway:  true,
 		Serve:    serve.Config{Shards: 2, QueueDepth: 128},
 	})
+	for i := 0; i < 3; i++ {
+		h.Manager(i).SetInstruments(serve.NewInstruments())
+	}
+	admin, err := obs.StartAdmin("127.0.0.1:0", obs.AdminConfig{
+		Collect: h.Gateway.WriteProm,
+		Ready:   h.Gateway.Ready,
+		Events:  h.Gateway.Events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
 
 	plan, _ := h.Registry.Get("swipe_right")
 	want := e2e.EncodeDets(t, e2e.BareReplay(t, plan, e2e.WireTuples(t, tuples)))
@@ -68,7 +88,9 @@ func TestGatewayZeroDivergence(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rs, err := clients[i%conns].Attach(fmt.Sprintf("user-%02d", i), wire.AttachOptions{BatchSize: 16})
+			// Every 8th batch trace-sampled: the observability acceptance
+			// bar is byte-identical detections with tracing live.
+			rs, err := clients[i%conns].Attach(fmt.Sprintf("user-%02d", i), wire.AttachOptions{BatchSize: 16, TraceEvery: 8})
 			if err != nil {
 				errs <- err
 				return
@@ -88,6 +110,14 @@ func TestGatewayZeroDivergence(t *testing.T) {
 				errs <- err
 			}
 		}(i)
+	}
+	// Scrape the admin plane while the sessions stream — observation under
+	// load must not perturb the data path.
+	if resp, err := http.Get("http://" + admin.Addr().String() + "/metrics"); err != nil {
+		t.Errorf("mid-run /metrics scrape: %v", err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
 	}
 	wg.Wait()
 	select {
@@ -129,6 +159,33 @@ func TestGatewayZeroDivergence(t *testing.T) {
 	}
 	if busy < 2 {
 		t.Errorf("only %d backends received traffic; the ring did not spread 64 sessions", busy)
+	}
+
+	// The final exposition carries the per-backend forward-latency
+	// histograms fed by the trace-sampled batches.
+	resp, err := http.Get("http://" + admin.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	exposition := string(body)
+	for _, want := range []string{
+		"# TYPE cluster_backend_forward_seconds histogram",
+		"cluster_backend_forward_seconds_bucket",
+		"cluster_backends_live 3",
+		`serve_tuples_total{stage="processed"}`,
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("final /metrics missing %q", want)
+		}
+	}
+	var sampled uint64
+	for _, st := range h.Gateway.ForwardStats() {
+		sampled += st.Count
+	}
+	if sampled == 0 {
+		t.Error("no batch was forward-timed despite TraceEvery=8 on 64 sessions")
 	}
 }
 
@@ -846,7 +903,24 @@ func TestGatewayControlPlane(t *testing.T) {
 // per iteration. Compare with BenchmarkWireLoopback (same path minus the
 // gateway hop) for the proxy overhead.
 func BenchmarkGatewayProxy(b *testing.B) {
+	benchGatewayProxy(b, 0)
+}
+
+// BenchmarkGatewayProxyTraced is the same path with the observability layer
+// live: stage instruments on every backend and 1-in-1024 trace sampling on
+// the client. The delta against BenchmarkGatewayProxy is the observability
+// overhead at the production sampling rate.
+func BenchmarkGatewayProxyTraced(b *testing.B) {
+	benchGatewayProxy(b, 1024)
+}
+
+func benchGatewayProxy(b *testing.B, traceEvery int) {
 	h := e2e.Start(b, e2e.Options{Backends: 3, Gateway: true, Serve: serve.Config{Shards: 2}})
+	if traceEvery > 0 {
+		for i := 0; i < 3; i++ {
+			h.Manager(i).SetInstruments(serve.NewInstruments())
+		}
+	}
 	player, err := kinect.NewSimulator(kinect.ChildProfile(), kinect.DefaultNoise(), 7)
 	if err != nil {
 		b.Fatal(err)
@@ -863,7 +937,7 @@ func BenchmarkGatewayProxy(b *testing.B) {
 	stride := rec.Duration() + time.Second
 
 	cl := h.Dial()
-	rs, err := cl.Attach("bench", wire.AttachOptions{BatchSize: 64, Discard: true})
+	rs, err := cl.Attach("bench", wire.AttachOptions{BatchSize: 64, Discard: true, TraceEvery: traceEvery})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"fmt"
+
+	"gesturecep/internal/obs"
+)
+
+// LiveBackends reports how many configured backends are currently on the
+// ring, alongside the configured total.
+func (gw *Gateway) LiveBackends() (live, total int) {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	for _, st := range gw.states {
+		if st == StateLive {
+			live++
+		}
+	}
+	return live, len(gw.states)
+}
+
+// Ready implements the admin plane's readiness probe: nil while at least one
+// backend is live (the gateway can place sessions), an error otherwise. A
+// TolerateDown gateway that started with its whole fleet down is running but
+// unready — exactly the state an orchestrator should drain traffic around —
+// and flips ready the moment a recovery loop admits a backend.
+func (gw *Gateway) Ready() error {
+	live, total := gw.LiveBackends()
+	if live == 0 {
+		return fmt.Errorf("cluster: 0 of %d backends live", total)
+	}
+	return nil
+}
+
+// Events returns the gateway's recent structured lifecycle events, oldest
+// first — the admin plane's /events source.
+func (gw *Gateway) Events(n int) []obs.Event { return gw.log.Recent(n) }
+
+// WriteProm writes the gateway's full Prometheus exposition: the aggregated
+// fleet metrics (which include the per-backend proxy counters) plus the
+// gateway-only series — per-backend forward-latency and probe-RTT histograms,
+// incarnation counts, and ring load.
+func (gw *Gateway) WriteProm(w *obs.PromWriter) {
+	gw.Metrics().WriteProm(w)
+	for _, id := range gw.order {
+		stats := gw.stats[id]
+		l := obs.L("backend", id)
+		w.Histogram("cluster_backend_forward_seconds",
+			"ProxyBatch forward latency of trace-sampled batches.", l, stats.forward.Snapshot())
+		w.Histogram("cluster_backend_probe_seconds",
+			"Health-probe round-trip time.", l, stats.probeRTT.Snapshot())
+		w.Counter("cluster_backend_probes_total", "Successful health probes.", l, stats.probes.Load())
+		w.Counter("cluster_backend_incarnations_total",
+			"Incarnations built (initial dial plus re-admissions).", l, stats.incarnations.Load())
+		w.Gauge("cluster_backend_ring_load", "Sessions the ring charges to the backend.", l,
+			float64(gw.ring.Load(id)))
+	}
+	live, total := gw.LiveBackends()
+	w.Gauge("cluster_backends_live", "Backends currently on the ring.", nil, float64(live))
+	w.Gauge("cluster_backends_total", "Configured backends.", nil, float64(total))
+	w.Counter("cluster_events_total", "Structured lifecycle events retained since start.", nil, gw.log.Total())
+}
+
+// ForwardStats summarizes the per-backend stage histograms for the JSON
+// metrics plane, keyed by backend ID.
+func (gw *Gateway) ForwardStats() map[string]obs.HistStats {
+	out := make(map[string]obs.HistStats, len(gw.order))
+	for _, id := range gw.order {
+		out[id] = gw.stats[id].forward.Snapshot().Stats()
+	}
+	return out
+}

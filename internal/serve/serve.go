@@ -88,10 +88,13 @@ func (c Config) Validate() error {
 }
 
 // envelope is one queued unit of work: a tuple bound for a session's raw
-// stream.
+// stream. sentNs/enqNs are non-zero only for trace-sampled tuples with
+// instruments installed; unsampled traffic never reads a clock here.
 type envelope struct {
-	sess  *Session
-	tuple stream.Tuple
+	sess   *Session
+	tuple  stream.Tuple
+	sentNs int64 // client-send unix nanos (from the wire trace timestamp)
+	enqNs  int64 // local enqueue unix nanos
 }
 
 // shard is one ingestion lane: a bounded queue drained by exactly one
@@ -114,6 +117,10 @@ type shard struct {
 	// Tests use it to hold the worker mid-drain; it must be set before any
 	// tuple is fed.
 	gate func(envelope)
+
+	// ins, when non-nil, receives stage latencies of trace-sampled tuples.
+	// Set via Manager.SetInstruments before traffic.
+	ins *Instruments
 }
 
 // Manager owns the shard fleet and the session table.
@@ -134,6 +141,10 @@ type Manager struct {
 
 	mu       sync.Mutex
 	sessions map[string]*Session
+
+	// ins, when non-nil, is the trace-sampled stage instrumentation (see
+	// SetInstruments).
+	ins *Instruments
 }
 
 // NewManager starts cfg.Shards worker goroutines serving sessions that
@@ -204,6 +215,13 @@ func (sh *shard) process(env envelope) {
 	if sh.gate != nil {
 		sh.gate(env)
 	}
+	// Trace-sampled envelopes carry their enqueue time; everything else
+	// skips the clock reads entirely.
+	var start time.Time
+	if env.enqNs != 0 {
+		start = time.Now()
+		sh.ins.QueueWait.Observe(time.Duration(start.UnixNano() - env.enqNs))
+	}
 	s := env.sess
 	if !s.closed.Load() {
 		// Feed validated the arity against the session schema, so Publish
@@ -214,6 +232,13 @@ func (sh *shard) process(env envelope) {
 	}
 	s.out.Add(1)
 	sh.processed.Add(1)
+	if env.enqNs != 0 {
+		end := time.Now()
+		sh.ins.Detect.Observe(end.Sub(start))
+		if env.sentNs != 0 {
+			sh.ins.Ingest.Observe(time.Duration(end.UnixNano() - env.sentNs))
+		}
+	}
 }
 
 // enqueue admits one tuple into the session's shard queue, applying the
@@ -224,6 +249,14 @@ func (sh *shard) process(env envelope) {
 // guaranteed to still have a live worker to drain it — Feed can never
 // strand a tuple (and hang Flush) by racing Close.
 func (m *Manager) enqueue(s *Session, t stream.Tuple) error {
+	return m.enqueueTraced(s, t, 0)
+}
+
+// enqueueTraced is enqueue for a trace-sampled tuple: sentNs (the client-send
+// unix-nano timestamp off the wire) rides in the envelope so the shard worker
+// can record queue-wait, detect and end-to-end latencies. With no instruments
+// installed the trace degrades to a plain enqueue.
+func (m *Manager) enqueueTraced(s *Session, t stream.Tuple, sentNs int64) error {
 	if s.closed.Load() {
 		return fmt.Errorf("serve: session %q is closed", s.id)
 	}
@@ -238,6 +271,10 @@ func (m *Manager) enqueue(s *Session, t stream.Tuple) error {
 	}
 	sh := s.shard
 	env := envelope{sess: s, tuple: t}
+	if sentNs != 0 && m.ins != nil {
+		env.sentNs = sentNs
+		env.enqNs = time.Now().UnixNano()
+	}
 	// Past the closed check the tuple is guaranteed to be admitted — this
 	// is where the recording tap observes it, so a recorded stream holds
 	// exactly what the session accepted (including tuples DropOldest may

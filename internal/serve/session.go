@@ -152,6 +152,14 @@ func (s *Session) FeedTuple(t stream.Tuple) error {
 	return s.mgr.enqueue(s, t)
 }
 
+// FeedTupleTraced enqueues one trace-sampled tuple: sentNs is the client-send
+// unix-nano timestamp carried by the tuple's wire batch, recorded into the
+// manager's stage histograms as the tuple moves through the shard. Detection
+// behaviour is identical to FeedTuple.
+func (s *Session) FeedTupleTraced(t stream.Tuple, sentNs int64) error {
+	return s.mgr.enqueueTraced(s, t, sentNs)
+}
+
 // FeedFrames enqueues a frame sequence in order.
 func (s *Session) FeedFrames(frames []kinect.Frame) error {
 	for i, f := range frames {

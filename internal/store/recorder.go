@@ -130,6 +130,10 @@ func (r *Recorder) Err() error {
 // Stream returns the name of the recorded stream.
 func (r *Recorder) Stream() string { return r.w.Manifest().Stream }
 
+// Writer exposes the underlying stream writer — its Records/Tuples/Bytes
+// counters feed the admin plane's append-throughput gauges.
+func (r *Recorder) Writer() *Writer { return r.w }
+
 // Close stops the taps, drains the buffer and closes the writer.
 // Idempotent; taps installed on still-live sessions keep working (counting
 // drops) after Close.

@@ -18,6 +18,10 @@ type ReplayOptions struct {
 	Speed float64
 	// Limit stops the replay after this many tuples (0 = all).
 	Limit uint64
+	// Progress, when non-nil, is called once per replayed record with the
+	// cumulative tuple count — the admin plane's replay-throughput gauge
+	// source. Called on the replaying goroutine; keep it fast.
+	Progress func(tuples uint64)
 }
 
 // ReplayStats reports what a replay delivered.
@@ -65,12 +69,18 @@ func Replay(r *Reader, sink func(stream.Tuple) error, opts ReplayOptions) (Repla
 			stats.Tuples++
 			if opts.Limit > 0 && stats.Tuples >= opts.Limit {
 				stats.Records++
+				if opts.Progress != nil {
+					opts.Progress(stats.Tuples)
+				}
 				stats.Duration = time.Since(wallStart)
 				stats.EventSpan = eventLast.Sub(eventStart)
 				return stats, nil
 			}
 		}
 		stats.Records++
+		if opts.Progress != nil {
+			opts.Progress(stats.Tuples)
+		}
 	}
 	stats.Duration = time.Since(wallStart)
 	if !first {

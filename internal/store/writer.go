@@ -33,6 +33,7 @@ type Writer struct {
 	segBytes  int64
 	records   uint64 // stream-wide records written (== next record ordinal)
 	tuples    uint64 // tuples appended this writer (excludes history)
+	bytes     uint64 // record bytes written this writer (headers + payloads)
 	batch     []stream.Tuple
 	encBuf    []byte
 	closed    bool
@@ -65,6 +66,15 @@ func (w *Writer) Tuples() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.tuples + uint64(len(w.batch))
+}
+
+// Bytes returns the record bytes (headers plus payloads) written through
+// this writer — the admin plane's append-throughput gauge source. Excludes
+// history and tuples still buffered.
+func (w *Writer) Bytes() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytes
 }
 
 // openSegment creates segment index with the given base record ordinal and
@@ -187,6 +197,7 @@ func (w *Writer) writeRecordLocked() error {
 	w.records++
 	w.tuples += uint64(len(w.batch))
 	w.batch = w.batch[:0]
+	w.bytes += uint64(recHeaderBytes + len(payload))
 	w.segBytes += int64(recHeaderBytes + len(payload))
 	if w.segBytes >= w.opts.SegmentBytes {
 		return w.rollLocked()

@@ -10,6 +10,7 @@ import (
 
 	"gesturecep/internal/anduin"
 	"gesturecep/internal/kinect"
+	"gesturecep/internal/obs"
 	"gesturecep/internal/serve"
 	"gesturecep/internal/stream"
 )
@@ -23,6 +24,12 @@ const DefaultBatchSize = 64
 // and control round trips are issued one at a time per connection.
 type Client struct {
 	c net.Conn
+
+	// FlushRTT, when non-nil, records the round-trip time of every Flush
+	// and Detach control exchange — the client's view of "my tuples are
+	// fully processed" latency. Set it before issuing traffic; the
+	// histogram is nil-safe so leaving it unset costs nothing.
+	FlushRTT *obs.Histogram
 
 	wmu sync.Mutex
 	w   *Writer
@@ -248,6 +255,11 @@ type AttachOptions struct {
 	// Discard skips the client-side detection buffer (use with
 	// OnDetection for long-lived sessions).
 	Discard bool
+	// TraceEvery samples one outgoing batch in N for end-to-end tracing:
+	// the sampled batch carries the client-send timestamp on the wire so
+	// the gateway and backend record their stage latencies. 0 disables
+	// tracing; unsampled batches are byte-identical to untraced traffic.
+	TraceEvery int
 }
 
 // Attach opens a remote session under the given ID.
@@ -277,6 +289,7 @@ func (cl *Client) Attach(id string, opts AttachOptions) (*RemoteSession, error) 
 		onDet:     opts.OnDetection,
 		onDets:    opts.OnDetections,
 		discard:   opts.Discard,
+		tracer:    obs.NewSampler(opts.TraceEvery),
 	}
 	cl.mu.Lock()
 	cl.sessions[reply.Handle] = rs
@@ -340,6 +353,7 @@ type RemoteSession struct {
 	onDet     func(anduin.Detection)
 	onDets    func(dropped uint64, dets []anduin.Detection)
 	discard   bool
+	tracer    *obs.Sampler
 
 	batch  []stream.Tuple // pending tuples, flushed at batchSize
 	encBuf []byte         // batch encode scratch
@@ -416,7 +430,13 @@ func (rs *RemoteSession) FlushBatch() error {
 	if rs.cl.closed.Load() {
 		return rs.cl.closedErr()
 	}
-	buf, err := AppendBatch(rs.encBuf[:0], rs.handle, rs.fields, rs.batch)
+	var buf []byte
+	var err error
+	if rs.tracer.Sample() {
+		buf, err = AppendBatchTraced(rs.encBuf[:0], rs.handle, rs.fields, rs.batch, time.Now().UnixNano())
+	} else {
+		buf, err = AppendBatch(rs.encBuf[:0], rs.handle, rs.fields, rs.batch)
+	}
 	if err != nil {
 		return err
 	}
@@ -442,8 +462,10 @@ func (rs *RemoteSession) Flush() (SessionCounters, error) {
 	if err := rs.FlushBatch(); err != nil {
 		return counters, err
 	}
+	start := time.Now()
 	err := rs.cl.roundTrip(FrameFlush, &SessionRef{Handle: rs.handle}, FrameFlushOK, &counters)
 	if err == nil {
+		rs.cl.FlushRTT.ObserveSince(start)
 		rs.dropped.Store(counters.Dropped)
 	}
 	return counters, err
@@ -455,11 +477,13 @@ func (rs *RemoteSession) Detach() (SessionCounters, error) {
 	if err := rs.FlushBatch(); err != nil {
 		return counters, err
 	}
+	start := time.Now()
 	err := rs.cl.roundTrip(FrameDetach, &SessionRef{Handle: rs.handle}, FrameDetachOK, &counters)
 	rs.cl.mu.Lock()
 	delete(rs.cl.sessions, rs.handle)
 	rs.cl.mu.Unlock()
 	if err == nil {
+		rs.cl.FlushRTT.ObserveSince(start)
 		rs.dropped.Store(counters.Dropped)
 	}
 	return counters, err

@@ -101,18 +101,46 @@ func (e *Writer) WriteJSON(t FrameType, v any) error {
 
 const tupleHeadSize = 16 // ts i64 + seq u64
 
+// batchTraceFlag is the top bit of the batch header's fields word. A set
+// flag means the payload carries a trailing 8-byte client-send timestamp
+// (unix nanoseconds) after the tuple bodies — the sampled trace timestamp of
+// the observability layer. Field counts are bounded by MaxTupleFields
+// (1024), so the bit can never collide with a real width, and an untraced
+// batch is byte-identical to the pre-trace encoding.
+const batchTraceFlag = 0x8000
+
 // AppendBatch appends a FrameBatch payload for the given tuples to dst and
 // returns the extended slice. Every tuple must have exactly fields values.
 func AppendBatch(dst []byte, handle uint32, fields int, tuples []stream.Tuple) ([]byte, error) {
+	return appendBatch(dst, handle, fields, tuples, 0)
+}
+
+// AppendBatchTraced is AppendBatch with the batch marked as trace-sampled:
+// sentNs (a non-zero client-send unix-nano timestamp) rides at the end of
+// the payload so every downstream hop can record its stage latency. The
+// receiving session's detections are unaffected — tracing annotates the
+// batch, not the tuples.
+func AppendBatchTraced(dst []byte, handle uint32, fields int, tuples []stream.Tuple, sentNs int64) ([]byte, error) {
+	if sentNs == 0 {
+		return nil, fmt.Errorf("wire: traced batch needs a non-zero send timestamp")
+	}
+	return appendBatch(dst, handle, fields, tuples, sentNs)
+}
+
+func appendBatch(dst []byte, handle uint32, fields int, tuples []stream.Tuple, sentNs int64) ([]byte, error) {
 	if len(tuples) == 0 || len(tuples) > MaxBatch {
 		return nil, fmt.Errorf("wire: batch of %d tuples (want 1..%d)", len(tuples), MaxBatch)
 	}
 	if fields <= 0 || fields > MaxTupleFields {
 		return nil, fmt.Errorf("wire: %d fields per tuple (want 1..%d)", fields, MaxTupleFields)
 	}
+	flags := uint16(fields)
+	if sentNs != 0 {
+		flags |= batchTraceFlag
+	}
 	dst = binary.BigEndian.AppendUint32(dst, handle)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(tuples)))
-	dst = binary.BigEndian.AppendUint16(dst, uint16(fields))
+	dst = binary.BigEndian.AppendUint16(dst, flags)
 	for i := range tuples {
 		t := &tuples[i]
 		if len(t.Fields) != fields {
@@ -124,7 +152,17 @@ func AppendBatch(dst []byte, handle uint32, fields int, tuples []stream.Tuple) (
 			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
 		}
 	}
+	if sentNs != 0 {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(sentNs))
+	}
 	return dst, nil
+}
+
+// BatchTraced reports whether a batch payload carries the trace-sample
+// timestamp, by flag alone — cheap enough for a proxy hot path deciding
+// whether to time a forward. It does not validate the payload.
+func BatchTraced(payload []byte) bool {
+	return len(payload) >= 8 && payload[6]&(batchTraceFlag>>8) != 0
 }
 
 // BatchGeometry validates a FrameBatch payload's structure — header, tuple
@@ -139,14 +177,19 @@ func BatchGeometry(payload []byte) (handle uint32, count, fields int, err error)
 	}
 	handle = binary.BigEndian.Uint32(payload[:4])
 	count = int(binary.BigEndian.Uint16(payload[4:6]))
-	fields = int(binary.BigEndian.Uint16(payload[6:8]))
+	flags := binary.BigEndian.Uint16(payload[6:8])
+	fields = int(flags &^ batchTraceFlag)
 	if count == 0 || count > MaxBatch {
 		return 0, 0, 0, fmt.Errorf("wire: batch of %d tuples (want 1..%d)", count, MaxBatch)
 	}
 	if fields == 0 || fields > MaxTupleFields {
 		return 0, 0, 0, fmt.Errorf("wire: batch declares %d fields per tuple (want 1..%d)", fields, MaxTupleFields)
 	}
-	if body := len(payload) - 8; body != count*(tupleHeadSize+8*fields) {
+	body := len(payload) - 8
+	if flags&batchTraceFlag != 0 {
+		body -= 8 // trailing trace timestamp
+	}
+	if body != count*(tupleHeadSize+8*fields) {
 		return 0, 0, 0, fmt.Errorf("wire: batch body of %d bytes, want %d×%d", body, count, tupleHeadSize+8*fields)
 	}
 	return handle, count, fields, nil
@@ -159,6 +202,9 @@ type Batch struct {
 	Handle uint32
 	Fields int
 	Tuples []stream.Tuple
+	// SentNs is the client-send unix-nano timestamp of a trace-sampled
+	// batch, 0 when the batch was not sampled.
+	SentNs int64
 }
 
 // DecodeBatch decodes a FrameBatch payload. The payload must be consumed
@@ -171,6 +217,10 @@ func DecodeBatch(payload []byte) (Batch, error) {
 	}
 	b := Batch{Handle: handle, Fields: fields}
 	body := payload[8:]
+	if BatchTraced(payload) {
+		b.SentNs = int64(binary.BigEndian.Uint64(body[len(body)-8:]))
+		body = body[:len(body)-8]
+	}
 	tupleSize := tupleHeadSize + 8*b.Fields
 	arena := make([]float64, count*b.Fields)
 	b.Tuples = make([]stream.Tuple, count)

@@ -6,8 +6,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gesturecep/internal/anduin"
+	"gesturecep/internal/obs"
 	"gesturecep/internal/serve"
 	"gesturecep/internal/stream"
 )
@@ -31,6 +33,14 @@ type Server struct {
 	// Name identifies this server in Pong replies (a cluster gateway shows
 	// it in per-backend metrics). Set it before Serve; empty is fine.
 	Name string
+
+	// BatchDecode, when non-nil, records the FrameBatch decode time of
+	// trace-sampled batches; Ingress records client-send → decoded for the
+	// same batches (cross-clock when client and server are on different
+	// hosts). Both are nil-safe; set before Serve. Unsampled batches never
+	// touch them.
+	BatchDecode *obs.Histogram
+	Ingress     *obs.Histogram
 
 	// TapSessions, when non-nil, is consulted on every attach: it returns
 	// the tuple tap to install on the new session (see
@@ -326,9 +336,19 @@ func rawFields(sess *serve.Session) int {
 }
 
 func (c *conn) handleBatch(payload []byte) error {
+	// Only trace-sampled batches pay for clock reads; the flag check is a
+	// byte mask on the raw payload.
+	var start time.Time
+	if traced := BatchTraced(payload); traced {
+		start = time.Now()
+	}
 	b, err := DecodeBatch(payload)
 	if err != nil {
 		return err
+	}
+	if b.SentNs != 0 {
+		c.srv.BatchDecode.ObserveSince(start)
+		c.srv.Ingress.Observe(time.Duration(start.UnixNano() - b.SentNs))
 	}
 	cs := c.session(b.Handle)
 	if cs == nil {
@@ -338,7 +358,15 @@ func (c *conn) handleBatch(payload []byte) error {
 		// FeedTuple blocks on a full shard queue under serve.Block — this
 		// is the backpressure path: the reader goroutine stalls, the kernel
 		// socket buffer fills, TCP flow control paces the remote client.
-		if err := cs.sess.FeedTuple(b.Tuples[i]); err != nil {
+		// The first tuple of a traced batch carries the trace through the
+		// shard so the serve-side stage histograms see it.
+		var err error
+		if i == 0 && b.SentNs != 0 {
+			err = cs.sess.FeedTupleTraced(b.Tuples[i], b.SentNs)
+		} else {
+			err = cs.sess.FeedTuple(b.Tuples[i])
+		}
+		if err != nil {
 			// A feed failure means the session or manager closed under the
 			// connection; treat it as fatal so the client never receives an
 			// error frame it has no request in flight for.
