@@ -11,11 +11,23 @@
 // BenchmarkGatewayProxyTraced are present, the document also carries the
 // observability overhead of the traced run as a percentage — the number
 // the ≤3% acceptance bar is checked against.
+//
+// With -against, the fresh document is additionally compared to a committed
+// baseline and the exit status becomes a regression gate:
+//
+//	go test -run '^$' -bench 'GatewayProxy' -benchmem ./internal/cluster \
+//	    | go run ./cmd/benchjson -against BENCH_gateway.json > /tmp/fresh.json
+//
+// exits 1 when GatewayProxy loses more than 15% tuples/s or more than
+// doubles its allocs/op versus the baseline. Throughput on other shared
+// benchmarks is reported to stderr but never gates: only the proxy path has
+// an acceptance bar, and allocs/op is the noise-free half of it.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -51,6 +63,8 @@ type document struct {
 }
 
 func main() {
+	against := flag.String("against", "", "baseline BENCH json to gate the fresh run against (exit 1 on GatewayProxy regression)")
+	flag.Parse()
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -66,6 +80,101 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *against == "" {
+		return
+	}
+	base, err := loadDoc(*against)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -against: %v\n", err)
+		os.Exit(1)
+	}
+	lines, failed := compare(doc, base)
+	for _, l := range lines {
+		fmt.Fprintln(os.Stderr, "benchjson: "+l)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func loadDoc(path string) (*document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &document{}
+	if err := json.Unmarshal(data, doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return doc, nil
+}
+
+// Gate thresholds for compare: the proxied data path may lose at most 15%
+// of its tuples/s and at most double its allocs/op against the baseline.
+const (
+	gatedBench     = "GatewayProxy"
+	maxTuplesDrop  = 0.15
+	maxAllocsRatio = 2.0
+)
+
+// compare reports the fresh run against the committed baseline. Only
+// gatedBench decides the exit status; every other benchmark present in both
+// documents gets an informational throughput delta.
+func compare(fresh, base *document) (lines []string, failed bool) {
+	find := func(doc *document, name string) *benchResult {
+		for i := range doc.Benchmarks {
+			if doc.Benchmarks[i].Name == name {
+				return &doc.Benchmarks[i]
+			}
+		}
+		return nil
+	}
+	fb, bb := find(fresh, gatedBench), find(base, gatedBench)
+	switch {
+	case bb == nil:
+		lines = append(lines, fmt.Sprintf("%s missing from baseline; nothing to gate against", gatedBench))
+	case fb == nil:
+		lines = append(lines, fmt.Sprintf("FAIL: gated benchmark %s missing from the fresh run", gatedBench))
+		failed = true
+	default:
+		if bt, ft := bb.Metrics["tuples/s"], fb.Metrics["tuples/s"]; bt > 0 {
+			drop := (bt - ft) / bt
+			verdict := "ok"
+			if drop > maxTuplesDrop {
+				verdict = "FAIL"
+				failed = true
+			}
+			lines = append(lines, fmt.Sprintf("%s: %s tuples/s %.0f -> %.0f (%+.1f%%, gate -%.0f%%)",
+				verdict, gatedBench, bt, ft, -drop*100, maxTuplesDrop*100))
+		}
+		if ba, fa := bb.Metrics["allocs/op"], fb.Metrics["allocs/op"]; ba > 0 {
+			verdict := "ok"
+			if fa > ba*maxAllocsRatio {
+				verdict = "FAIL"
+				failed = true
+			}
+			lines = append(lines, fmt.Sprintf("%s: %s allocs/op %.0f -> %.0f (gate %.0fx)",
+				verdict, gatedBench, ba, fa, maxAllocsRatio))
+		}
+	}
+	for i := range fresh.Benchmarks {
+		fr := &fresh.Benchmarks[i]
+		if fr.Name == gatedBench {
+			continue
+		}
+		br := find(base, fr.Name)
+		if br == nil {
+			continue
+		}
+		for _, unit := range []string{"tuples/s", "MB/s"} {
+			if bv, fv := br.Metrics[unit], fr.Metrics[unit]; bv > 0 && fv > 0 {
+				lines = append(lines, fmt.Sprintf("info: %s %s %.0f -> %.0f (%+.1f%%)",
+					fr.Name, unit, bv, fv, (fv-bv)/bv*100))
+				break
+			}
+		}
+	}
+	return lines, failed
 }
 
 func parse(sc *bufio.Scanner) (*document, error) {

@@ -107,6 +107,11 @@ type NFA struct {
 
 	runs []*run
 
+	// free recycles run objects (and their ts/tuples backing arrays) so the
+	// steady-state Process path does not allocate. An NFA is single-threaded
+	// by contract, so a plain slice suffices. Bounded by maxRuns.
+	free []*run
+
 	// stats
 	processed  uint64
 	predCalls  uint64
@@ -156,7 +161,34 @@ func (n *NFA) ActiveRuns() int { return len(n.runs) }
 // Reset discards all partial matches and statistics.
 func (n *NFA) Reset() {
 	n.runs = nil
+	n.free = nil
 	n.processed, n.predCalls, n.matches, n.runsPruned = 0, 0, 0, 0
+}
+
+// getRun takes a run from the free list (or allocates one) and initialises
+// it as a fresh partial match holding only t.
+func (n *NFA) getRun(t stream.Tuple) *run {
+	if len(n.free) > 0 {
+		r := n.free[len(n.free)-1]
+		n.free = n.free[:len(n.free)-1]
+		r.next = 1
+		r.ts = append(r.ts[:0], t.Ts)
+		r.tuples = append(r.tuples[:0], t)
+		return r
+	}
+	return &run{next: 1, ts: []time.Time{t.Ts}, tuples: []stream.Tuple{t}}
+}
+
+// putRun recycles a run that is no longer referenced anywhere. Tuple
+// references are cleared so a parked run does not pin field arrays.
+func (n *NFA) putRun(r *run) {
+	if len(n.free) >= n.maxRuns {
+		return
+	}
+	for i := range r.tuples {
+		r.tuples[i] = stream.Tuple{}
+	}
+	n.free = append(n.free, r)
 }
 
 // Stats reports counters accumulated since the last Reset.
@@ -196,25 +228,29 @@ func (n *NFA) Process(t stream.Tuple) []Match {
 	// Try to start a fresh run with this tuple.
 	n.predCalls++
 	if states[0].pred(t) {
-		r := &run{
-			next:   1,
-			ts:     []time.Time{t.Ts},
-			tuples: []stream.Tuple{t},
-		}
+		r := n.getRun(t)
 		if len(states) == 1 {
+			r.next = len(states)
 			completed = append(completed, r)
 		} else if n.satisfiable(r, t.Ts) {
 			n.runs = append(n.runs, r)
 			if len(n.runs) > n.maxRuns {
-				// Evict the oldest partial run to bound memory.
+				// Evict the oldest partial run to bound memory. A completed
+				// run is still referenced by the completed slice and is
+				// recycled after the matches are built, not here.
+				if ev := n.runs[0]; ev.next != len(states) {
+					n.putRun(ev)
+				}
 				n.runs = n.runs[1:]
 				n.runsPruned++
 			}
+		} else {
+			n.putRun(r)
 		}
 	}
 
 	// Sweep dead and completed runs out of the active set.
-	n.sweep(completed)
+	n.sweep()
 
 	if len(completed) == 0 {
 		return nil
@@ -235,10 +271,18 @@ func (n *NFA) Process(t stream.Tuple) []Match {
 		})
 	}
 	n.matches += uint64(len(out))
+	// Matches copy the tuples out above, so every completed run (selected or
+	// not) can be recycled now.
+	for _, r := range completed {
+		n.putRun(r)
+	}
 
 	if n.prog.consume == ConsumeAll {
 		// Consuming a match invalidates all in-flight partial matches.
 		n.runsPruned += uint64(len(n.runs))
+		for _, r := range n.runs {
+			n.putRun(r)
+		}
 		n.runs = n.runs[:0]
 	}
 	return out
@@ -282,24 +326,27 @@ func (n *NFA) expire(now time.Time) {
 			kept = append(kept, r)
 		} else {
 			n.runsPruned++
+			n.putRun(r)
 		}
 	}
 	n.runs = kept
 }
 
-// sweep removes completed and dead runs from the active set.
-func (n *NFA) sweep(completed []*run) {
+// sweep removes completed and dead runs from the active set. A dead run
+// (next == -1) is referenced by nothing else and is recycled immediately; a
+// completed run (next == len(states)) is still referenced by Process's
+// completed slice and is recycled there after the matches are copied out.
+func (n *NFA) sweep() {
 	if len(n.runs) == 0 {
 		return
 	}
-	done := make(map[*run]bool, len(completed))
-	for _, r := range completed {
-		done[r] = true
-	}
 	kept := n.runs[:0]
 	for _, r := range n.runs {
-		if r.next >= 0 && r.next < len(n.prog.states) && !done[r] {
+		switch {
+		case r.next >= 0 && r.next < len(n.prog.states):
 			kept = append(kept, r)
+		case r.next < 0:
+			n.putRun(r)
 		}
 	}
 	n.runs = kept

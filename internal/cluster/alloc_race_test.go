@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which changes allocation behavior enough to invalidate
+// allocation-gate thresholds.
+const raceEnabled = true

@@ -197,6 +197,11 @@ func (gw *Gateway) dialBackend(id, addr string) (*backend, error) {
 		cl.Close()
 		return nil, fmt.Errorf("cluster: backend %s (%s): probe: %w", id, addr, err)
 	}
+	// The data connection coalesces: all front sessions homed on this
+	// backend funnel their frames through one flusher goroutine and one
+	// vectored write per flush cycle. The probe connection stays plain — it
+	// carries one ping at a time.
+	cl.EnableCoalescing()
 	return &backend{id: id, addr: addr, inc: gw.stats[id].incarnations.Add(1),
 		stats: gw.stats[id], cl: cl, pr: pr,
 		sessions: make(map[*proxySession]struct{})}, nil
@@ -616,6 +621,7 @@ func (gw *Gateway) tryReadmit(id, addr string) bool {
 		cl.Close()
 		return err == errClosing
 	}
+	cl.EnableCoalescing()
 	be := &backend{id: id, addr: addr, inc: gw.stats[id].incarnations.Add(1),
 		stats: gw.stats[id], cl: cl, pr: pr,
 		sessions: make(map[*proxySession]struct{})}
@@ -987,6 +993,17 @@ func (fc *frontConn) handleAttach(payload []byte) error {
 	return fc.w.WriteJSON(wire.FrameAttachOK, reply)
 }
 
+// Bounds on the handleBatch eject-and-retry loop. A flapping backend (dies
+// under the write, is re-admitted as a fresh incarnation, dies again) used
+// to spin this loop hot and without end; now each retry backs off
+// exponentially and the batch fails the session after batchRetryLimit
+// incarnations — a deterministic termination the flapping-backend test pins.
+const (
+	batchRetryLimit      = 8
+	batchRetryBackoff    = time.Millisecond
+	batchRetryBackoffMax = 50 * time.Millisecond
+)
+
 func (fc *frontConn) handleBatch(payload []byte) error {
 	handle, count, fields, err := wire.BatchGeometry(payload)
 	if err != nil {
@@ -1008,16 +1025,26 @@ func (fc *frontConn) handleBatch(payload []byte) error {
 	// a byte mask on the raw payload, which rides through ProxyBatch
 	// untouched (it only patches the handle bytes).
 	traced := wire.BatchTraced(payload)
-	for {
-		// The forward write blocks when the backend connection's socket
-		// fills — that is serve.Block's backpressure, relayed one hop: this
+	// Take ownership of the reader's pooled payload buffer: the batch was
+	// read once from the front socket and is handed to the backend
+	// connection in place — no intermediate copy. On success the backend's
+	// coalescing flusher returns the buffer to the frame pool after the
+	// vectored write; until then (and on every error path below) this
+	// function owns it.
+	fc.r.Detach()
+	backoff := batchRetryBackoff
+	for attempt := 1; ; attempt++ {
+		// The hand-off blocks when the backend connection's coalescer is
+		// full — that is serve.Block's backpressure, relayed one hop: this
 		// reader goroutine stalls, the front socket fills, TCP paces the
-		// remote producer.
+		// remote producer. For traced batches the forward histogram times
+		// exactly that hand-off (queue admission), the gateway's share of
+		// the pipeline.
 		var start time.Time
 		if traced {
 			start = time.Now()
 		}
-		if _, err := ps.be.cl.ProxyBatch(ps.rs.Handle(), payload); err == nil {
+		if _, err := ps.be.cl.ProxyBatchOwned(ps.rs.Handle(), payload); err == nil {
 			if traced {
 				ps.be.stats.forward.ObserveSince(start)
 			}
@@ -1029,14 +1056,24 @@ func (fc *frontConn) handleBatch(payload []byte) error {
 		}
 		// The backend died under the write: eject it, re-home this session
 		// and retry the batch on the new owner — the tuples of THIS batch
-		// were never admitted anywhere, so forwarding them again loses
-		// nothing and drops nothing.
+		// were never admitted anywhere (a failed ProxyBatchOwned leaves
+		// ownership with us), so forwarding them again loses nothing and
+		// drops nothing.
 		fc.gw.eject(ps.be, ps)
 		if ps.be.isEjected() && ps.rehomeErr == nil {
-			ps.rehomeErr = fc.gw.rehomeLocked(ps)
+			if attempt >= batchRetryLimit {
+				ps.rehomeErr = fmt.Errorf("cluster: session %q: batch failed on %d backend incarnations, giving up", ps.id, attempt)
+			} else {
+				ps.rehomeErr = fc.gw.rehomeLocked(ps)
+			}
 		}
 		if err := ps.failedLocked(); err != nil {
+			wire.PutFrameBuf(payload)
 			return err
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > batchRetryBackoffMax {
+			backoff = batchRetryBackoffMax
 		}
 	}
 }

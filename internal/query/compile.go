@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"gesturecep/internal/cep"
 	"gesturecep/internal/stream"
@@ -17,7 +18,9 @@ type UDF struct {
 	// Arity is the required argument count; -1 accepts any number of
 	// arguments (at least one).
 	Arity int
-	Fn    func(args []float64) float64
+	// Fn evaluates the function. The args slice is pooled by the compiler
+	// and reused across calls — implementations must not retain it.
+	Fn func(args []float64) float64
 }
 
 // BuiltinUDFs returns the default scalar function registry: abs, min, max,
@@ -269,12 +272,25 @@ func compileExpr(e Expr, schema *stream.Schema, udfs map[string]UDF) (func(strea
 			args[i] = ev
 		}
 		fn := udf.Fn
+		// The argument scratch slice is pooled per call site: compiled
+		// programs are shared across sessions and shards, so the same
+		// closure runs concurrently and cannot reuse a single buffer. The
+		// pool keeps the hot path allocation-free; UDF implementations must
+		// not retain the slice past the call (the builtins don't).
+		nargs := len(args)
+		pool := &sync.Pool{New: func() any {
+			s := make([]float64, nargs)
+			return &s
+		}}
 		return func(t stream.Tuple) float64 {
-			vals := make([]float64, len(args))
+			vp := pool.Get().(*[]float64)
+			vals := *vp
 			for i, a := range args {
 				vals[i] = a(t)
 			}
-			return fn(vals)
+			v := fn(vals)
+			pool.Put(vp)
+			return v
 		}, nil
 
 	default:

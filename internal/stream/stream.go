@@ -23,6 +23,12 @@ type Stream struct {
 	order []int
 	next  int
 
+	// handlers holds an immutable snapshot of the subscriber functions in
+	// subscription order, rebuilt copy-on-write whenever the subscriber set
+	// changes. Publish loads it atomically, so the per-tuple hot path does
+	// not allocate and does not take the mutex.
+	handlers atomic.Pointer[[]func(Tuple)]
+
 	published atomic.Uint64
 }
 
@@ -54,6 +60,7 @@ func (s *Stream) Subscribe(fn func(Tuple)) (cancel func()) {
 	s.next++
 	s.subs[id] = fn
 	s.order = append(s.order, id)
+	s.rebuildHandlersLocked()
 	s.mu.Unlock()
 
 	var once sync.Once
@@ -67,9 +74,22 @@ func (s *Stream) Subscribe(fn func(Tuple)) (cancel func()) {
 					break
 				}
 			}
+			s.rebuildHandlersLocked()
 			s.mu.Unlock()
 		})
 	}
+}
+
+// rebuildHandlersLocked regenerates the immutable delivery snapshot. Callers
+// must hold s.mu.
+func (s *Stream) rebuildHandlersLocked() {
+	hs := make([]func(Tuple), 0, len(s.order))
+	for _, id := range s.order {
+		if fn, ok := s.subs[id]; ok {
+			hs = append(hs, fn)
+		}
+	}
+	s.handlers.Store(&hs)
 }
 
 // SubscriberCount returns the current number of subscribers.
@@ -87,18 +107,13 @@ func (s *Stream) Publish(t Tuple) error {
 		return fmt.Errorf("stream %q: tuple has %d fields, schema %s expects %d",
 			s.name, len(t.Fields), s.schema, s.schema.Len())
 	}
-	s.mu.RLock()
-	// Snapshot handlers so subscribers may unsubscribe during delivery.
-	handlers := make([]func(Tuple), 0, len(s.order))
-	for _, id := range s.order {
-		if fn, ok := s.subs[id]; ok {
-			handlers = append(handlers, fn)
+	// The snapshot is immutable, so subscribers may unsubscribe (or new ones
+	// subscribe) during delivery without invalidating this iteration — the
+	// change lands in the next snapshot.
+	if hs := s.handlers.Load(); hs != nil {
+		for _, fn := range *hs {
+			fn(t)
 		}
-	}
-	s.mu.RUnlock()
-
-	for _, fn := range handlers {
-		fn(t)
 	}
 	s.published.Add(1)
 	return nil

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
@@ -21,7 +22,9 @@ const DefaultBatchSize = 64
 
 // Client is one wire-protocol connection. Multiple remote sessions may be
 // attached and fed concurrently; socket writes are serialized internally
-// and control round trips are issued one at a time per connection.
+// and control round trips are pipelined: any number may be in flight, and
+// replies are matched to requests in wire order (the server processes each
+// connection's frames serially and replies in order).
 type Client struct {
 	c net.Conn
 
@@ -34,8 +37,19 @@ type Client struct {
 	wmu sync.Mutex
 	w   *Writer
 
-	reqMu  sync.Mutex // serializes control round trips (FIFO with replies)
-	respCh chan controlResp
+	// co, when non-nil, replaces direct Writer access: every frame is
+	// enqueued to the per-connection flusher goroutine, which gathers
+	// concurrent frames into single vectored writes. Enabled by the cluster
+	// gateway on its backend connections (EnableCoalescing); set before any
+	// traffic and never cleared, so data paths read it without locking.
+	co *coalescer
+
+	// waiters is the FIFO of in-flight control round trips; the read loop
+	// dispatches each control reply to the head. Appends happen in the same
+	// critical section as the request's write (or enqueue), so queue order
+	// always matches wire order.
+	pmu     sync.Mutex
+	waiters []chan controlResp
 
 	mu       sync.Mutex
 	sessions map[uint32]*RemoteSession
@@ -108,12 +122,22 @@ func NewClient(c net.Conn) *Client {
 	cl := &Client{
 		c:        c,
 		w:        NewWriter(c),
-		respCh:   make(chan controlResp, 1),
 		sessions: make(map[uint32]*RemoteSession),
 		done:     make(chan struct{}),
 	}
 	go cl.readLoop()
 	return cl
+}
+
+// EnableCoalescing routes every subsequent frame write through a dedicated
+// flusher goroutine that gathers frames from concurrent producers into
+// single vectored writes — the cluster gateway enables it on each backend
+// connection so many front sessions share one syscall per flush cycle.
+// Call it once, before issuing any traffic on the connection.
+func (cl *Client) EnableCoalescing() {
+	if cl.co == nil {
+		cl.co = newCoalescer(cl)
+	}
 }
 
 // Close tears down the connection. Attached sessions become unusable.
@@ -122,6 +146,9 @@ func (cl *Client) Close() error {
 		return nil
 	}
 	err := cl.c.Close()
+	if cl.co != nil {
+		cl.co.stop()
+	}
 	<-cl.done
 	return err
 }
@@ -149,6 +176,11 @@ func (cl *Client) fail(err error) error {
 		cl.err.Store(errBox{err})
 	}
 	cl.c.Close()
+	if cl.co != nil {
+		// Wake the flusher and any producers blocked on backpressure; the
+		// flusher releases still-queued pooled buffers and exits.
+		cl.co.poison(err)
+	}
 	return cl.closedErr()
 }
 
@@ -178,12 +210,18 @@ func (cl *Client) readLoop() {
 			}
 		case FrameAttachOK, FrameFlushOK, FrameDetachOK, FrameMetricsOK, FramePong, FrameError:
 			payload := append([]byte(nil), f.Payload...)
-			select {
-			case cl.respCh <- controlResp{frameType: f.Type, payload: payload}:
-			default:
+			cl.pmu.Lock()
+			var waiter chan controlResp
+			if len(cl.waiters) > 0 {
+				waiter = cl.waiters[0]
+				cl.waiters = cl.waiters[1:]
+			}
+			cl.pmu.Unlock()
+			if waiter == nil {
 				cl.fail(fmt.Errorf("wire: unsolicited %s frame", f.Type))
 				return
 			}
+			waiter <- controlResp{frameType: f.Type, payload: payload}
 		default:
 			cl.fail(fmt.Errorf("wire: unexpected %s frame from server", f.Type))
 			return
@@ -192,21 +230,37 @@ func (cl *Client) readLoop() {
 }
 
 // roundTrip sends one control frame and waits for the matching reply type.
-// A FrameError reply is surfaced as *ErrorReply.
+// Round trips pipeline: concurrent callers each get the reply matching
+// their request's position in wire order. A FrameError reply is surfaced
+// as *ErrorReply.
 func (cl *Client) roundTrip(req FrameType, v any, wantReply FrameType, out any) error {
-	cl.reqMu.Lock()
-	defer cl.reqMu.Unlock()
 	if cl.closed.Load() {
 		return cl.closedErr()
 	}
-	cl.wmu.Lock()
-	err := cl.w.WriteJSON(req, v)
-	cl.wmu.Unlock()
-	if err != nil {
-		return cl.fail(err)
+	ch := make(chan controlResp, 1)
+	if cl.co != nil {
+		payload, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		// The marshalled payload is freshly allocated, so the coalescer may
+		// reference it until flushed without a copy.
+		if err := cl.co.enqueue(req, payload, false, ch); err != nil {
+			return err
+		}
+	} else {
+		cl.wmu.Lock()
+		cl.pmu.Lock()
+		cl.waiters = append(cl.waiters, ch)
+		cl.pmu.Unlock()
+		err := cl.w.WriteJSON(req, v)
+		cl.wmu.Unlock()
+		if err != nil {
+			return cl.fail(err)
+		}
 	}
 	select {
-	case resp := <-cl.respCh:
+	case resp := <-ch:
 		switch resp.frameType {
 		case wantReply:
 			if out == nil {
@@ -322,6 +376,21 @@ func (cl *Client) Ping(seq uint64) (Pong, error) {
 // returns the number of tuples the batch carries. The payload must be a
 // structurally valid batch (the front decoded its geometry to route it).
 func (cl *Client) ProxyBatch(handle uint32, payload []byte) (int, error) {
+	return cl.proxyBatch(handle, payload, false)
+}
+
+// ProxyBatchOwned is ProxyBatch for a payload living in a pooled frame
+// buffer (Reader.Detach): on success the connection takes ownership and
+// returns the buffer to the frame pool once it has been written out —
+// through the coalescing flusher when enabled, so the bytes a front
+// connection read reach the backend socket with no intermediate copy. On
+// error, ownership stays with the caller (who may retry it on another
+// backend or release it).
+func (cl *Client) ProxyBatchOwned(handle uint32, payload []byte) (int, error) {
+	return cl.proxyBatch(handle, payload, true)
+}
+
+func (cl *Client) proxyBatch(handle uint32, payload []byte, owned bool) (int, error) {
 	if len(payload) < 8 {
 		return 0, fmt.Errorf("wire: batch payload of %d bytes is shorter than its header", len(payload))
 	}
@@ -330,11 +399,20 @@ func (cl *Client) ProxyBatch(handle uint32, payload []byte) (int, error) {
 	}
 	binary.BigEndian.PutUint32(payload[:4], handle)
 	count := int(binary.BigEndian.Uint16(payload[4:6]))
+	if cl.co != nil {
+		if err := cl.co.enqueue(FrameBatch, payload, owned, nil); err != nil {
+			return 0, err
+		}
+		return count, nil
+	}
 	cl.wmu.Lock()
 	err := cl.w.WriteFrame(FrameBatch, payload)
 	cl.wmu.Unlock()
 	if err != nil {
 		return 0, cl.fail(err)
+	}
+	if owned {
+		PutFrameBuf(payload)
 	}
 	return count, nil
 }
@@ -442,6 +520,17 @@ func (rs *RemoteSession) FlushBatch() error {
 	}
 	rs.encBuf = buf[:0]
 	rs.batch = rs.batch[:0]
+	if co := rs.cl.co; co != nil {
+		// The encode scratch is reused by the next FlushBatch, so hand the
+		// coalescer its own pooled copy.
+		p := GetFrameBuf(len(buf))
+		copy(p, buf)
+		if err := co.enqueue(FrameBatch, p, true, nil); err != nil {
+			PutFrameBuf(p)
+			return err
+		}
+		return nil
+	}
 	rs.cl.wmu.Lock()
 	err = rs.cl.w.WriteFrame(FrameBatch, buf)
 	rs.cl.wmu.Unlock()

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"gesturecep/internal/anduin"
 	"gesturecep/internal/stream"
@@ -14,15 +15,58 @@ import (
 
 const headerSize = 5 // u32 payload length + u8 frame type
 
+// Frame payload buffers are pooled by size class so a reader can hand a
+// just-read payload to another connection's writer without a copy and
+// without either side retaining a high-water-mark allocation. A buffer's
+// class is the largest class that fits inside its capacity, so any slice
+// whose capacity covers a class may be recycled.
+var frameClasses = [...]int{4 << 10, 32 << 10, 256 << 10, MaxFrame + headerSize}
+
+var framePools [len(frameClasses)]sync.Pool
+
+// maxRetainedBuf caps the payload/scratch capacity a Reader or Writer keeps
+// across frames. Larger buffers are released to the shared pool after use so
+// one oversized frame does not pin its allocation for the connection's life.
+const maxRetainedBuf = 64 << 10
+
+// GetFrameBuf returns a length-n buffer from the frame pool (n up to
+// MaxFrame plus header). Release it with PutFrameBuf when done.
+func GetFrameBuf(n int) []byte {
+	for i, c := range frameClasses {
+		if n <= c {
+			if bp, _ := framePools[i].Get().(*[]byte); bp != nil {
+				return (*bp)[:n]
+			}
+			return make([]byte, n, c)
+		}
+	}
+	return make([]byte, n)
+}
+
+// PutFrameBuf returns a buffer obtained from GetFrameBuf (or any slice with
+// at least the smallest class capacity) to the pool. Passing nil or an
+// undersized slice is a no-op. The caller must not touch b afterwards.
+func PutFrameBuf(b []byte) {
+	c := cap(b)
+	for i := len(frameClasses) - 1; i >= 0; i-- {
+		if c >= frameClasses[i] {
+			b = b[:0]
+			framePools[i].Put(&b)
+			return
+		}
+	}
+}
+
 // Frame is one decoded frame. Payload references the Reader's internal
-// buffer and is only valid until the next call to Next.
+// buffer and is only valid until the next call to Next, unless the caller
+// takes ownership with Reader.Detach.
 type Frame struct {
 	Type    FrameType
 	Payload []byte
 }
 
-// Reader decodes frames from a byte stream, reusing one payload buffer
-// across frames. It is not safe for concurrent use.
+// Reader decodes frames from a byte stream, reusing one pooled payload
+// buffer across frames. It is not safe for concurrent use.
 type Reader struct {
 	r   *bufio.Reader
 	hdr [headerSize]byte
@@ -49,8 +93,12 @@ func (d *Reader) Next() (Frame, error) {
 	if t == FrameInvalid || t >= frameTypeEnd {
 		return Frame{}, fmt.Errorf("wire: unknown frame type %d", uint8(t))
 	}
-	if cap(d.buf) < int(n) {
-		d.buf = make([]byte, n)
+	if cap(d.buf) < int(n) || cap(d.buf) > maxRetainedBuf {
+		// Either the retained buffer is too small, or it is an oversized
+		// one we do not want to pin past this frame: swap it through the
+		// pool for a right-classed buffer.
+		PutFrameBuf(d.buf)
+		d.buf = GetFrameBuf(int(n))
 	}
 	payload := d.buf[:n]
 	if _, err := io.ReadFull(d.r, payload); err != nil {
@@ -59,8 +107,18 @@ func (d *Reader) Next() (Frame, error) {
 	return Frame{Type: t, Payload: payload}, nil
 }
 
-// Writer encodes frames onto a byte stream, reusing one scratch buffer. It
-// is not safe for concurrent use; callers serialize with their own lock.
+// Detach transfers ownership of the last returned frame's payload buffer to
+// the caller: the payload stays valid past the next call to Next, and the
+// caller must release it with PutFrameBuf once done (the cluster gateway
+// does so after the backend flusher has written it out). Calling Detach with
+// no frame outstanding is a no-op.
+func (d *Reader) Detach() {
+	d.buf = nil
+}
+
+// Writer encodes frames onto a byte stream, reusing one pooled scratch
+// buffer. It is not safe for concurrent use; callers serialize with their
+// own lock.
 type Writer struct {
 	w   io.Writer
 	buf []byte
@@ -78,13 +136,19 @@ func (e *Writer) WriteFrame(t FrameType, payload []byte) error {
 	}
 	need := headerSize + len(payload)
 	if cap(e.buf) < need {
-		e.buf = make([]byte, need)
+		PutFrameBuf(e.buf)
+		e.buf = GetFrameBuf(need)
 	}
 	b := e.buf[:need]
 	binary.BigEndian.PutUint32(b[:4], uint32(len(payload)))
 	b[4] = byte(t)
 	copy(b[headerSize:], payload)
 	_, err := e.w.Write(b)
+	if cap(e.buf) > maxRetainedBuf {
+		// Do not pin an oversized scratch buffer on the connection.
+		PutFrameBuf(e.buf)
+		e.buf = nil
+	}
 	return err
 }
 
