@@ -32,10 +32,12 @@ import (
 	"gesturecep/internal/cluster"
 	"gesturecep/internal/kinect"
 	"gesturecep/internal/learn"
+	"gesturecep/internal/membership"
 	"gesturecep/internal/obs"
 	"gesturecep/internal/serve"
 	"gesturecep/internal/store"
 	"gesturecep/internal/stream"
+	"gesturecep/internal/wire"
 )
 
 var gestureNames = kinect.DemoGestureNames()
@@ -155,9 +157,14 @@ func run(addr string, external []cluster.Backend, backends, vnodes int, loadFact
 		opts := cluster.SpawnOptions{Serve: serve.Config{Shards: shards, QueueDepth: queue, Policy: pol}}
 		var archives []*store.Archive
 		if recordDir != "" {
+			archiveOf := make(map[string]*store.Archive, backends)
+			for i := 0; i < backends; i++ {
+				id := cluster.BackendID(i)
+				archiveOf[id] = store.NewArchive(recordDir+"/"+id, store.Options{}, 0)
+				archives = append(archives, archiveOf[id])
+			}
 			opts.TapSessions = func(backendID string) func(string) (func(stream.Tuple), func(bool), error) {
-				arch := store.NewArchive(recordDir+"/"+backendID, store.Options{}, 0)
-				archives = append(archives, arch)
+				arch := archiveOf[backendID]
 				return func(sessionID string) (func(stream.Tuple), func(bool), error) {
 					rec, err := arch.Record(sessionID, kinect.Schema())
 					if err != nil {
@@ -172,6 +179,26 @@ func run(addr string, external []cluster.Backend, backends, vnodes int, loadFact
 							log.Printf("gesturegateway: recording %q: %v", rec.Stream(), err)
 						}
 					}, nil
+				}
+			}
+			// Recording makes sessions live-migratable: the migration source
+			// syncs a session's recorder and streams the recording back out,
+			// which is what lets /backends/drain move sessions with state.
+			opts.MigrateSource = func(backendID string) func(string) (wire.HistoryReader, uint64, error) {
+				arch := archiveOf[backendID]
+				return func(sessionID string) (wire.HistoryReader, uint64, error) {
+					rec, ok := arch.LiveRecorder(sessionID)
+					if !ok {
+						return nil, 0, fmt.Errorf("gesturegateway: no live recording for session %q on %s", sessionID, backendID)
+					}
+					if err := rec.Sync(); err != nil {
+						return nil, 0, err
+					}
+					r, err := store.OpenReader(arch.Root(), rec.Stream())
+					if err != nil {
+						return nil, 0, err
+					}
+					return r, rec.Recorded(), nil
 				}
 			}
 		}
@@ -207,25 +234,30 @@ func run(addr string, external []cluster.Backend, backends, vnodes int, loadFact
 		return err
 	}
 
+	ctrl := membership.New(gw, gw.Log(), 0)
+	defer ctrl.Close()
+
 	if adminAddr != "" {
 		admin, err := obs.StartAdmin(adminAddr, obs.AdminConfig{
 			Collect: gw.WriteProm,
 			MetricsJSON: func() any {
 				return struct {
-					Cluster serve.Metrics            `json:"cluster"`
-					Forward map[string]obs.HistStats `json:"forward,omitempty"`
-				}{gw.Metrics(), gw.ForwardStats()}
+					Cluster   serve.Metrics            `json:"cluster"`
+					Forward   map[string]obs.HistStats `json:"forward,omitempty"`
+					Migration cluster.MigrationStats   `json:"migration"`
+				}{gw.Metrics(), gw.ForwardStats(), gw.MigrationStats()}
 			},
 			Healthy: func() error { return nil }, // the process serves while it runs
 			Ready:   gw.Ready,
 			Events:  gw.Events,
+			Routes:  ctrl.Routes(),
 		})
 		if err != nil {
 			gw.Close()
 			return err
 		}
 		defer admin.Close()
-		fmt.Printf("admin plane on http://%s/metrics\n", admin.Addr())
+		fmt.Printf("admin plane on http://%s/metrics (membership: /backends, /backends/drain, /migrations)\n", admin.Addr())
 	}
 
 	sigc := make(chan os.Signal, 1)

@@ -112,15 +112,33 @@ func (c Config) withDefaults() Config {
 
 // BackendState is one step of a backend's lifecycle state machine:
 //
-//	live ──eject──▶ ejected (terminal unless Readmit)
-//	  ▲                │ Readmit
-//	  │            recovering ──re-dial + ping ok──▶ live (fresh incarnation)
-//	  └────────────────┘
+//	         AddBackend
+//	             │
+//	             ▼
+//	live ──eject──▶ ejected (terminal unless Readmit) ──RemoveBackend──▶ gone
+//	  ▲  ▲             │ Readmit
+//	  │  │         recovering ──re-dial + ping ok──▶ live (fresh incarnation)
+//	  │  │             │ └──────────────────────────────▲
+//	  │  │             └──RemoveBackend──▶ gone         │
+//	  │  Drain                                     AddBackend
+//	  │  │                                              │
+//	  │  ▼                                              │
+//	  │ draining ──every session migrated──▶ drained ───┘
+//	  │    │                                    │
+//	  └────┘ (no capacity: revert)              └──RemoveBackend──▶ gone
 //
 // A re-admitted backend is a brand-new incarnation — fresh data and probe
 // connections, an empty session set — so a session still bound to a dead
 // incarnation can never write to the new one. TolerateDown enters backends
 // at "recovering" straight from NewGateway.
+//
+// Drain is the graceful counterpart of eject: the backend leaves the ring
+// first (no new placements), then every session it carries is live-migrated
+// onto the rest of the fleet with full NFA state — zero tuples lost, zero
+// detections diverging — and only then are its connections dropped. A
+// drained backend is out of the serving path but remains a configured
+// member: AddBackend with the same ID re-admits it (the rolling-restart
+// cycle), RemoveBackend forgets it.
 type BackendState string
 
 const (
@@ -131,6 +149,12 @@ const (
 	// StateRecovering: off the ring; a recovery loop is re-dialing it with
 	// capped exponential backoff.
 	StateRecovering BackendState = "recovering"
+	// StateDraining: off the ring; Drain is live-migrating its sessions
+	// onto the rest of the fleet.
+	StateDraining BackendState = "draining"
+	// StateDrained: off the ring with zero sessions, connections closed;
+	// awaiting AddBackend (re-admission) or RemoveBackend (decommission).
+	StateDrained BackendState = "drained"
 )
 
 // Validate reports configuration errors.

@@ -97,25 +97,38 @@ type Gateway struct {
 	ring *Ring
 	log  *obs.Logger // never nil; see NewGateway
 
-	// stats, addrs and order are built once by NewGateway and read-only
-	// afterwards — one entry per configured backend ID, across every
-	// incarnation.
-	stats map[string]*backendStats
-	addrs map[string]string
-	order []string // backend IDs in configuration order, for metrics
+	// memberMu serializes membership operations — AddBackend, Drain,
+	// RemoveBackend — against each other; gw.mu stays the fine-grained
+	// lock for each individual state step inside them. Lock ordering:
+	// memberMu before mu, never the reverse.
+	memberMu sync.Mutex
 
 	mu       sync.Mutex
+	stats    map[string]*backendStats // per-ID counters, across incarnations
+	addrs    map[string]string
+	order    []string                // member IDs in admission order, for metrics
 	backends map[string]*backend     // current incarnation; nil while down
 	states   map[string]BackendState // lifecycle state per backend ID
-	conns    map[*frontConn]struct{}
-	ln       net.Listener
-	closed   bool
+	// recoverCancel holds one cancel channel per running recovery loop;
+	// RemoveBackend closes it so a decommissioned ID stops being re-dialed.
+	recoverCancel map[string]chan struct{}
+	conns         map[*frontConn]struct{}
+	ln            net.Listener
+	closed        bool
+
+	// Migration counters (see MigrationStats): completed and failed session
+	// moves, tuples replayed into targets, and per-migration duration.
+	migrations       atomic.Uint64
+	migrationsFailed atomic.Uint64
+	migratedTuples   atomic.Uint64
+	migrateDur       *obs.Histogram
 
 	wg        sync.WaitGroup // front connection handlers
 	quit      chan struct{}
 	probeDone chan struct{}
 	probeWG   sync.WaitGroup // in-flight probes and their ping goroutines
 	recoverWG sync.WaitGroup // per-backend recovery loops
+	drainWG   sync.WaitGroup // in-flight Drain calls; Close waits them out
 }
 
 // NewGateway dials every configured backend (data + probe connections) and
@@ -142,16 +155,18 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		log = obs.NewLogger(256, sink)
 	}
 	gw := &Gateway{
-		cfg:       cfg,
-		ring:      NewRing(cfg.VNodes, cfg.LoadFactor),
-		log:       log,
-		stats:     make(map[string]*backendStats),
-		addrs:     make(map[string]string),
-		backends:  make(map[string]*backend),
-		states:    make(map[string]BackendState),
-		conns:     make(map[*frontConn]struct{}),
-		quit:      make(chan struct{}),
-		probeDone: make(chan struct{}),
+		cfg:           cfg,
+		ring:          NewRing(cfg.VNodes, cfg.LoadFactor),
+		log:           log,
+		stats:         make(map[string]*backendStats),
+		addrs:         make(map[string]string),
+		backends:      make(map[string]*backend),
+		states:        make(map[string]BackendState),
+		recoverCancel: make(map[string]chan struct{}),
+		conns:         make(map[*frontConn]struct{}),
+		quit:          make(chan struct{}),
+		probeDone:     make(chan struct{}),
+		migrateDur:    obs.NewHistogram(),
 	}
 	for _, b := range cfg.Backends {
 		gw.stats[b.ID] = newBackendStats()
@@ -178,12 +193,35 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		if st == StateRecovering {
 			gw.log.Warn("backend down at startup; admitting through recovery",
 				obs.F("backend", id), obs.F("addr", gw.addrs[id]), obs.F("state", string(StateRecovering)))
-			gw.recoverWG.Add(1)
-			go gw.recoverLoop(id, gw.addrs[id])
+			gw.startRecoveryLocked(id, gw.addrs[id])
 		}
 	}
 	go gw.probeLoop()
 	return gw, nil
+}
+
+// startRecoveryLocked launches the recovery loop for one backend ID and
+// registers its cancel channel (so RemoveBackend can stop the re-dialing).
+// Callers hold gw.mu, or own the gateway exclusively (NewGateway).
+func (gw *Gateway) startRecoveryLocked(id, addr string) {
+	cancel := make(chan struct{})
+	gw.recoverCancel[id] = cancel
+	gw.recoverWG.Add(1)
+	go gw.recoverLoop(id, addr, cancel)
+}
+
+// statsFor returns the cross-incarnation counter block of one backend ID,
+// creating it on first sight — membership is mutable at runtime, so the
+// block can no longer be assumed pre-built by NewGateway.
+func (gw *Gateway) statsFor(id string) *backendStats {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	st := gw.stats[id]
+	if st == nil {
+		st = newBackendStats()
+		gw.stats[id] = st
+	}
+	return st
 }
 
 // dialBackend opens one incarnation's data and probe connections.
@@ -202,8 +240,9 @@ func (gw *Gateway) dialBackend(id, addr string) (*backend, error) {
 	// vectored write per flush cycle. The probe connection stays plain — it
 	// carries one ping at a time.
 	cl.EnableCoalescing()
-	return &backend{id: id, addr: addr, inc: gw.stats[id].incarnations.Add(1),
-		stats: gw.stats[id], cl: cl, pr: pr,
+	stats := gw.statsFor(id)
+	return &backend{id: id, addr: addr, inc: stats.incarnations.Add(1),
+		stats: stats, cl: cl, pr: pr,
 		sessions: make(map[*proxySession]struct{})}, nil
 }
 
@@ -303,6 +342,10 @@ func (gw *Gateway) Close() error {
 	<-gw.probeDone
 	gw.probeWG.Wait()
 	gw.recoverWG.Wait()
+	// Drains poll gw.quit between sessions and between replay chunks, so an
+	// in-flight migration aborts (unsealing its source) and Drain returns
+	// before the backend connections it is speaking over are torn down.
+	gw.drainWG.Wait()
 	var err error
 	if ln != nil {
 		err = ln.Close()
@@ -453,8 +496,7 @@ func (gw *Gateway) eject(be *backend, except *proxySession) {
 		gw.backends[be.id] = nil
 		if gw.cfg.Readmit && !gw.closed {
 			gw.states[be.id] = StateRecovering
-			gw.recoverWG.Add(1)
-			go gw.recoverLoop(be.id, be.addr)
+			gw.startRecoveryLocked(be.id, be.addr)
 		} else {
 			gw.states[be.id] = StateEjected
 		}
@@ -520,6 +562,7 @@ func (gw *Gateway) rehomeLocked(ps *proxySession) error {
 		})
 		if err == nil {
 			ps.be, ps.rs = be, rs
+			ps.beStats.Store(be.stats)
 			be.addSession(ps)
 			if !be.isEjected() {
 				return nil
@@ -546,10 +589,11 @@ func (gw *Gateway) rehomeLocked(ps *proxySession) error {
 }
 
 // recoverLoop re-dials one ejected (or initially-down) backend with capped
-// exponential backoff until it is re-admitted or the gateway closes. One
-// loop runs per backend in StateRecovering; eject starts it, and it ends
-// by installing a fresh incarnation.
-func (gw *Gateway) recoverLoop(id, addr string) {
+// exponential backoff until it is re-admitted, decommissioned
+// (RemoveBackend closes cancel) or the gateway closes. One loop runs per
+// backend in StateRecovering; eject starts it, and it ends by installing a
+// fresh incarnation.
+func (gw *Gateway) recoverLoop(id, addr string, cancel chan struct{}) {
 	defer gw.recoverWG.Done()
 	backoff := gw.cfg.ReadmitBackoff
 	timer := time.NewTimer(backoff)
@@ -557,6 +601,8 @@ func (gw *Gateway) recoverLoop(id, addr string) {
 	for {
 		select {
 		case <-gw.quit:
+			return
+		case <-cancel:
 			return
 		case <-timer.C:
 		}
@@ -622,8 +668,9 @@ func (gw *Gateway) tryReadmit(id, addr string) bool {
 		return err == errClosing
 	}
 	cl.EnableCoalescing()
-	be := &backend{id: id, addr: addr, inc: gw.stats[id].incarnations.Add(1),
-		stats: gw.stats[id], cl: cl, pr: pr,
+	stats := gw.statsFor(id)
+	be := &backend{id: id, addr: addr, inc: stats.incarnations.Add(1),
+		stats: stats, cl: cl, pr: pr,
 		sessions: make(map[*proxySession]struct{})}
 	// Ring entry and incarnation install must be one atomic step under
 	// gw.mu: nothing can eject the new incarnation before it is published
@@ -637,6 +684,16 @@ func (gw *Gateway) tryReadmit(id, addr string) bool {
 		pr.Close()
 		return true
 	}
+	if st := gw.states[id]; st != StateRecovering {
+		// RemoveBackend decommissioned the ID (or membership changed under
+		// us) while the re-dial was in flight; drop the fresh connections
+		// and end the loop.
+		gw.mu.Unlock()
+		cl.Close()
+		pr.Close()
+		return true
+	}
+	delete(gw.recoverCancel, id)
 	if err := gw.ring.Add(id); err != nil {
 		// Unreachable: the ID left the ring when its last incarnation was
 		// ejected, and only one recovery loop per ID runs. Fail safe by
@@ -664,18 +721,27 @@ func (gw *Gateway) tryReadmit(id, addr string) bool {
 // unhealthy).
 func (gw *Gateway) Metrics() serve.Metrics {
 	gw.mu.Lock()
+	order := append([]string(nil), gw.order...)
 	byID := make(map[string]*backend, len(gw.backends))
 	states := make(map[string]BackendState, len(gw.states))
+	byStats := make(map[string]*backendStats, len(gw.stats))
+	addrs := make(map[string]string, len(gw.addrs))
 	for id, be := range gw.backends {
 		byID[id] = be
 	}
 	for id, st := range gw.states {
 		states[id] = st
 	}
+	for id, st := range gw.stats {
+		byStats[id] = st
+	}
+	for id, a := range gw.addrs {
+		addrs[id] = a
+	}
 	gw.mu.Unlock()
 	var out serve.Metrics
-	for _, id := range gw.order {
-		be, st, stats := byID[id], states[id], gw.stats[id]
+	for _, id := range order {
+		be, st, stats := byID[id], states[id], byStats[id]
 		healthy := st == StateLive && be != nil && !be.isEjected()
 		if healthy {
 			if m, err := gw.fetchMetrics(be); err == nil {
@@ -698,7 +764,7 @@ func (gw *Gateway) Metrics() serve.Metrics {
 		}
 		out.Backends = append(out.Backends, serve.BackendMetrics{
 			ID:           id,
-			Addr:         gw.addrs[id],
+			Addr:         addrs[id],
 			Healthy:      healthy,
 			State:        string(st),
 			Sessions:     proxied,
@@ -788,6 +854,12 @@ type proxySession struct {
 	lost           atomic.Uint64 // tuples charged to dead incarnations
 	backendDropped atomic.Uint64 // current incarnation's reported drops
 	gen            atomic.Uint64 // incarnation generation; bumped on re-home
+
+	// beStats shadows ps.be's per-ID stats block for the relay goroutine,
+	// which attributes detection counts without holding ps.mu (a re-home
+	// or migration may be rebinding ps.be concurrently). Updated at every
+	// owner change, always under ps.mu.
+	beStats atomic.Pointer[backendStats]
 
 	pmu        sync.Mutex
 	pending    []anduin.Detection
@@ -960,6 +1032,7 @@ func (fc *frontConn) handleAttach(payload []byte) error {
 		}
 		ps.mu.Lock()
 		ps.be, ps.rs = be, rs
+		ps.beStats.Store(be.stats)
 		ps.fields = rs.Fields()
 		ps.mu.Unlock()
 		be.addSession(ps)
@@ -1238,7 +1311,7 @@ func (fc *frontConn) relayDetectionsLocked(ps *proxySession) error {
 				return err
 			}
 			ps.detSent.Add(uint64(n))
-			ps.be.stats.detections.Add(uint64(n))
+			ps.beStats.Load().detections.Add(uint64(n))
 			pending = pending[n:]
 		}
 	}

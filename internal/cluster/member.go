@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"fmt"
+
+	"gesturecep/internal/obs"
+)
+
+// AddBackend admits a new fleet member at runtime: dial its data and probe
+// connections, install the incarnation and enter it on the ring. The
+// bounded-load placement then steers new sessions toward the fresh, empty
+// backend (ceil(c × avg) caps everyone else) — a gradual re-balance, no
+// forced movement. Re-using the ID of a drained or terminally-ejected
+// member re-admits it (the rolling-restart cycle: drain → deploy →
+// AddBackend); a live, draining or recovering ID is refused.
+func (gw *Gateway) AddBackend(id, addr string) error {
+	if id == "" || addr == "" {
+		return fmt.Errorf("cluster: backend needs both an id and an address")
+	}
+	gw.memberMu.Lock()
+	defer gw.memberMu.Unlock()
+	gw.mu.Lock()
+	if gw.closed {
+		gw.mu.Unlock()
+		return fmt.Errorf("cluster: gateway closed")
+	}
+	if st, ok := gw.states[id]; ok {
+		switch st {
+		case StateDrained, StateEjected:
+			// Off the ring with no incarnation: free to re-admit.
+		default:
+			gw.mu.Unlock()
+			return fmt.Errorf("cluster: backend %s is already a member (state %s)", id, st)
+		}
+	}
+	gw.mu.Unlock()
+	be, err := gw.dialBackend(id, addr)
+	if err != nil {
+		return err
+	}
+	gw.mu.Lock()
+	if gw.closed {
+		gw.mu.Unlock()
+		be.cl.Close()
+		be.pr.Close()
+		return fmt.Errorf("cluster: gateway closed")
+	}
+	if err := gw.ring.Add(id); err != nil {
+		gw.mu.Unlock()
+		be.cl.Close()
+		be.pr.Close()
+		return err
+	}
+	if _, known := gw.states[id]; !known {
+		gw.order = append(gw.order, id)
+	}
+	gw.addrs[id] = addr
+	gw.backends[id] = be
+	gw.states[id] = StateLive
+	gw.mu.Unlock()
+	gw.log.Info("backend added",
+		obs.F("backend", id), obs.F("addr", addr), obs.F("incarnation", be.inc),
+		obs.F("state", string(StateLive)))
+	return nil
+}
+
+// Drain gracefully retires a live backend: it leaves the ring first (no new
+// placements), then every session it carries is live-migrated onto the rest
+// of the fleet — full NFA state, zero tuple loss, detections byte-identical
+// to a run that never moved — and only then are its connections dropped.
+// The drained member stays configured: AddBackend re-admits it, or
+// RemoveBackend forgets it. On a migration failure (typically no remaining
+// capacity) the drain reverts: the backend returns to the ring live, the
+// already-moved sessions stay validly placed on their targets, and the
+// error reports the first session that could not move. Returns the number
+// of sessions migrated.
+func (gw *Gateway) Drain(id string) (moved int, err error) {
+	gw.memberMu.Lock()
+	defer gw.memberMu.Unlock()
+	gw.mu.Lock()
+	if gw.closed {
+		gw.mu.Unlock()
+		return 0, fmt.Errorf("cluster: gateway closed")
+	}
+	be := gw.backends[id]
+	if be == nil || gw.states[id] != StateLive {
+		st, ok := gw.states[id]
+		gw.mu.Unlock()
+		if !ok {
+			return 0, fmt.Errorf("cluster: no backend %s", id)
+		}
+		return 0, fmt.Errorf("cluster: backend %s is not live (state %s)", id, st)
+	}
+	gw.states[id] = StateDraining
+	gw.drainWG.Add(1) // under gw.mu: Close sets closed before waiting, so no Add-after-Wait
+	gw.mu.Unlock()
+	defer gw.drainWG.Done()
+
+	gw.ring.Remove(id) // no new sessions land here while draining
+	gw.log.Info("backend draining",
+		obs.F("backend", id), obs.F("addr", be.addr), obs.F("incarnation", be.inc),
+		obs.F("state", string(StateDraining)))
+
+	// revert returns a drain that cannot complete to live service. The ring
+	// re-enters the ID with a reset load (exactly like a re-admission), so
+	// the bounded-load walk steers new placements toward it until the count
+	// catches up; the sessions it still carries never stopped serving — a
+	// failed drain loses nothing.
+	revert := func(cause error) (int, error) {
+		gw.mu.Lock()
+		if gw.backends[id] == be && gw.states[id] == StateDraining {
+			if rerr := gw.ring.Add(id); rerr == nil {
+				gw.states[id] = StateLive
+			}
+		}
+		gw.mu.Unlock()
+		gw.log.Warn("backend drain reverted",
+			obs.F("backend", id), obs.F("incarnation", be.inc),
+			obs.F("sessions_moved", moved), obs.F("err", cause.Error()))
+		return moved, cause
+	}
+
+	for {
+		select {
+		case <-gw.quit:
+			return revert(fmt.Errorf("cluster: drain of %s aborted by shutdown", id))
+		default:
+		}
+		be.mu.Lock()
+		var ps *proxySession
+		for s := range be.sessions {
+			ps = s
+			break
+		}
+		be.mu.Unlock()
+		if ps == nil {
+			break
+		}
+		ps.mu.Lock()
+		if ps.be != be || ps.detached || ps.rehomeErr != nil {
+			// The session moved or ended between the snapshot and the lock;
+			// make sure it leaves the set so the sweep terminates.
+			ps.mu.Unlock()
+			be.dropSession(ps)
+			continue
+		}
+		merr := gw.migrateLocked(ps)
+		ps.mu.Unlock()
+		if merr != nil {
+			if be.isEjected() {
+				// The source died mid-drain: eject re-homed the survivors
+				// (lossily, with explicit accounting) and retired the
+				// incarnation; there is nothing left to drain or revert.
+				return moved, fmt.Errorf("cluster: backend %s died while draining: %w", id, merr)
+			}
+			return revert(fmt.Errorf("cluster: drain %s: session %q: %w", id, ps.id, merr))
+		}
+		moved++
+	}
+
+	// Finalize: retire the drained incarnation. A concurrent ejection (a
+	// probe or data-path failure mid-drain) wins the race — it already
+	// re-homed whatever was left and moved the state machine on.
+	gw.mu.Lock()
+	if gw.backends[id] != be || gw.states[id] != StateDraining {
+		st := gw.states[id]
+		gw.mu.Unlock()
+		return moved, fmt.Errorf("cluster: backend %s was ejected mid-drain (state %s)", id, st)
+	}
+	gw.backends[id] = nil
+	gw.states[id] = StateDrained
+	gw.mu.Unlock()
+	// Mark the incarnation ejected so any straggling reference (a stale
+	// probe verdict, a late data-path error) finds eject a no-op, then drop
+	// the connections — the backend carries no sessions anymore.
+	be.mu.Lock()
+	be.ejected = true
+	be.mu.Unlock()
+	be.cl.Close()
+	be.pr.Close()
+	gw.log.Info("backend drained",
+		obs.F("backend", id), obs.F("addr", be.addr), obs.F("incarnation", be.inc),
+		obs.F("state", string(StateDrained)), obs.F("sessions", moved))
+	return moved, nil
+}
+
+// RemoveBackend forgets a member that is out of the serving path — drained,
+// terminally ejected, or still recovering (its re-dial loop is cancelled).
+// A live or draining backend must be drained first; removal never moves
+// sessions.
+func (gw *Gateway) RemoveBackend(id string) error {
+	gw.memberMu.Lock()
+	defer gw.memberMu.Unlock()
+	gw.mu.Lock()
+	if gw.closed {
+		gw.mu.Unlock()
+		return fmt.Errorf("cluster: gateway closed")
+	}
+	st, ok := gw.states[id]
+	if !ok {
+		gw.mu.Unlock()
+		return fmt.Errorf("cluster: no backend %s", id)
+	}
+	switch st {
+	case StateDrained, StateEjected, StateRecovering:
+	default:
+		gw.mu.Unlock()
+		return fmt.Errorf("cluster: backend %s is %s; drain it before removing", id, st)
+	}
+	if ch, running := gw.recoverCancel[id]; running {
+		close(ch)
+		delete(gw.recoverCancel, id)
+	}
+	delete(gw.states, id)
+	delete(gw.backends, id)
+	delete(gw.addrs, id)
+	delete(gw.stats, id)
+	for i, oid := range gw.order {
+		if oid == id {
+			gw.order = append(gw.order[:i], gw.order[i+1:]...)
+			break
+		}
+	}
+	gw.mu.Unlock()
+	gw.log.Info("backend removed",
+		obs.F("backend", id), obs.F("state", string(st)))
+	return nil
+}
+
+// BackendInfo is one row of the admin plane's read-only /backends listing.
+type BackendInfo struct {
+	ID          string       `json:"id"`
+	Addr        string       `json:"addr"`
+	State       BackendState `json:"state"`
+	Incarnation uint64       `json:"incarnation"`
+	RingLoad    int          `json:"ring_load"`
+	Sessions    int          `json:"sessions"`
+}
+
+// BackendsInfo snapshots the fleet membership: one row per configured
+// member in admission order, with its lifecycle state, current incarnation
+// ordinal, ring load and proxied session count.
+func (gw *Gateway) BackendsInfo() []BackendInfo {
+	gw.mu.Lock()
+	order := append([]string(nil), gw.order...)
+	states := make(map[string]BackendState, len(gw.states))
+	addrs := make(map[string]string, len(gw.addrs))
+	byID := make(map[string]*backend, len(gw.backends))
+	stats := make(map[string]*backendStats, len(gw.stats))
+	for id, st := range gw.states {
+		states[id] = st
+	}
+	for id, a := range gw.addrs {
+		addrs[id] = a
+	}
+	for id, be := range gw.backends {
+		byID[id] = be
+	}
+	for id, st := range gw.stats {
+		stats[id] = st
+	}
+	gw.mu.Unlock()
+	out := make([]BackendInfo, 0, len(order))
+	for _, id := range order {
+		info := BackendInfo{
+			ID:       id,
+			Addr:     addrs[id],
+			State:    states[id],
+			RingLoad: gw.ring.Load(id),
+		}
+		if st := stats[id]; st != nil {
+			info.Incarnation = st.incarnations.Load()
+		}
+		if be := byID[id]; be != nil {
+			be.mu.Lock()
+			info.Sessions = len(be.sessions)
+			be.mu.Unlock()
+		}
+		out = append(out, info)
+	}
+	return out
+}

@@ -36,14 +36,29 @@ func (gw *Gateway) Ready() error {
 // first — the admin plane's /events source.
 func (gw *Gateway) Events(n int) []obs.Event { return gw.log.Recent(n) }
 
+// members snapshots the member list and per-ID counter blocks under gw.mu —
+// membership is mutable at runtime (AddBackend/RemoveBackend), so readers
+// may no longer walk gw.order lock-free.
+func (gw *Gateway) members() (order []string, stats map[string]*backendStats) {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	order = append([]string(nil), gw.order...)
+	stats = make(map[string]*backendStats, len(gw.stats))
+	for id, st := range gw.stats {
+		stats[id] = st
+	}
+	return order, stats
+}
+
 // WriteProm writes the gateway's full Prometheus exposition: the aggregated
 // fleet metrics (which include the per-backend proxy counters) plus the
 // gateway-only series — per-backend forward-latency and probe-RTT histograms,
-// incarnation counts, and ring load.
+// incarnation counts, ring load, and the migration plane's counters.
 func (gw *Gateway) WriteProm(w *obs.PromWriter) {
 	gw.Metrics().WriteProm(w)
-	for _, id := range gw.order {
-		stats := gw.stats[id]
+	order, byID := gw.members()
+	for _, id := range order {
+		stats := byID[id]
 		l := obs.L("backend", id)
 		w.Histogram("cluster_backend_forward_seconds",
 			"ProxyBatch forward latency of trace-sampled batches.", l, stats.forward.Snapshot())
@@ -59,14 +74,39 @@ func (gw *Gateway) WriteProm(w *obs.PromWriter) {
 	w.Gauge("cluster_backends_live", "Backends currently on the ring.", nil, float64(live))
 	w.Gauge("cluster_backends_total", "Configured backends.", nil, float64(total))
 	w.Counter("cluster_events_total", "Structured lifecycle events retained since start.", nil, gw.log.Total())
+	w.Counter("cluster_migrations_total", "Completed live session migrations.", nil, gw.migrations.Load())
+	w.Counter("cluster_migrations_failed_total", "Session migrations that failed or fell back to lossy re-home.", nil, gw.migrationsFailed.Load())
+	w.Counter("cluster_migrated_tuples_total", "Tuples replayed into migration targets.", nil, gw.migratedTuples.Load())
+	w.Histogram("cluster_migration_seconds", "Per-session live migration duration.", nil, gw.migrateDur.Snapshot())
 }
 
 // ForwardStats summarizes the per-backend stage histograms for the JSON
 // metrics plane, keyed by backend ID.
 func (gw *Gateway) ForwardStats() map[string]obs.HistStats {
-	out := make(map[string]obs.HistStats, len(gw.order))
-	for _, id := range gw.order {
-		out[id] = gw.stats[id].forward.Snapshot().Stats()
+	order, byID := gw.members()
+	out := make(map[string]obs.HistStats, len(order))
+	for _, id := range order {
+		out[id] = byID[id].forward.Snapshot().Stats()
 	}
 	return out
+}
+
+// MigrationStats is the migration plane's counter snapshot: how many
+// sessions moved, how many moves failed, how many tuples were replayed into
+// targets, and the per-move duration distribution.
+type MigrationStats struct {
+	Migrations uint64        `json:"migrations"`
+	Failed     uint64        `json:"failed"`
+	Tuples     uint64        `json:"tuples"`
+	Duration   obs.HistStats `json:"duration"`
+}
+
+// MigrationStats snapshots the migration counters.
+func (gw *Gateway) MigrationStats() MigrationStats {
+	return MigrationStats{
+		Migrations: gw.migrations.Load(),
+		Failed:     gw.migrationsFailed.Load(),
+		Tuples:     gw.migratedTuples.Load(),
+		Duration:   gw.migrateDur.Snapshot().Stats(),
+	}
 }

@@ -20,6 +20,11 @@ type SpawnOptions struct {
 	// invoked again on Restart, so a hook backed by mutable state (e.g. a
 	// fresh archive per incarnation) picks up the restarted backend.
 	TapSessions func(backendID string) func(sessionID string) (func(stream.Tuple), func(bool), error)
+	// MigrateSource, when non-nil, builds each backend's migration history
+	// hook (see wire.Server.MigrateSource) with the backend ID bound — the
+	// recording counterpart that makes the fleet's sessions live-migratable.
+	// Like TapSessions it is re-invoked on Restart.
+	MigrateSource func(backendID string) func(sessionID string) (wire.HistoryReader, uint64, error)
 }
 
 // spawned is one in-process backend: its own session manager and wire
@@ -67,6 +72,9 @@ func Spawn(n int, reg *serve.Registry, opts SpawnOptions) (*Spawner, error) {
 		srv.Name = id
 		if opts.TapSessions != nil {
 			srv.TapSessions = opts.TapSessions(id)
+		}
+		if opts.MigrateSource != nil {
+			srv.MigrateSource = opts.MigrateSource(id)
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -144,6 +152,9 @@ func (sp *Spawner) Restart(i int) error {
 	srv.Name = b.id
 	if sp.opts.TapSessions != nil {
 		srv.TapSessions = sp.opts.TapSessions(b.id)
+	}
+	if sp.opts.MigrateSource != nil {
+		srv.MigrateSource = sp.opts.MigrateSource(b.id)
 	}
 	ln, err := net.Listen("tcp", b.addr)
 	if err != nil {

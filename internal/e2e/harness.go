@@ -1,6 +1,7 @@
 package e2e
 
 import (
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -103,6 +104,27 @@ func Start(t testing.TB, opts Options) *Harness {
 						arch.Release(rec)
 					}
 				}, nil
+			}
+		}
+		// With a recording archive per backend, every session is also
+		// live-migratable: the migration history source syncs the session's
+		// recorder (draining the tap backlog to disk) and reads its stream
+		// back — the replay a drain streams into the target.
+		spawnOpts.MigrateSource = func(backendID string) func(string) (wire.HistoryReader, uint64, error) {
+			arch := archiveOf[backendID]
+			return func(sessionID string) (wire.HistoryReader, uint64, error) {
+				rec, ok := arch.LiveRecorder(sessionID)
+				if !ok {
+					return nil, 0, fmt.Errorf("e2e: no live recording for session %q on %s", sessionID, backendID)
+				}
+				if err := rec.Sync(); err != nil {
+					return nil, 0, err
+				}
+				r, err := store.OpenReader(arch.Root(), rec.Stream())
+				if err != nil {
+					return nil, 0, err
+				}
+				return r, rec.Recorded(), nil
 			}
 		}
 		// Backend IDs are assigned by Spawn in order; pre-bind them.

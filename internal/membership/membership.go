@@ -1,0 +1,292 @@
+// Package membership is the gateway's runtime fleet controller: the one
+// place that admits membership changes — AddBackend, Drain, RemoveBackend —
+// applies them through the cluster gateway one at a time, and keeps the
+// auditable trail (what moved, when, how long, with what outcome) that the
+// admin plane serves over HTTP.
+//
+// The controller adds policy and bookkeeping on top of the gateway's
+// mechanics:
+//
+//   - serialization — operations run one at a time (the gateway also
+//     serializes internally, but the controller's queue keeps the records
+//     and counters consistent with the order operations actually applied);
+//   - records — a bounded history of operations with durations, session
+//     counts and errors, served as JSON at /migrations;
+//   - HTTP plane — POST /backends/add, /backends/drain, /backends/remove
+//     and the read-only GET /backends and GET /migrations, designed to hang
+//     off the obs admin server via AdminConfig.Routes.
+//
+// The rolling-restart cycle is three controller calls per backend:
+// Drain(id) live-migrates its sessions away (byte-identical state, zero
+// loss), the operator redeploys the process, AddBackend(id, addr) returns
+// it to the ring where the bounded-load placement refills it gradually.
+package membership
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gesturecep/internal/cluster"
+	"gesturecep/internal/obs"
+)
+
+// DefaultHistory is the number of operation records retained.
+const DefaultHistory = 128
+
+// Record is one applied (or refused) membership operation.
+type Record struct {
+	Seq      uint64        `json:"seq"`
+	Op       string        `json:"op"` // "add" | "drain" | "remove"
+	Backend  string        `json:"backend"`
+	Addr     string        `json:"addr,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	// Sessions is the number of sessions live-migrated (drain only).
+	Sessions int    `json:"sessions_moved"`
+	Err      string `json:"err,omitempty"`
+}
+
+// Controller owns a gateway's membership plane. Safe for concurrent use;
+// operations serialize on an internal queue.
+type Controller struct {
+	gw  *cluster.Gateway
+	log *obs.Logger
+
+	// opMu is the operation queue: one membership change applies at a time,
+	// so the record trail reflects the true apply order. mu guards only the
+	// record ring and stays uncontended by long-running drains.
+	opMu sync.Mutex
+
+	mu      sync.Mutex
+	closed  bool
+	seq     uint64
+	records []Record // bounded ring, oldest first
+	history int
+
+	adds, drains, removes, failures atomic.Uint64
+	sessionsMoved                   atomic.Uint64
+}
+
+// New builds a controller over gw. log may be nil (operations are then
+// only visible through the gateway's own event log and the record trail).
+// history <= 0 selects DefaultHistory.
+func New(gw *cluster.Gateway, log *obs.Logger, history int) *Controller {
+	if history <= 0 {
+		history = DefaultHistory
+	}
+	return &Controller{gw: gw, log: log, history: history}
+}
+
+// Close refuses further operations. It does not interrupt one already
+// applying — cluster.Gateway.Close does that (its shutdown aborts in-flight
+// drains and waits them out).
+func (c *Controller) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+}
+
+// AddBackend admits a backend at runtime (see cluster.Gateway.AddBackend).
+func (c *Controller) AddBackend(id, addr string) Record {
+	return c.apply("add", id, addr, func() (int, error) {
+		return 0, c.gw.AddBackend(id, addr)
+	})
+}
+
+// Drain live-migrates every session off a backend and retires it from the
+// serving path (see cluster.Gateway.Drain).
+func (c *Controller) Drain(id string) Record {
+	return c.apply("drain", id, "", func() (int, error) {
+		return c.gw.Drain(id)
+	})
+}
+
+// Remove forgets a drained, ejected or recovering backend (see
+// cluster.Gateway.RemoveBackend).
+func (c *Controller) Remove(id string) Record {
+	return c.apply("remove", id, "", func() (int, error) {
+		return 0, c.gw.RemoveBackend(id)
+	})
+}
+
+func (c *Controller) apply(op, id, addr string, fn func() (int, error)) Record {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	rec := Record{Op: op, Backend: id, Addr: addr, Start: time.Now()}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	var moved int
+	var err error
+	if closed {
+		err = fmt.Errorf("membership: controller closed")
+	} else {
+		moved, err = fn()
+	}
+	rec.Duration = time.Since(rec.Start)
+	rec.Sessions = moved
+	if err != nil {
+		rec.Err = err.Error()
+		c.failures.Add(1)
+	} else {
+		switch op {
+		case "add":
+			c.adds.Add(1)
+		case "drain":
+			c.drains.Add(1)
+			c.sessionsMoved.Add(uint64(moved))
+		case "remove":
+			c.removes.Add(1)
+		}
+	}
+	if c.log != nil {
+		fields := []obs.Field{obs.F("op", op), obs.F("backend", id),
+			obs.F("sessions", moved), obs.F("duration", rec.Duration.String())}
+		if err != nil {
+			c.log.Error("membership operation failed", append(fields, obs.F("err", err.Error()))...)
+		} else {
+			c.log.Info("membership operation applied", fields...)
+		}
+	}
+	c.mu.Lock()
+	c.seq++
+	rec.Seq = c.seq
+	c.records = append(c.records, rec)
+	if len(c.records) > c.history {
+		c.records = c.records[len(c.records)-c.history:]
+	}
+	c.mu.Unlock()
+	return rec
+}
+
+// Records returns a copy of the retained operation records, oldest first.
+func (c *Controller) Records() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Record(nil), c.records...)
+}
+
+// Counters is the controller's lifetime tally.
+type Counters struct {
+	Adds          uint64 `json:"adds"`
+	Drains        uint64 `json:"drains"`
+	Removes       uint64 `json:"removes"`
+	Failures      uint64 `json:"failures"`
+	SessionsMoved uint64 `json:"sessions_moved"`
+}
+
+// Counters snapshots the lifetime operation tally.
+func (c *Controller) Counters() Counters {
+	return Counters{
+		Adds:          c.adds.Load(),
+		Drains:        c.drains.Load(),
+		Removes:       c.removes.Load(),
+		Failures:      c.failures.Load(),
+		SessionsMoved: c.sessionsMoved.Load(),
+	}
+}
+
+// Routes returns the membership plane's HTTP endpoints, shaped for
+// obs.AdminConfig.Routes:
+//
+//	GET  /backends         — fleet membership (id, addr, state, incarnation,
+//	                         ring load, session count)
+//	POST /backends/add     — {"id": ..., "addr": ...}
+//	POST /backends/drain   — {"id": ...}
+//	POST /backends/remove  — {"id": ...}
+//	GET  /migrations       — operation records, controller counters and the
+//	                         gateway's migration stats
+func (c *Controller) Routes() map[string]http.HandlerFunc {
+	return map[string]http.HandlerFunc{
+		"/backends":        c.handleBackends,
+		"/backends/add":    c.handleOp("add"),
+		"/backends/drain":  c.handleOp("drain"),
+		"/backends/remove": c.handleOp("remove"),
+		"/migrations":      c.handleMigrations,
+	}
+}
+
+func (c *Controller) handleBackends(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.gw.BackendsInfo())
+}
+
+// opRequest is the body of every membership POST.
+type opRequest struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr,omitempty"`
+}
+
+func (c *Controller) handleOp(op string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req opRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+			return
+		}
+		if req.ID == "" {
+			http.Error(w, `"id" is required`, http.StatusBadRequest)
+			return
+		}
+		var rec Record
+		switch op {
+		case "add":
+			if req.Addr == "" {
+				http.Error(w, `"addr" is required`, http.StatusBadRequest)
+				return
+			}
+			rec = c.AddBackend(req.ID, req.Addr)
+		case "drain":
+			rec = c.Drain(req.ID)
+		case "remove":
+			rec = c.Remove(req.ID)
+		}
+		status := http.StatusOK
+		if rec.Err != "" {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, rec)
+	}
+}
+
+// migrationsReply is the GET /migrations payload.
+type migrationsReply struct {
+	Records   []Record               `json:"records"`
+	Counters  Counters               `json:"counters"`
+	Migration cluster.MigrationStats `json:"migration"`
+}
+
+func (c *Controller) handleMigrations(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	records := c.Records()
+	if records == nil {
+		records = []Record{}
+	}
+	writeJSON(w, http.StatusOK, migrationsReply{
+		Records:   records,
+		Counters:  c.Counters(),
+		Migration: c.gw.MigrationStats(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,302 @@
+package membership_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"gesturecep/internal/cluster"
+	"gesturecep/internal/e2e"
+	"gesturecep/internal/kinect"
+	"gesturecep/internal/membership"
+	"gesturecep/internal/obs"
+	"gesturecep/internal/serve"
+	"gesturecep/internal/wire"
+)
+
+// TestControllerHTTPRollingRestart drives the full rolling-restart cycle the
+// way an operator would — entirely over the admin plane's HTTP endpoints:
+// read /backends to pick a victim, POST /backends/drain, POST /backends/add
+// to re-admit it, and audit the whole story through /migrations. Refusals
+// (draining the last backend, removing a live one, bad bodies, wrong
+// methods, a closed controller) must map onto the right status codes.
+func TestControllerHTTPRollingRestart(t *testing.T) {
+	tuples := kinect.ToTuples(e2e.PlaybackFrames(t, 7))
+	h := e2e.Start(t, e2e.Options{
+		Backends:      2,
+		Gateway:       true,
+		Serve:         serve.Config{Shards: 1, QueueDepth: 128},
+		Record:        true,
+		ProbeInterval: -1,
+	})
+	gw := h.Gateway
+	ctrl := membership.New(gw, gw.Log(), 0)
+	admin, err := obs.StartAdmin("127.0.0.1:0", obs.AdminConfig{Routes: ctrl.Routes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+
+	get := func(path string, out any) int {
+		t.Helper()
+		resp, err := http.Get("http://" + admin.Addr().String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if out != nil {
+			if err := json.Unmarshal(body, out); err != nil {
+				t.Fatalf("GET %s: %v in %q", path, err, body)
+			}
+		}
+		return resp.StatusCode
+	}
+	post := func(path, body string, out any) int {
+		t.Helper()
+		resp, err := http.Post("http://"+admin.Addr().String()+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if out != nil {
+			if err := json.Unmarshal(b, out); err != nil {
+				t.Fatalf("POST %s: %v in %q", path, err, b)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	// Live sessions make the drain a real migration, not a no-op retire.
+	cl := h.Dial()
+	const sessions = 6
+	rss := make([]*wire.RemoteSession, sessions)
+	for i := range rss {
+		rs, err := cl.Attach(fmt.Sprintf("op-%02d", i), wire.AttachOptions{BatchSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rss[i] = rs
+		for _, tp := range tuples[:len(tuples)/2] {
+			if err := rs.FeedTuple(tp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := rs.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The operator's first look: /backends lists the whole fleet live, with
+	// the sessions spread across it.
+	var fleet []cluster.BackendInfo
+	if code := get("/backends", &fleet); code != 200 {
+		t.Fatalf("GET /backends = %d, want 200", code)
+	}
+	if len(fleet) != 2 {
+		t.Fatalf("/backends lists %d rows, want 2", len(fleet))
+	}
+	total := 0
+	victim := ""
+	victimAddr := ""
+	for _, row := range fleet {
+		if row.State != cluster.StateLive {
+			t.Errorf("backend %s state = %q, want live", row.ID, row.State)
+		}
+		if row.Sessions != row.RingLoad {
+			t.Errorf("backend %s sessions=%d ring_load=%d, want equal", row.ID, row.Sessions, row.RingLoad)
+		}
+		total += row.Sessions
+		if row.Sessions > 0 && victim == "" {
+			victim, victimAddr = row.ID, row.Addr
+		}
+	}
+	if total != sessions {
+		t.Errorf("/backends accounts for %d sessions, want %d", total, sessions)
+	}
+	if victim == "" {
+		t.Fatal("no backend carries a session")
+	}
+
+	// Drain the victim over HTTP; the record must carry the moved count.
+	var rec membership.Record
+	if code := post("/backends/drain", `{"id":"`+victim+`"}`, &rec); code != 200 {
+		t.Fatalf("POST /backends/drain = %d, want 200 (%+v)", code, rec)
+	}
+	if rec.Op != "drain" || rec.Backend != victim || rec.Sessions == 0 || rec.Err != "" {
+		t.Errorf("drain record = %+v, want a clean drain of %s with sessions moved", rec, victim)
+	}
+	movedFirst := rec.Sessions
+
+	// Draining the survivor must refuse — its sessions have nowhere to go —
+	// and surface as 409 with the error in the record.
+	survivor := fleet[0].ID
+	if survivor == victim {
+		survivor = fleet[1].ID
+	}
+	if code := post("/backends/drain", `{"id":"`+survivor+`"}`, &rec); code != 409 {
+		t.Fatalf("draining the last backend = %d, want 409 (%+v)", code, rec)
+	}
+	if rec.Err == "" || rec.Sessions != 0 {
+		t.Errorf("refused drain record = %+v, want an error and no sessions moved", rec)
+	}
+
+	// /backends now shows the drained/survivor split.
+	if get("/backends", &fleet); len(fleet) != 2 {
+		t.Fatalf("/backends lists %d rows, want 2", len(fleet))
+	}
+	for _, row := range fleet {
+		switch row.ID {
+		case victim:
+			if row.State != cluster.StateDrained || row.Sessions != 0 || row.RingLoad != 0 {
+				t.Errorf("drained row = %+v, want state=drained sessions=0 ring_load=0", row)
+			}
+		default:
+			if row.State != cluster.StateLive || row.Sessions != sessions {
+				t.Errorf("survivor row = %+v, want live with all %d sessions", row, sessions)
+			}
+		}
+	}
+
+	// Removing the live survivor must refuse; removing the drained victim is
+	// legal but would forget its address — re-add it instead (the redeploy
+	// leg of the rolling restart) and then drain the survivor through it.
+	if code := post("/backends/remove", `{"id":"`+survivor+`"}`, &rec); code != 409 {
+		t.Fatalf("removing a live backend = %d, want 409 (%+v)", code, rec)
+	}
+	rec = membership.Record{} // "err" is omitempty: clear the refusal before decoding a success
+	if code := post("/backends/add", `{"id":"`+victim+`","addr":"`+victimAddr+`"}`, &rec); code != 200 || rec.Err != "" {
+		t.Fatalf("re-adding the drained backend = %d (%+v), want 200", code, rec)
+	}
+	if code := post("/backends/drain", `{"id":"`+survivor+`"}`, &rec); code != 200 || rec.Sessions != sessions || rec.Err != "" {
+		t.Fatalf("draining the survivor = %d (%+v), want 200 with all %d sessions moved", code, rec, sessions)
+	}
+	if code := post("/backends/remove", `{"id":"`+survivor+`"}`, &rec); code != 200 || rec.Err != "" {
+		t.Fatalf("removing the drained survivor = %d (%+v), want 200", code, rec)
+	}
+	if get("/backends", &fleet); len(fleet) != 1 || fleet[0].ID != victim {
+		t.Fatalf("/backends after remove lists %+v, want only %s", fleet, victim)
+	}
+
+	// The sessions survived two migrations; finish the stream and verify the
+	// wire contract held end to end.
+	for i, rs := range rss {
+		for _, tp := range tuples[len(tuples)/2:] {
+			if err := rs.FeedTuple(tp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c, err := rs.Detach()
+		if err != nil {
+			t.Fatalf("session %d detach: %v", i, err)
+		}
+		if c.In != uint64(len(tuples)) || c.Out != c.In || c.Dropped != 0 {
+			t.Errorf("session %d counters = %+v, want in=out=%d dropped=0", i, c, len(tuples))
+		}
+	}
+
+	// Input validation: bad JSON, a missing id, an add without addr, and
+	// wrong methods on every route.
+	if code := post("/backends/drain", `{`, nil); code != 400 {
+		t.Errorf("bad JSON body = %d, want 400", code)
+	}
+	if code := post("/backends/drain", `{}`, nil); code != 400 {
+		t.Errorf("missing id = %d, want 400", code)
+	}
+	if code := post("/backends/add", `{"id":"x"}`, nil); code != 400 {
+		t.Errorf("add without addr = %d, want 400", code)
+	}
+	if code := post("/backends", ``, nil); code != 405 {
+		t.Errorf("POST /backends = %d, want 405", code)
+	}
+	if code := post("/migrations", ``, nil); code != 405 {
+		t.Errorf("POST /migrations = %d, want 405", code)
+	}
+	if code := get("/backends/drain", nil); code != 405 {
+		t.Errorf("GET /backends/drain = %d, want 405", code)
+	}
+
+	// The audit trail: five records in apply order (drain, refused drain,
+	// refused remove, add, drain, remove), counters tallying exactly the
+	// outcomes above, and the gateway's migration stats riding along.
+	var mig struct {
+		Records  []membership.Record    `json:"records"`
+		Counters membership.Counters    `json:"counters"`
+		Stats    cluster.MigrationStats `json:"migration"`
+	}
+	if code := get("/migrations", &mig); code != 200 {
+		t.Fatalf("GET /migrations = %d, want 200", code)
+	}
+	want := membership.Counters{Adds: 1, Drains: 2, Removes: 1, Failures: 2,
+		SessionsMoved: uint64(movedFirst + sessions)}
+	if mig.Counters != want {
+		t.Errorf("counters = %+v, want %+v", mig.Counters, want)
+	}
+	if len(mig.Records) != 6 {
+		t.Errorf("/migrations holds %d records, want 6", len(mig.Records))
+	}
+	for i, r := range mig.Records {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d seq = %d, want %d", i, r.Seq, i+1)
+		}
+	}
+	// The refused last-backend drain attempted (and failed) one migration
+	// before reverting, so the gateway's ledger shows exactly one failure.
+	if mig.Stats.Migrations != uint64(movedFirst+sessions) || mig.Stats.Failed != 1 {
+		t.Errorf("migration stats = %+v, want %d completed migrations and 1 failed", mig.Stats, movedFirst+sessions)
+	}
+
+	// A closed controller refuses every operation as 409 but keeps serving
+	// the read-only endpoints.
+	ctrl.Close()
+	if code := post("/backends/drain", `{"id":"`+victim+`"}`, &rec); code != 409 {
+		t.Errorf("drain after Close = %d, want 409", code)
+	}
+	if !strings.Contains(rec.Err, "controller closed") {
+		t.Errorf("closed-controller record err = %q, want the closed refusal", rec.Err)
+	}
+	if code := get("/backends", &fleet); code != 200 {
+		t.Errorf("GET /backends after Close = %d, want 200", code)
+	}
+}
+
+// TestControllerHistoryBound pins the record ring: with history=2 only the
+// newest two records survive, while seq and counters keep the full tally.
+func TestControllerHistoryBound(t *testing.T) {
+	h := e2e.Start(t, e2e.Options{
+		Backends:      1,
+		Gateway:       true,
+		Serve:         serve.Config{Shards: 1},
+		ProbeInterval: -1,
+	})
+	ctrl := membership.New(h.Gateway, nil, 2)
+	for i := 0; i < 5; i++ {
+		if rec := ctrl.Drain("no-such-backend"); rec.Err == "" {
+			t.Fatal("draining an unknown backend succeeded")
+		}
+	}
+	recs := ctrl.Records()
+	if len(recs) != 2 {
+		t.Fatalf("history holds %d records, want 2", len(recs))
+	}
+	if recs[0].Seq != 4 || recs[1].Seq != 5 {
+		t.Errorf("retained seqs = %d, %d; want 4, 5", recs[0].Seq, recs[1].Seq)
+	}
+	if c := ctrl.Counters(); c.Failures != 5 {
+		t.Errorf("failures = %d, want 5", c.Failures)
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"seq"`, `"op"`, `"backend"`, `"duration_ns"`, `"sessions_moved"`, `"err"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("record JSON missing %s: %s", key, buf.String())
+		}
+	}
+}

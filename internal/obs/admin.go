@@ -32,6 +32,12 @@ type AdminConfig struct {
 	// Events returns the most recent structured log events, oldest first
 	// (the Logger.Recent contract); served as JSON at /events?n=.
 	Events func(n int) []Event
+	// Routes adds process-specific endpoints to the admin mux (path →
+	// handler) — e.g. a gateway's membership plane (/backends,
+	// /backends/drain, /migrations). Registered alongside the fixed
+	// endpoints; a route must not reuse one of their paths (the mux
+	// panics on a duplicate pattern).
+	Routes map[string]http.HandlerFunc
 }
 
 // AdminServer is the HTTP observability plane of one process: /metrics
@@ -65,6 +71,9 @@ func StartAdmin(addr string, cfg AdminConfig) (*AdminServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for path, h := range cfg.Routes {
+		mux.HandleFunc(path, h)
+	}
 	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go a.srv.Serve(ln)
 	return a, nil

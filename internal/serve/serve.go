@@ -260,6 +260,9 @@ func (m *Manager) enqueueTraced(s *Session, t stream.Tuple, sentNs int64) error 
 	if s.closed.Load() {
 		return fmt.Errorf("serve: session %q is closed", s.id)
 	}
+	if s.sealed.Load() {
+		return fmt.Errorf("serve: session %q is sealed for migration", s.id)
+	}
 	if len(t.Fields) != s.raw.Schema().Len() {
 		return fmt.Errorf("serve: session %q: tuple has %d fields, schema expects %d",
 			s.id, len(t.Fields), s.raw.Schema().Len())

@@ -30,6 +30,16 @@ type Session struct {
 	tap func(stream.Tuple)
 
 	closed atomic.Bool
+	// sealed refuses further feeds without closing the session — the
+	// migration pause: a sealed session's admitted-tuple count is a stable
+	// cut ordinal until Unseal.
+	sealed atomic.Bool
+	// catchingUp marks a session replaying migrated history: detections it
+	// fires were already delivered by the previous owner, so push consumers
+	// mute them until EndCatchUp. catchUpTo is the cut ordinal the replay
+	// must reach exactly (set at creation, read-only afterwards).
+	catchingUp atomic.Bool
+	catchUpTo  uint64
 	// in counts tuples admitted to the shard queue; out counts tuples that
 	// left it (published or dropped). in == out means the session is idle.
 	in         atomic.Uint64
@@ -59,6 +69,12 @@ type SessionOptions struct {
 	// order, which is what makes recorded sessions replayable
 	// byte-for-byte.
 	Tap func(stream.Tuple)
+	// CatchUpTo > 0 creates the session at an ordinal: it is a migration
+	// target whose first CatchUpTo tuples are recorded history replayed to
+	// rebuild engine state. The session starts in catch-up mode (CatchingUp
+	// reports true; push consumers mute its detections) until EndCatchUp
+	// verifies exactly CatchUpTo tuples were admitted.
+	CatchUpTo uint64
 }
 
 // CreateSession builds a session, deploys the named plans (all registered
@@ -91,12 +107,16 @@ func (m *Manager) CreateSessionWith(id string, opts SessionOptions) (*Session, e
 		return nil, err
 	}
 	s := &Session{
-		id:     id,
-		mgr:    m,
-		shard:  m.shardFor(id),
-		engine: engine,
-		raw:    raw,
-		tap:    opts.Tap,
+		id:        id,
+		mgr:       m,
+		shard:     m.shardFor(id),
+		engine:    engine,
+		raw:       raw,
+		tap:       opts.Tap,
+		catchUpTo: opts.CatchUpTo,
+	}
+	if opts.CatchUpTo > 0 {
+		s.catchingUp.Store(true)
 	}
 	// The collector subscription is installed before any tuple can be fed,
 	// so no detection is ever missed.
@@ -215,6 +235,43 @@ func (s *Session) Flush() {
 	for s.out.Load() < s.in.Load() {
 		time.Sleep(50 * time.Microsecond)
 	}
+}
+
+// Seal refuses further feeds without closing the session. A sealed session's
+// admitted-tuple count is a stable migration cut ordinal: no tuple can slip
+// past it until Unseal. Sealing an already-sealed session is a no-op.
+func (s *Session) Seal() { s.sealed.Store(true) }
+
+// Unseal re-admits feeds after a Seal — the clean abort of a migration whose
+// target never materialized: the session resumes exactly where it paused,
+// having lost nothing.
+func (s *Session) Unseal() { s.sealed.Store(false) }
+
+// Sealed reports whether the session currently refuses feeds.
+func (s *Session) Sealed() bool { return s.sealed.Load() }
+
+// CatchingUp reports whether the session is still replaying migrated
+// history; its detections are replays of already-delivered ones while true.
+func (s *Session) CatchingUp() bool { return s.catchingUp.Load() }
+
+// CatchUpTarget returns the cut ordinal a catch-up session must reach (zero
+// for sessions created normally).
+func (s *Session) CatchUpTarget() uint64 { return s.catchUpTo }
+
+// EndCatchUp finishes catch-up mode: it verifies that exactly CatchUpTo
+// tuples were admitted — the cut-ordinal invariant; a mismatch means the
+// replayed history diverged from the source and the engine state cannot be
+// trusted — and re-enables detection delivery. The caller must Flush first
+// so no catch-up detection is still in flight when delivery resumes.
+func (s *Session) EndCatchUp() error {
+	if s.catchUpTo == 0 {
+		return fmt.Errorf("serve: session %q was not created at an ordinal", s.id)
+	}
+	if in := s.in.Load(); in != s.catchUpTo {
+		return fmt.Errorf("serve: session %q caught up to %d tuples, cut ordinal is %d", s.id, in, s.catchUpTo)
+	}
+	s.catchingUp.Store(false)
+	return nil
 }
 
 // Close detaches the session from the manager; queued tuples are skipped.

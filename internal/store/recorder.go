@@ -18,10 +18,11 @@ const DefaultRecorderBuffer = 4096
 // the disk falls behind, tuples are dropped from the recording (never from
 // detection) and counted. A single drain goroutine owns the Writer.
 type Recorder struct {
-	w    *Writer
-	ch   chan stream.Tuple
-	quit chan struct{}
-	done chan struct{}
+	w      *Writer
+	ch     chan stream.Tuple
+	syncCh chan chan error
+	quit   chan struct{}
+	done   chan struct{}
 
 	// tapMu makes Close a barrier for in-flight taps: taps hold the read
 	// side around the closed-check-then-send, Close flips closed under the
@@ -47,10 +48,11 @@ func NewRecorder(w *Writer, buffer int) *Recorder {
 		buffer = DefaultRecorderBuffer
 	}
 	r := &Recorder{
-		w:    w,
-		ch:   make(chan stream.Tuple, buffer),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
+		w:      w,
+		ch:     make(chan stream.Tuple, buffer),
+		syncCh: make(chan chan error),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
 	go r.drain()
 	return r
@@ -84,17 +86,47 @@ func (r *Recorder) drain() {
 		select {
 		case t := <-r.ch:
 			r.append(t)
+		case reply := <-r.syncCh:
+			// Serviced on this goroutine so the backlog sweep and the
+			// writer flush never race an append.
+			r.drainBacklog()
+			if err := r.Err(); err != nil {
+				reply <- err
+			} else {
+				reply <- r.w.Flush()
+			}
 		case <-r.quit:
 			// Drain whatever the taps managed to buffer before Close.
-			for {
-				select {
-				case t := <-r.ch:
-					r.append(t)
-				default:
-					return
-				}
-			}
+			r.drainBacklog()
+			return
 		}
+	}
+}
+
+// drainBacklog empties the tap buffer into the writer without blocking.
+func (r *Recorder) drainBacklog() {
+	for {
+		select {
+		case t := <-r.ch:
+			r.append(t)
+		default:
+			return
+		}
+	}
+}
+
+// Sync drains the tap backlog and flushes the writer, so that every tuple
+// tapped so far becomes visible to a store.Reader. Call it only once the
+// session feeding the tap is quiescent (sealed and flushed, as during a
+// migration) — with a producer still running there is no meaningful "all
+// tuples" to sync. Returns the first writer error, if any.
+func (r *Recorder) Sync() error {
+	reply := make(chan error, 1)
+	select {
+	case r.syncCh <- reply:
+		return <-reply
+	case <-r.done:
+		return fmt.Errorf("store: recorder for %q is closed", r.Stream())
 	}
 }
 
@@ -165,14 +197,21 @@ type Archive struct {
 	buffer int
 
 	mu     sync.Mutex
-	open   map[string]*Recorder // by stream name
+	open   map[string]*Recorder // by stream name (suffix included)
+	byName map[string]*Recorder // by originally requested session name
+	origOf map[string]string    // stream name -> originally requested name
 	closed bool
 }
 
 // NewArchive creates an archive rooted at dir; streams are created lazily
 // by Record. buffer <= 0 selects DefaultRecorderBuffer per recorder.
 func NewArchive(root string, opts Options, buffer int) *Archive {
-	return &Archive{root: root, opts: opts, buffer: buffer, open: make(map[string]*Recorder)}
+	return &Archive{
+		root: root, opts: opts, buffer: buffer,
+		open:   make(map[string]*Recorder),
+		byName: make(map[string]*Recorder),
+		origOf: make(map[string]string),
+	}
 }
 
 // Root returns the archive directory.
@@ -201,14 +240,39 @@ func (a *Archive) Record(name string, schema *stream.Schema) (*Recorder, error) 
 	}
 	rec := NewRecorder(w, a.buffer)
 	a.open[candidate] = rec
+	a.byName[name] = rec
+	a.origOf[candidate] = name
 	return rec, nil
+}
+
+// LiveRecorder returns the open recorder serving the given session name,
+// resolving any collision suffix the archive chose for the stream — the
+// lookup a migration uses to find a live session's recorded history. ok is
+// false when no recording is open for that session.
+func (a *Archive) LiveRecorder(name string) (*Recorder, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rec, ok := a.byName[name]
+	return rec, ok
+}
+
+// forget drops one recorder from every index. Callers hold a.mu.
+func (a *Archive) forget(rec *Recorder) {
+	name := rec.Stream()
+	delete(a.open, name)
+	if orig, ok := a.origOf[name]; ok {
+		delete(a.origOf, name)
+		if a.byName[orig] == rec {
+			delete(a.byName, orig)
+		}
+	}
 }
 
 // Release closes one recorder and forgets it. Called when its session
 // ends; Close handles any recorder not released by then.
 func (a *Archive) Release(rec *Recorder) error {
 	a.mu.Lock()
-	delete(a.open, rec.Stream())
+	a.forget(rec)
 	a.mu.Unlock()
 	return rec.Close()
 }
@@ -219,7 +283,7 @@ func (a *Archive) Release(rec *Recorder) error {
 // suffixes.
 func (a *Archive) Abort(rec *Recorder) error {
 	a.mu.Lock()
-	delete(a.open, rec.Stream())
+	a.forget(rec)
 	a.mu.Unlock()
 	closeErr := rec.Close()
 	if err := os.RemoveAll(rec.w.Dir()); err != nil {
@@ -253,6 +317,8 @@ func (a *Archive) Close() error {
 		recs = append(recs, rec)
 		delete(a.open, name)
 	}
+	a.byName = make(map[string]*Recorder)
+	a.origOf = make(map[string]string)
 	a.mu.Unlock()
 	var first error
 	for _, rec := range recs {

@@ -16,6 +16,12 @@ type ReplayOptions struct {
 	// the replay start, not the previous tuple, so sleep jitter does not
 	// accumulate.
 	Speed float64
+	// Offset skips the first Offset tuples of the recording before any is
+	// delivered to the sink. Together with Limit this gives ordinal-bounded
+	// replay [Offset, Offset+Limit) — the window a migration catch-up or a
+	// resumed backfill reads. Skipped tuples are not counted, paced or
+	// reported.
+	Offset uint64
 	// Limit stops the replay after this many tuples (0 = all).
 	Limit uint64
 	// Progress, when non-nil, is called once per replayed record with the
@@ -41,6 +47,7 @@ func Replay(r *Reader, sink func(stream.Tuple) error, opts ReplayOptions) (Repla
 	wallStart := time.Now()
 	var eventStart, eventLast time.Time
 	first := true
+	skip := opts.Offset
 	for {
 		tuples, err := r.Next()
 		if err == io.EOF {
@@ -49,6 +56,12 @@ func Replay(r *Reader, sink func(stream.Tuple) error, opts ReplayOptions) (Repla
 		if err != nil {
 			return stats, err
 		}
+		if skip >= uint64(len(tuples)) {
+			skip -= uint64(len(tuples))
+			continue
+		}
+		tuples = tuples[skip:]
+		skip = 0
 		for i := range tuples {
 			t := tuples[i]
 			if first {

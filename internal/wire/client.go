@@ -208,7 +208,8 @@ func (cl *Client) readLoop() {
 			if rs != nil {
 				rs.deliver(dropped, dets)
 			}
-		case FrameAttachOK, FrameFlushOK, FrameDetachOK, FrameMetricsOK, FramePong, FrameError:
+		case FrameAttachOK, FrameFlushOK, FrameDetachOK, FrameMetricsOK, FramePong,
+			FrameMigrateBeginOK, FrameMigrateStateOK, FrameMigrateCommitOK, FrameError:
 			payload := append([]byte(nil), f.Payload...)
 			cl.pmu.Lock()
 			var waiter chan controlResp
@@ -281,6 +282,53 @@ func (cl *Client) roundTrip(req FrameType, v any, wantReply FrameType, out any) 
 	}
 }
 
+// roundTripRaw is roundTrip for replies whose payload is not JSON: it
+// returns the raw reply bytes (already copied out of the read buffer by the
+// read loop) instead of unmarshalling them. FrameError replies still surface
+// as *ErrorReply.
+func (cl *Client) roundTripRaw(req FrameType, v any, wantReply FrameType) ([]byte, error) {
+	if cl.closed.Load() {
+		return nil, cl.closedErr()
+	}
+	ch := make(chan controlResp, 1)
+	if cl.co != nil {
+		payload, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.co.enqueue(req, payload, false, ch); err != nil {
+			return nil, err
+		}
+	} else {
+		cl.wmu.Lock()
+		cl.pmu.Lock()
+		cl.waiters = append(cl.waiters, ch)
+		cl.pmu.Unlock()
+		err := cl.w.WriteJSON(req, v)
+		cl.wmu.Unlock()
+		if err != nil {
+			return nil, cl.fail(err)
+		}
+	}
+	select {
+	case resp := <-ch:
+		switch resp.frameType {
+		case wantReply:
+			return resp.payload, nil
+		case FrameError:
+			var er ErrorReply
+			if err := unmarshalStrict(resp.payload, &er); err != nil {
+				return nil, err
+			}
+			return nil, &er
+		default:
+			return nil, cl.fail(fmt.Errorf("wire: got %s reply, want %s", resp.frameType, wantReply))
+		}
+	case <-cl.done:
+		return nil, cl.closedErr()
+	}
+}
+
 func (cl *Client) closedErr() error {
 	if err := cl.Err(); err != nil {
 		return fmt.Errorf("wire: connection closed: %w", err)
@@ -314,6 +362,12 @@ type AttachOptions struct {
 	// the gateway and backend record their stage latencies. 0 disables
 	// tracing; unsampled batches are byte-identical to untraced traffic.
 	TraceEvery int
+	// StartAt, when non-zero, attaches the session in migration catch-up
+	// mode: the server expects exactly StartAt replayed tuples (the source's
+	// cut ordinal) before MigrateCommit, and mutes detections until the
+	// commit so replayed state does not re-fire detections the source
+	// already delivered.
+	StartAt uint64
 }
 
 // Attach opens a remote session under the given ID.
@@ -329,6 +383,7 @@ func (cl *Client) Attach(id string, opts AttachOptions) (*RemoteSession, error) 
 		Version:  ProtocolVersion,
 		ID:       id,
 		Gestures: opts.Gestures,
+		StartAt:  opts.StartAt,
 	}, FrameAttachOK, &reply)
 	if err != nil {
 		return nil, err
@@ -597,3 +652,44 @@ func (rs *RemoteSession) TakeDetections() []anduin.Detection {
 // Dropped returns the last server-reported cumulative tuple-drop count for
 // this session (non-zero only under the DropOldest policy).
 func (rs *RemoteSession) Dropped() uint64 { return rs.dropped.Load() }
+
+// MigrateBegin seals the remote session for migration: the server stops
+// admitting tuples, drains its queue, verifies the recorded history is
+// complete, and returns the cut ordinal — the exact number of tuples the
+// session has admitted, and therefore the number the target must replay
+// before MigrateCommit. On error the session is left unsealed and serving.
+func (rs *RemoteSession) MigrateBegin() (MigrateBeginReply, error) {
+	var reply MigrateBeginReply
+	err := rs.cl.roundTrip(FrameMigrateBegin, &MigrateBeginRequest{Handle: rs.handle}, FrameMigrateBeginOK, &reply)
+	return reply, err
+}
+
+// MigrateFetch returns the next chunk of the sealed session's recorded
+// history starting at the given tuple ordinal, as a raw batch payload
+// (handle 0) ready for ProxyBatch toward the migration target. An empty
+// payload means the history is exhausted. after may rewind — e.g. to
+// restart the transfer from 0 toward a fresh target — at the cost of the
+// server reopening its history reader.
+func (rs *RemoteSession) MigrateFetch(after uint64) ([]byte, error) {
+	return rs.cl.roundTripRaw(FrameMigrateState, &MigrateStateRequest{Handle: rs.handle, After: after}, FrameMigrateStateOK)
+}
+
+// MigrateCommit completes a catch-up attach on the migration target: the
+// server drains the replayed tuples, verifies exactly ordinal tuples
+// arrived, and unmutes detections. From this moment the session serves
+// live traffic with state byte-identical to the source at its cut.
+func (rs *RemoteSession) MigrateCommit(ordinal uint64) (SessionCounters, error) {
+	var counters SessionCounters
+	err := rs.cl.roundTrip(FrameMigrateCommit,
+		&MigrateCommitRequest{Handle: rs.handle, Ordinal: ordinal}, FrameMigrateCommitOK, &counters)
+	return counters, err
+}
+
+// MigrateAbort cancels a migration on the source: the history reader is
+// released and the session unsealed, resuming live service with zero loss.
+func (rs *RemoteSession) MigrateAbort() (SessionCounters, error) {
+	var counters SessionCounters
+	err := rs.cl.roundTrip(FrameMigrateCommit,
+		&MigrateCommitRequest{Handle: rs.handle, Abort: true}, FrameMigrateCommitOK, &counters)
+	return counters, err
+}

@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,17 @@ type Server struct {
 	// stream-store archive without the wire layer knowing about disks.
 	// Set it before Serve; it must be safe for concurrent use.
 	TapSessions func(sessionID string) (tap func(stream.Tuple), release func(aborted bool), err error)
+
+	// MigrateSource, when non-nil, makes this server's sessions migratable:
+	// on FrameMigrateBegin it must return a reader over the session's
+	// recorded history plus the recorded-tuple count, with everything tapped
+	// so far flushed to readable state (the session is sealed and drained
+	// before the call, so the tap is quiescent). The standard implementation
+	// syncs the session's store.Recorder and opens a store.Reader on its
+	// stream. A recorded count short of the session's admitted count fails
+	// the migration cleanly — a lossy recording cannot rebuild engine state.
+	// Set before Serve; safe for concurrent use.
+	MigrateSource func(sessionID string) (hr HistoryReader, recorded uint64, err error)
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -171,12 +183,27 @@ type conn struct {
 	nextHandle uint32
 }
 
+// HistoryReader iterates a recorded session's admitted tuples in record
+// batches, ending with io.EOF — the shape of *store.Reader, declared here so
+// the wire layer can stream migration history without importing the store.
+type HistoryReader interface {
+	Next() ([]stream.Tuple, error)
+	Close() error
+}
+
 // connSession is one attached session with its detection push state.
 type connSession struct {
 	handle  uint32
 	sess    *serve.Session
 	cancel  func()
 	release func(aborted bool) // recording tap release; nil when not recording
+
+	// Migration source state: the open history cursor of a sealed session
+	// and its absolute tuple position. Only the connection's reader
+	// goroutine touches these (every migrate frame, detach and teardown run
+	// there), so they need no lock.
+	migReader HistoryReader
+	migSent   uint64
 
 	pmu        sync.Mutex
 	pending    []anduin.Detection
@@ -218,6 +245,10 @@ func (c *conn) teardown() {
 	for _, cs := range sessions {
 		cs.cancel()
 		close(cs.done)
+		if cs.migReader != nil {
+			cs.migReader.Close()
+			cs.migReader = nil
+		}
 		cs.sess.Close()
 		if cs.release != nil {
 			cs.release(false)
@@ -238,6 +269,12 @@ func (c *conn) handle(f Frame) error {
 		return c.handleSessionOp(f.Payload, FrameFlushOK, false)
 	case FrameDetach:
 		return c.handleSessionOp(f.Payload, FrameDetachOK, true)
+	case FrameMigrateBegin:
+		return c.handleMigrateBegin(f.Payload)
+	case FrameMigrateState:
+		return c.handleMigrateState(f.Payload)
+	case FrameMigrateCommit:
+		return c.handleMigrateCommit(f.Payload)
 	case FrameMetricsReq:
 		c.wmu.Lock()
 		defer c.wmu.Unlock()
@@ -276,7 +313,11 @@ func (c *conn) handleAttach(payload []byte) error {
 			return c.sessionError(0, fmt.Errorf("wire: recording %q: %w", req.ID, err))
 		}
 	}
-	sess, err := c.srv.mgr.CreateSessionWith(req.ID, serve.SessionOptions{Gestures: req.Gestures, Tap: tap})
+	sess, err := c.srv.mgr.CreateSessionWith(req.ID, serve.SessionOptions{
+		Gestures:  req.Gestures,
+		Tap:       tap,
+		CatchUpTo: req.StartAt,
+	})
 	if err != nil {
 		if release != nil {
 			release(true)
@@ -299,6 +340,14 @@ func (c *conn) handleAttach(payload []byte) error {
 	// listener runs on the shard worker, so it only appends to the pending
 	// slice; the pusher goroutine owns the socket writes.
 	cs.cancel = sess.OnDetection(func(d anduin.Detection) {
+		if sess.CatchingUp() {
+			// Catch-up replay re-fires detections the source backend
+			// already delivered to the client; muting them here is the
+			// exactly-once half of the migration contract. MigrateCommit
+			// flushes before unmuting, so no replayed detection can race
+			// past this check.
+			return
+		}
 		cs.pmu.Lock()
 		if len(cs.pending) >= maxPendingDetections {
 			cs.pending = cs.pending[1:]
@@ -414,12 +463,158 @@ func (c *conn) handleSessionOp(payload []byte, ack FrameType, detach bool) error
 		c.mu.Unlock()
 		cs.cancel()
 		close(cs.done)
+		if cs.migReader != nil {
+			cs.migReader.Close()
+			cs.migReader = nil
+		}
 		cs.sess.Close()
 		if cs.release != nil {
 			cs.release(false)
 		}
 	}
 	return c.w.WriteJSON(ack, &counters)
+}
+
+// handleMigrateBegin seals a session for migration: feeds are refused, the
+// queue is drained, and the recorded history is opened and verified complete
+// against the admitted-tuple count — which becomes the cut ordinal. On any
+// failure the session is unsealed and resumes untouched.
+func (c *conn) handleMigrateBegin(payload []byte) error {
+	var req MigrateBeginRequest
+	if err := unmarshalStrict(payload, &req); err != nil {
+		return fmt.Errorf("migrate-begin: %w", err)
+	}
+	cs := c.session(req.Handle)
+	if cs == nil {
+		return c.sessionError(req.Handle, fmt.Errorf("wire: no session with handle %d", req.Handle))
+	}
+	if c.srv.MigrateSource == nil {
+		return c.sessionError(req.Handle, fmt.Errorf("wire: session %q: server has no migration history source", cs.sess.ID()))
+	}
+	if cs.migReader != nil {
+		return c.sessionError(req.Handle, fmt.Errorf("wire: session %q: migration already in progress", cs.sess.ID()))
+	}
+	// Seal first so the admitted count is a stable cut, then drain the
+	// queue so every admitted tuple has been evaluated and tapped.
+	cs.sess.Seal()
+	cs.sess.Flush()
+	in, _, _ := cs.sess.Counters()
+	hr, recorded, err := c.srv.MigrateSource(cs.sess.ID())
+	if err == nil && recorded != in {
+		hr.Close()
+		err = fmt.Errorf("recording holds %d of %d admitted tuples; a lossy tap cannot rebuild state", recorded, in)
+	}
+	if err != nil {
+		cs.sess.Unseal()
+		return c.sessionError(req.Handle, fmt.Errorf("wire: session %q: %w", cs.sess.ID(), err))
+	}
+	cs.migReader, cs.migSent = hr, 0
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.w.WriteJSON(FrameMigrateBeginOK, &MigrateBeginReply{Handle: cs.handle, Ordinal: in})
+}
+
+// handleMigrateState streams the next chunk of a sealed session's recorded
+// history: one record re-encoded as a canonical batch payload (handle 0; the
+// requester patches it before forwarding), empty payload at end of history.
+// A request whose After disagrees with the cursor reopens the history and
+// skips forward — how a retry against a fresh target restarts from zero.
+func (c *conn) handleMigrateState(payload []byte) error {
+	var req MigrateStateRequest
+	if err := unmarshalStrict(payload, &req); err != nil {
+		return fmt.Errorf("migrate-state: %w", err)
+	}
+	cs := c.session(req.Handle)
+	if cs == nil {
+		return c.sessionError(req.Handle, fmt.Errorf("wire: no session with handle %d", req.Handle))
+	}
+	if cs.migReader == nil {
+		return c.sessionError(req.Handle, fmt.Errorf("wire: session %q: no migration in progress", cs.sess.ID()))
+	}
+	if req.After < cs.migSent {
+		cs.migReader.Close()
+		cs.migReader = nil
+		hr, _, err := c.srv.MigrateSource(cs.sess.ID())
+		if err != nil {
+			// The session stays sealed: the requester decides whether to
+			// retry or abort (which unseals).
+			return c.sessionError(req.Handle, fmt.Errorf("wire: session %q: reopen history: %w", cs.sess.ID(), err))
+		}
+		cs.migReader, cs.migSent = hr, 0
+	}
+	var chunk []stream.Tuple
+	for chunk == nil {
+		tuples, err := cs.migReader.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return c.sessionError(req.Handle, fmt.Errorf("wire: session %q: history read: %w", cs.sess.ID(), err))
+		}
+		end := cs.migSent + uint64(len(tuples))
+		if req.After >= end {
+			cs.migSent = end
+			continue
+		}
+		chunk = tuples[req.After-cs.migSent:]
+		cs.migSent = end
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if len(chunk) == 0 {
+		return c.w.WriteFrame(FrameMigrateStateOK, nil)
+	}
+	buf, err := AppendBatch(cs.encBuf[:0], 0, len(chunk[0].Fields), chunk)
+	if err != nil {
+		return err
+	}
+	cs.encBuf = buf[:0]
+	return c.w.WriteFrame(FrameMigrateStateOK, buf)
+}
+
+// handleMigrateCommit finalizes a migration leg. Abort resumes a sealed
+// source in place (the target never materialized — nothing was lost);
+// otherwise the session is a catch-up target whose replay must land exactly
+// on the cut ordinal before detection delivery resumes.
+func (c *conn) handleMigrateCommit(payload []byte) error {
+	var req MigrateCommitRequest
+	if err := unmarshalStrict(payload, &req); err != nil {
+		return fmt.Errorf("migrate-commit: %w", err)
+	}
+	cs := c.session(req.Handle)
+	if cs == nil {
+		return c.sessionError(req.Handle, fmt.Errorf("wire: no session with handle %d", req.Handle))
+	}
+	if req.Abort {
+		if cs.migReader != nil {
+			cs.migReader.Close()
+			cs.migReader = nil
+		}
+		if !cs.sess.Sealed() {
+			return c.sessionError(req.Handle, fmt.Errorf("wire: session %q: no migration to abort", cs.sess.ID()))
+		}
+		cs.sess.Unseal()
+	} else {
+		cs.sess.Flush()
+		if got := cs.sess.CatchUpTarget(); req.Ordinal != got {
+			return c.sessionError(req.Handle, fmt.Errorf("wire: session %q: commit ordinal %d, attached at %d", cs.sess.ID(), req.Ordinal, got))
+		}
+		if err := cs.sess.EndCatchUp(); err != nil {
+			return c.sessionError(req.Handle, err)
+		}
+	}
+	in, out, dropped := cs.sess.Counters()
+	counters := SessionCounters{
+		Handle:            cs.handle,
+		In:                in,
+		Out:               out,
+		Dropped:           dropped,
+		Detections:        cs.detSent.Load(),
+		DetectionsDropped: cs.detDropped.Load(),
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.w.WriteJSON(FrameMigrateCommitOK, &counters)
 }
 
 func (c *conn) session(handle uint32) *connSession {

@@ -93,7 +93,19 @@ const (
 	FrameError      FrameType = 11 // JSON ErrorReply
 	FramePing       FrameType = 12 // JSON Ping
 	FramePong       FrameType = 13 // JSON Pong
-	frameTypeEnd    FrameType = 14
+
+	// Migration control plane: a gateway moving a session between backends
+	// seals the source (Begin), streams the recorded history out of it
+	// (State), and finalizes or aborts the move (Commit). See MigrateBegin*,
+	// MigrateState*, MigrateCommit* below.
+	FrameMigrateBegin    FrameType = 14 // JSON MigrateBeginRequest
+	FrameMigrateBeginOK  FrameType = 15 // JSON MigrateBeginReply
+	FrameMigrateState    FrameType = 16 // JSON MigrateStateRequest
+	FrameMigrateStateOK  FrameType = 17 // binary batch payload (empty = end of history)
+	FrameMigrateCommit   FrameType = 18 // JSON MigrateCommitRequest
+	FrameMigrateCommitOK FrameType = 19 // JSON SessionCounters
+
+	frameTypeEnd FrameType = 20
 )
 
 // String implements fmt.Stringer.
@@ -101,7 +113,8 @@ func (t FrameType) String() string {
 	names := [...]string{
 		"invalid", "attach", "attach-ok", "detach", "detach-ok", "batch",
 		"detections", "flush", "flush-ok", "metrics-req", "metrics-ok", "error",
-		"ping", "pong",
+		"ping", "pong", "migrate-begin", "migrate-begin-ok", "migrate-state",
+		"migrate-state-ok", "migrate-commit", "migrate-commit-ok",
 	}
 	if int(t) < len(names) {
 		return names[t]
@@ -110,11 +123,18 @@ func (t FrameType) String() string {
 }
 
 // AttachRequest opens a session on the server. Gestures names the plans to
-// deploy (empty = every registered plan).
+// deploy (empty = every registered plan). StartAt > 0 creates the session in
+// catch-up mode: it is the migration cut ordinal, the server mutes detection
+// pushes while the first StartAt tuples (the session's recorded history)
+// replay into the fresh engine, and a MigrateCommit carrying the same
+// ordinal unmutes it. Detections fired during catch-up were already
+// delivered by the source backend; muting them is what makes a migration
+// exactly-once from the client's point of view.
 type AttachRequest struct {
 	Version  int      `json:"version"`
 	ID       string   `json:"id"`
 	Gestures []string `json:"gestures,omitempty"`
+	StartAt  uint64   `json:"start_at,omitempty"`
 }
 
 // AttachReply acknowledges an attach: the connection-local session handle
@@ -158,6 +178,46 @@ type Pong struct {
 	Seq      uint64 `json:"seq"`
 	Name     string `json:"name,omitempty"`
 	Sessions int    `json:"sessions"`
+}
+
+// MigrateBeginRequest seals a session for migration: the server flushes it,
+// verifies the recorded history is complete (recorded == admitted — a lossy
+// recording cannot reconstruct engine state), refuses further tuple feeds,
+// and opens a history cursor. On any verification failure the session is
+// left untouched and a session-scoped FrameError comes back instead.
+type MigrateBeginRequest struct {
+	Handle uint32 `json:"handle"`
+}
+
+// MigrateBeginReply acknowledges a seal. Ordinal is the cut: the number of
+// tuples admitted (and recorded) by the sealed session. The target must
+// replay exactly this many tuples before the flip.
+type MigrateBeginReply struct {
+	Handle  uint32 `json:"handle"`
+	Ordinal uint64 `json:"ordinal"`
+}
+
+// MigrateStateRequest asks a sealed session for the next chunk of its
+// recorded history. After is the count of tuples the requester already
+// holds; the server repositions its cursor if it disagrees (a retry against
+// a fresh target restarts from 0). The reply payload is a canonical batch
+// encoding (handle field zero — the requester patches it) or empty once
+// After reaches the cut.
+type MigrateStateRequest struct {
+	Handle uint32 `json:"handle"`
+	After  uint64 `json:"after"`
+}
+
+// MigrateCommitRequest finalizes a migration leg. On a catch-up target
+// (Abort false) the server flushes the session, verifies exactly Ordinal
+// tuples were admitted, and unmutes detection pushes — from here the session
+// is live on its new owner. On a sealed source (Abort true) the server
+// unseals the session and drops the history cursor — the migration failed
+// and the session resumes where it was, having lost nothing.
+type MigrateCommitRequest struct {
+	Handle  uint32 `json:"handle"`
+	Ordinal uint64 `json:"ordinal"`
+	Abort   bool   `json:"abort,omitempty"`
 }
 
 // ErrorReply reports a request failure. Handle 0 addresses the connection
