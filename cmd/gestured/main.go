@@ -6,10 +6,16 @@
 //	go run ./cmd/gestured -addr :7474
 //	go run ./cmd/gestured -addr :7474 -shards 8 -policy drop-oldest -queue 128
 //	go run ./cmd/gestured -addr :7474 -record-dir recordings
+//	go run ./cmd/gestured -addr :7474 -record-dir recordings -retain 24h -compact-every 5m
 //
 // Drive it with cmd/gestureload. With -record-dir every session's tuple
 // stream is additionally written to a durable stream store; replay or
-// backfill it afterwards with cmd/gesturereplay.
+// backfill it afterwards with cmd/gesturereplay (the recording archive also
+// answers the wire protocol's backfill requests, so `gesturereplay -mode
+// fleet-backfill` can evaluate this server's recordings remotely). -retain
+// bounds how much recorded history the archive keeps: a background
+// compactor drops and rewrites expired segments every -compact-every,
+// synchronized against live readers and recorders.
 package main
 
 import (
@@ -44,19 +50,27 @@ func main() {
 		gestures  = flag.Int("gestures", 4, "gestures to learn and register (1-8)")
 		seed      = flag.Int64("seed", 1, "trainer random seed")
 		recordDir = flag.String("record-dir", "", "record every session's tuple stream into this stream-store directory (replay with cmd/gesturereplay)")
+		retain    = flag.Duration("retain", 0, "drop recorded history older than this event-time age (0 keeps everything; needs -record-dir)")
+		compactEv = flag.Duration("compact-every", time.Minute, "background compaction interval when -retain is set")
 		adminAddr = flag.String("admin-addr", "", "HTTP admin plane listen address (/metrics, /metrics.json, /healthz, /readyz, /debug/pprof); empty disables")
 		verbose   = flag.Bool("v", false, "print the per-shard metric table on shutdown")
 	)
 	flag.Parse()
-	if err := run(*addr, *name, *shards, *queue, *policy, *gestures, *seed, *recordDir, *adminAddr, *verbose); err != nil {
+	if err := run(*addr, *name, *shards, *queue, *policy, *gestures, *seed, *recordDir, *retain, *compactEv, *adminAddr, *verbose); err != nil {
 		log.SetFlags(0)
 		log.Fatal(err)
 	}
 }
 
-func run(addr, name string, shards, queue int, policyName string, gestures int, seed int64, recordDir, adminAddr string, verbose bool) error {
+func run(addr, name string, shards, queue int, policyName string, gestures int, seed int64, recordDir string, retain, compactEvery time.Duration, adminAddr string, verbose bool) error {
 	if gestures < 1 || gestures > len(gestureNames) {
 		return fmt.Errorf("gestured: -gestures must be 1..%d", len(gestureNames))
+	}
+	if retain > 0 && recordDir == "" {
+		return fmt.Errorf("gestured: -retain needs -record-dir")
+	}
+	if retain > 0 && compactEvery <= 0 {
+		return fmt.Errorf("gestured: -compact-every must be positive")
 	}
 	pol, err := serve.ParsePolicy(policyName)
 	if err != nil {
@@ -107,9 +121,23 @@ func run(addr, name string, shards, queue int, policyName string, gestures int, 
 	var doneTuples, doneDropped, doneBytes atomic.Uint64
 
 	var arch *store.Archive
+	var comp *store.Compactor
 	if recordDir != "" {
 		arch = store.NewArchive(recordDir, store.Options{}, 0)
 		defer arch.Close()
+		// The archive doubles as the offline-backfill source: a remote
+		// coordinator (gesturereplay -mode fleet-backfill, or a cluster
+		// gateway) evaluates this server's registered plans over the
+		// recordings through the wire protocol's history path.
+		srv.BackfillSource = store.NewWireBackfillSource(reg, arch.OpenReader)
+		if retain > 0 {
+			comp = arch.NewCompactor(store.RetentionPolicy{MaxAge: retain})
+			stop := comp.Start(compactEvery, func(err error) {
+				log.Printf("gestured: compaction: %v", err)
+			})
+			defer stop()
+			fmt.Printf("retaining %v of recorded history (compacting every %v)\n", retain, compactEvery)
+		}
 		srv.TapSessions = func(id string) (func(stream.Tuple), func(bool), error) {
 			rec, err := arch.Record(id, kinect.Schema())
 			if err != nil {
@@ -156,6 +184,9 @@ func run(addr, name string, shards, queue int, policyName string, gestures int, 
 					w.Counter("store_record_tuples_total", "Tuples appended to session recordings.", nil, tuples)
 					w.Counter("store_record_dropped_total", "Tuples lost to full recording buffers.", nil, dropped)
 					w.Counter("store_record_bytes_total", "Record bytes written to session recordings.", nil, bytes)
+				}
+				if comp != nil {
+					comp.WriteProm(w)
 				}
 			},
 			MetricsJSON: func() any {

@@ -184,6 +184,8 @@ func run(addr string, external []cluster.Backend, backends, vnodes int, loadFact
 			// Recording makes sessions live-migratable: the migration source
 			// syncs a session's recorder and streams the recording back out,
 			// which is what lets /backends/drain move sessions with state.
+			// Readers come from arch.OpenReader so they hold the archive's
+			// per-stream read lock against background compaction.
 			opts.MigrateSource = func(backendID string) func(string) (wire.HistoryReader, uint64, error) {
 				arch := archiveOf[backendID]
 				return func(sessionID string) (wire.HistoryReader, uint64, error) {
@@ -194,12 +196,19 @@ func run(addr string, external []cluster.Backend, backends, vnodes int, loadFact
 					if err := rec.Sync(); err != nil {
 						return nil, 0, err
 					}
-					r, err := store.OpenReader(arch.Root(), rec.Stream())
+					r, err := arch.OpenReader(rec.Stream())
 					if err != nil {
 						return nil, 0, err
 					}
 					return r, rec.Recorded(), nil
 				}
+			}
+			// Each backend answers wire backfill requests over its own
+			// archive, which is what POST /backfill on the admin plane (and
+			// gesturereplay -mode fleet-backfill) fans out across.
+			opts.Backfill = func(backendID string) wire.BackfillFunc {
+				arch := archiveOf[backendID]
+				return store.NewWireBackfillSource(reg, arch.OpenReader)
 			}
 		}
 		sp, err := cluster.Spawn(backends, reg, opts)
@@ -245,7 +254,8 @@ func run(addr string, external []cluster.Backend, backends, vnodes int, loadFact
 					Cluster   serve.Metrics            `json:"cluster"`
 					Forward   map[string]obs.HistStats `json:"forward,omitempty"`
 					Migration cluster.MigrationStats   `json:"migration"`
-				}{gw.Metrics(), gw.ForwardStats(), gw.MigrationStats()}
+					Backfill  cluster.BackfillStats    `json:"backfill"`
+				}{gw.Metrics(), gw.ForwardStats(), gw.MigrationStats(), gw.BackfillStats()}
 			},
 			Healthy: func() error { return nil }, // the process serves while it runs
 			Ready:   gw.Ready,
@@ -257,7 +267,7 @@ func run(addr string, external []cluster.Backend, backends, vnodes int, loadFact
 			return err
 		}
 		defer admin.Close()
-		fmt.Printf("admin plane on http://%s/metrics (membership: /backends, /backends/drain, /migrations)\n", admin.Addr())
+		fmt.Printf("admin plane on http://%s/metrics (membership: /backends, /backends/drain, /migrations, /backfill)\n", admin.Addr())
 	}
 
 	sigc := make(chan os.Signal, 1)

@@ -123,6 +123,14 @@ type Gateway struct {
 	migratedTuples   atomic.Uint64
 	migrateDur       *obs.Histogram
 
+	// Fleet-backfill counters (see BackfillStats) plus the merge lock the
+	// per-backend calls of one run share.
+	backfillMu      sync.Mutex
+	backfills       atomic.Uint64
+	backfillsFailed atomic.Uint64
+	backfillStreams atomic.Uint64
+	backfillDur     *obs.Histogram
+
 	wg        sync.WaitGroup // front connection handlers
 	quit      chan struct{}
 	probeDone chan struct{}
@@ -167,6 +175,7 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		quit:          make(chan struct{}),
 		probeDone:     make(chan struct{}),
 		migrateDur:    obs.NewHistogram(),
+		backfillDur:   obs.NewHistogram(),
 	}
 	for _, b := range cfg.Backends {
 		gw.stats[b.ID] = newBackendStats()

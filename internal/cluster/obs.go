@@ -78,6 +78,10 @@ func (gw *Gateway) WriteProm(w *obs.PromWriter) {
 	w.Counter("cluster_migrations_failed_total", "Session migrations that failed or fell back to lossy re-home.", nil, gw.migrationsFailed.Load())
 	w.Counter("cluster_migrated_tuples_total", "Tuples replayed into migration targets.", nil, gw.migratedTuples.Load())
 	w.Histogram("cluster_migration_seconds", "Per-session live migration duration.", nil, gw.migrateDur.Snapshot())
+	w.Counter("cluster_backfills_total", "Completed fleet backfill runs.", nil, gw.backfills.Load())
+	w.Counter("cluster_backfills_failed_total", "Fleet backfill runs that failed outright.", nil, gw.backfillsFailed.Load())
+	w.Counter("cluster_backfill_streams_total", "Recorded streams evaluated by fleet backfills.", nil, gw.backfillStreams.Load())
+	w.Histogram("cluster_backfill_seconds", "Per-run fleet backfill duration.", nil, gw.backfillDur.Snapshot())
 }
 
 // ForwardStats summarizes the per-backend stage histograms for the JSON

@@ -25,6 +25,12 @@ type SpawnOptions struct {
 	// recording counterpart that makes the fleet's sessions live-migratable.
 	// Like TapSessions it is re-invoked on Restart.
 	MigrateSource func(backendID string) func(sessionID string) (wire.HistoryReader, uint64, error)
+	// Backfill, when non-nil, builds each backend's offline backfill hook
+	// (see wire.Server.BackfillSource) with the backend ID bound — the
+	// standard implementation is store.NewWireBackfillSource over the
+	// backend's recording archive. Like TapSessions it is re-invoked on
+	// Restart, so a fresh incarnation serves from its fresh archive.
+	Backfill func(backendID string) wire.BackfillFunc
 }
 
 // spawned is one in-process backend: its own session manager and wire
@@ -75,6 +81,9 @@ func Spawn(n int, reg *serve.Registry, opts SpawnOptions) (*Spawner, error) {
 		}
 		if opts.MigrateSource != nil {
 			srv.MigrateSource = opts.MigrateSource(id)
+		}
+		if opts.Backfill != nil {
+			srv.BackfillSource = opts.Backfill(id)
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -155,6 +164,9 @@ func (sp *Spawner) Restart(i int) error {
 	}
 	if sp.opts.MigrateSource != nil {
 		srv.MigrateSource = sp.opts.MigrateSource(b.id)
+	}
+	if sp.opts.Backfill != nil {
+		srv.BackfillSource = sp.opts.Backfill(b.id)
 	}
 	ln, err := net.Listen("tcp", b.addr)
 	if err != nil {

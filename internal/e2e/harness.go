@@ -127,6 +127,12 @@ func Start(t testing.TB, opts Options) *Harness {
 				return r, rec.Recorded(), nil
 			}
 		}
+		// Every recording backend can also serve offline backfills from its
+		// archive — the fleet-parallel path gw.Backfill fans out over.
+		spawnOpts.Backfill = func(backendID string) wire.BackfillFunc {
+			arch := archiveOf[backendID]
+			return store.NewWireBackfillSource(h.Registry, arch.OpenReader)
+		}
 		// Backend IDs are assigned by Spawn in order; pre-bind them.
 		for i := 0; i < opts.Backends; i++ {
 			archiveOf[cluster.BackendID(i)] = h.archives[i]

@@ -200,6 +200,10 @@ func (c *Controller) Counters() Counters {
 //	POST /backends/remove  — {"id": ...}
 //	GET  /migrations       — operation records, controller counters and the
 //	                         gateway's migration stats
+//	POST /backfill         — {"streams": [...], "gestures": [...],
+//	                         "since_ns": ..., "until_ns": ...,
+//	                         "include_detections": bool}; fans the evaluation
+//	                         out across the live fleet (cluster.Backfill)
 func (c *Controller) Routes() map[string]http.HandlerFunc {
 	return map[string]http.HandlerFunc{
 		"/backends":        c.handleBackends,
@@ -207,6 +211,7 @@ func (c *Controller) Routes() map[string]http.HandlerFunc {
 		"/backends/drain":  c.handleOp("drain"),
 		"/backends/remove": c.handleOp("remove"),
 		"/migrations":      c.handleMigrations,
+		"/backfill":        c.handleBackfill,
 	}
 }
 
@@ -281,6 +286,87 @@ func (c *Controller) handleMigrations(w http.ResponseWriter, r *http.Request) {
 		Counters:  c.Counters(),
 		Migration: c.gw.MigrationStats(),
 	})
+}
+
+// backfillRequest is the POST /backfill body. Time bounds use wire
+// nanoseconds, mirroring wire.BackfillRequest.
+type backfillRequest struct {
+	Streams           []string `json:"streams"`
+	Gestures          []string `json:"gestures,omitempty"`
+	SinceNs           int64    `json:"since_ns,omitempty"`
+	UntilNs           int64    `json:"until_ns,omitempty"`
+	IncludeDetections bool     `json:"include_detections,omitempty"`
+}
+
+// backfillDetection is one merged detection in the reply, keyed to its
+// stream — JSON-shaped because the admin plane is an operator surface, not
+// the data plane.
+type backfillDetection struct {
+	Gesture  string    `json:"gesture"`
+	QueryID  int       `json:"query_id"`
+	StartNs  int64     `json:"start_ns"`
+	EndNs    int64     `json:"end_ns"`
+	Measures []float64 `json:"measures,omitempty"`
+}
+
+// backfillReply is the POST /backfill payload: the merge summary, the
+// detections per stream when asked for, and the gateway's lifetime backfill
+// stats.
+type backfillReply struct {
+	*cluster.BackfillResult
+	DetectionTotal int                            `json:"detection_total"`
+	Detections     map[string][]backfillDetection `json:"detections,omitempty"`
+	Stats          cluster.BackfillStats          `json:"stats"`
+}
+
+func (c *Controller) handleBackfill(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req backfillRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Streams) == 0 {
+		http.Error(w, `"streams" is required`, http.StatusBadRequest)
+		return
+	}
+	spec := cluster.BackfillSpec{Streams: req.Streams, Gestures: req.Gestures}
+	if req.SinceNs != 0 {
+		spec.Since = time.Unix(0, req.SinceNs).UTC()
+	}
+	if req.UntilNs != 0 {
+		spec.Until = time.Unix(0, req.UntilNs).UTC()
+	}
+	res, err := c.gw.Backfill(spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	reply := backfillReply{
+		BackfillResult: res,
+		DetectionTotal: res.DetectionTotal(),
+		Stats:          c.gw.BackfillStats(),
+	}
+	if req.IncludeDetections {
+		reply.Detections = make(map[string][]backfillDetection, len(res.Streams))
+		for i, name := range res.Streams {
+			group := make([]backfillDetection, len(res.Detections[i]))
+			for j, d := range res.Detections[i] {
+				group[j] = backfillDetection{
+					Gesture:  d.Gesture,
+					QueryID:  d.QueryID,
+					StartNs:  d.Start.UnixNano(),
+					EndNs:    d.End.UnixNano(),
+					Measures: d.Measures,
+				}
+			}
+			reply.Detections[name] = group
+		}
+	}
+	writeJSON(w, http.StatusOK, reply)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -300,3 +300,115 @@ func TestControllerHistoryBound(t *testing.T) {
 		}
 	}
 }
+
+// TestBackfillEndpoint drives a fleet backfill entirely over the admin
+// plane: record sessions through the gateway, POST /backfill, and require
+// the summary and (when asked) the per-stream detections to come back.
+func TestBackfillEndpoint(t *testing.T) {
+	h := e2e.Start(t, e2e.Options{
+		Backends:      3,
+		Gateway:       true,
+		Record:        true,
+		Serve:         serve.Config{Shards: 1},
+		ProbeInterval: -1,
+	})
+	ctrl := membership.New(h.Gateway, nil, 0)
+	admin, err := obs.StartAdmin("127.0.0.1:0", obs.AdminConfig{Routes: ctrl.Routes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	post := func(body string, out any) int {
+		t.Helper()
+		resp, err := http.Post("http://"+admin.Addr().String()+"/backfill", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if out != nil {
+			if err := json.Unmarshal(b, out); err != nil {
+				t.Fatalf("POST /backfill: %v in %q", err, b)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	cl := h.Dial()
+	streams := []string{"bf-a", "bf-b", "bf-c"}
+	for i, name := range streams {
+		rs, err := cl.Attach(name, wire.AttachOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.FeedFrames(e2e.PlaybackFrames(t, int64(11+i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rs.Detach(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var reply struct {
+		Streams        []string                    `json:"streams"`
+		Missing        []string                    `json:"missing"`
+		Found          int                         `json:"found"`
+		Records        uint64                      `json:"records"`
+		Tuples         uint64                      `json:"tuples"`
+		DetectionTotal int                         `json:"detection_total"`
+		Detections     map[string][]map[string]any `json:"detections"`
+		Stats          map[string]any              `json:"stats"`
+	}
+	body := `{"streams": ["bf-a", "bf-b", "bf-c"], "include_detections": true}`
+	if code := post(body, &reply); code != 200 {
+		t.Fatalf("POST /backfill = %d, want 200", code)
+	}
+	if reply.Found != 3 || len(reply.Missing) != 0 {
+		t.Fatalf("found %d, missing %v; want all 3 streams located", reply.Found, reply.Missing)
+	}
+	if reply.DetectionTotal == 0 || reply.Tuples == 0 {
+		t.Fatalf("empty reply: %+v", reply)
+	}
+	total := 0
+	for _, name := range streams {
+		group, ok := reply.Detections[name]
+		if !ok {
+			t.Errorf("reply lacks detections entry for %q", name)
+			continue
+		}
+		total += len(group)
+		for _, d := range group {
+			if d["gesture"] != "swipe_right" {
+				t.Errorf("stream %q detection gesture = %v", name, d["gesture"])
+			}
+		}
+	}
+	if total != reply.DetectionTotal {
+		t.Errorf("detection groups total %d, summary says %d", total, reply.DetectionTotal)
+	}
+
+	// Without include_detections the groups stay off the wire.
+	reply.Detections = nil
+	if code := post(`{"streams": ["bf-a"]}`, &reply); code != 200 {
+		t.Fatalf("POST /backfill = %d, want 200", code)
+	}
+	if reply.Detections != nil {
+		t.Error("detections included without include_detections")
+	}
+
+	// Bad bodies and methods map to the right statuses.
+	if code := post(`{"streams": []}`, nil); code != http.StatusBadRequest {
+		t.Errorf("empty streams = %d, want 400", code)
+	}
+	if code := post(`{`, nil); code != http.StatusBadRequest {
+		t.Errorf("truncated body = %d, want 400", code)
+	}
+	resp, err := http.Get("http://" + admin.Addr().String() + "/backfill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /backfill = %d, want 405", resp.StatusCode)
+	}
+}

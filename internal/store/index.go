@@ -1,0 +1,257 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Sparse segment index. Every sealed segment carries a small sidecar file
+// (000000000001.idx next to 000000000001.seg) describing the segment as a
+// whole — base/record/tuple counts and the event-time span — plus one
+// entry every Options.IndexEvery records: the record's stream-wide first
+// tuple ordinal, its first tuple's event time, and its byte offset in the
+// segment file. Seeks binary-search segment headers, then the sparse
+// entries, then scan at most IndexEvery-1 records — O(log) opens instead
+// of a front-to-back CRC scan of everything ever recorded.
+//
+// The sidecar is strictly an accelerator: it is CRC-framed and
+// self-describing, and any sidecar that is missing, torn or fails
+// validation is treated as absent — readers fall back to the sequential
+// scan, so streams recorded before indexing existed (and streams whose
+// sidecar a crash mangled) stay readable with unchanged torn-tail and
+// corruption semantics. Only the writer's seal path and the compactor ever
+// produce sidecars; the active (still-appended) segment never has one.
+const (
+	idxMagic       = 0x47494458 // "GIDX"
+	idxVersion     = 1
+	idxSuffix      = ".idx"
+	idxHeaderBytes = 60 // magic u32 | version u8 | reserved u8 | every u16 | baseRecord u64 | baseTuple u64 | records u64 | tuples u64 | firstTsNs i64 | lastTsNs i64 | count u32
+	idxEntryBytes  = 24 // tupleOrd u64 | tsNs i64 | offset u64
+	idxCRCBytes    = 4
+)
+
+// DefaultIndexEvery is the default record stride between sparse entries.
+const DefaultIndexEvery = 8
+
+// idxEntry describes the record at stream-wide ordinal
+// baseRecord + i*every for the i-th entry.
+type idxEntry struct {
+	tupleOrd uint64 // stream-wide ordinal of the record's first tuple
+	tsNs     int64  // event time of the record's first tuple
+	offset   int64  // byte offset of the record header in the segment file
+}
+
+// segIndex is one decoded sidecar.
+type segIndex struct {
+	every      int
+	baseRecord uint64
+	baseTuple  uint64
+	records    uint64
+	tuples     uint64
+	firstTsNs  int64
+	lastTsNs   int64
+	entries    []idxEntry
+}
+
+// sidecarPath names the index sidecar of the index-th segment.
+func sidecarPath(dir string, index int) string {
+	return filepath.Join(dir, fmt.Sprintf("%012d%s", index, idxSuffix))
+}
+
+func encodeSidecar(ix *segIndex) []byte {
+	b := make([]byte, idxHeaderBytes+len(ix.entries)*idxEntryBytes+idxCRCBytes)
+	binary.BigEndian.PutUint32(b[0:4], idxMagic)
+	b[4] = idxVersion
+	binary.BigEndian.PutUint16(b[6:8], uint16(ix.every))
+	binary.BigEndian.PutUint64(b[8:16], ix.baseRecord)
+	binary.BigEndian.PutUint64(b[16:24], ix.baseTuple)
+	binary.BigEndian.PutUint64(b[24:32], ix.records)
+	binary.BigEndian.PutUint64(b[32:40], ix.tuples)
+	binary.BigEndian.PutUint64(b[40:48], uint64(ix.firstTsNs))
+	binary.BigEndian.PutUint64(b[48:56], uint64(ix.lastTsNs))
+	binary.BigEndian.PutUint32(b[56:60], uint32(len(ix.entries)))
+	off := idxHeaderBytes
+	for _, e := range ix.entries {
+		binary.BigEndian.PutUint64(b[off:off+8], e.tupleOrd)
+		binary.BigEndian.PutUint64(b[off+8:off+16], uint64(e.tsNs))
+		binary.BigEndian.PutUint64(b[off+16:off+24], uint64(e.offset))
+		off += idxEntryBytes
+	}
+	binary.BigEndian.PutUint32(b[off:off+4], crc32.ChecksumIEEE(b[:off]))
+	return b
+}
+
+// writeSidecar writes the sidecar in one shot; a crash mid-write leaves a
+// torn file the CRC rejects, which readers treat as no index at all.
+func writeSidecar(path string, ix *segIndex) error {
+	return os.WriteFile(path, encodeSidecar(ix), 0o644)
+}
+
+// errNoIndex marks a sidecar that is absent or unusable; every decode
+// failure folds into it because the only correct reaction is the same:
+// fall back to scanning the segment.
+var errNoIndex = errors.New("store: no usable segment index")
+
+// readSidecar loads and validates one sidecar. Any defect — short file,
+// bad magic, CRC mismatch, internally inconsistent entries — returns
+// errNoIndex (wrapped); the caller scans instead.
+func readSidecar(path string) (*segIndex, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errNoIndex, err)
+	}
+	if len(b) < idxHeaderBytes+idxCRCBytes {
+		return nil, fmt.Errorf("%w: %d bytes", errNoIndex, len(b))
+	}
+	if magic := binary.BigEndian.Uint32(b[0:4]); magic != idxMagic {
+		return nil, fmt.Errorf("%w: bad magic %#08x", errNoIndex, magic)
+	}
+	if b[4] != idxVersion {
+		return nil, fmt.Errorf("%w: version %d", errNoIndex, b[4])
+	}
+	count := int(binary.BigEndian.Uint32(b[56:60]))
+	want := idxHeaderBytes + count*idxEntryBytes + idxCRCBytes
+	if len(b) != want {
+		return nil, fmt.Errorf("%w: %d bytes for %d entries, want %d", errNoIndex, len(b), count, want)
+	}
+	stored := binary.BigEndian.Uint32(b[want-idxCRCBytes:])
+	if got := crc32.ChecksumIEEE(b[:want-idxCRCBytes]); got != stored {
+		return nil, fmt.Errorf("%w: crc %#08x, stored %#08x", errNoIndex, got, stored)
+	}
+	ix := &segIndex{
+		every:      int(binary.BigEndian.Uint16(b[6:8])),
+		baseRecord: binary.BigEndian.Uint64(b[8:16]),
+		baseTuple:  binary.BigEndian.Uint64(b[16:24]),
+		records:    binary.BigEndian.Uint64(b[24:32]),
+		tuples:     binary.BigEndian.Uint64(b[32:40]),
+		firstTsNs:  int64(binary.BigEndian.Uint64(b[40:48])),
+		lastTsNs:   int64(binary.BigEndian.Uint64(b[48:56])),
+	}
+	if ix.every <= 0 {
+		return nil, fmt.Errorf("%w: stride %d", errNoIndex, ix.every)
+	}
+	ix.entries = make([]idxEntry, count)
+	off := idxHeaderBytes
+	var prev idxEntry
+	for i := range ix.entries {
+		e := idxEntry{
+			tupleOrd: binary.BigEndian.Uint64(b[off : off+8]),
+			tsNs:     int64(binary.BigEndian.Uint64(b[off+8 : off+16])),
+			offset:   int64(binary.BigEndian.Uint64(b[off+16 : off+24])),
+		}
+		// Entries must advance through the file and the tuple sequence, and
+		// the first must start exactly at the segment base.
+		if e.offset < segHeaderBytes ||
+			(i == 0 && e.tupleOrd != ix.baseTuple) ||
+			(i > 0 && (e.offset <= prev.offset || e.tupleOrd <= prev.tupleOrd || e.tsNs < prev.tsNs)) {
+			return nil, fmt.Errorf("%w: entry %d out of order", errNoIndex, i)
+		}
+		ix.entries[i] = e
+		prev = e
+		off += idxEntryBytes
+	}
+	return ix, nil
+}
+
+// StreamInfo summarizes one recorded stream, read from the sparse indexes
+// where present (O(segments) small reads) and by scanning only the
+// segments without one — typically just the unsealed tail of a crashed
+// stream, so listing an archive no longer CRC-scans every byte of every
+// recording.
+type StreamInfo struct {
+	Stream   string
+	Segments int
+	Records  uint64
+	Tuples   uint64
+	Bytes    int64 // segment file bytes on disk (headers included)
+	// First and Last bound the event time of the recorded tuples; zero
+	// when the stream is empty.
+	First, Last time.Time
+	// Indexed reports whether every segment was covered by a valid sparse
+	// index (the unsealed tail segment of a cleanly closed stream is).
+	Indexed bool
+}
+
+// Info reads a stream's summary without replaying it.
+func Info(root, name string) (StreamInfo, error) {
+	dir := StreamDir(root, name)
+	man, err := readManifest(dir)
+	if err != nil {
+		return StreamInfo{}, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return StreamInfo{}, err
+	}
+	info := StreamInfo{Stream: man.Stream, Segments: len(segs), Indexed: true}
+	var firstNs, lastNs int64
+	note := func(f, l int64) {
+		if l == 0 { // empty segment
+			return
+		}
+		if firstNs == 0 || f < firstNs {
+			firstNs = f
+		}
+		if l > lastNs {
+			lastNs = l
+		}
+	}
+	for _, index := range segs {
+		if st, err := os.Stat(segmentPath(dir, index)); err == nil {
+			info.Bytes += st.Size()
+		}
+		if ix, err := readSidecar(sidecarPath(dir, index)); err == nil {
+			info.Records += ix.records
+			info.Tuples += ix.tuples
+			note(ix.firstTsNs, ix.lastTsNs)
+			continue
+		}
+		info.Indexed = false
+		scan, headerOK, err := scanSegment(segmentPath(dir, index), 0)
+		if err != nil {
+			return info, fmt.Errorf("store: segment %d of stream %q: %w", index, man.Stream, err)
+		}
+		if !headerOK {
+			continue // torn before the header; recovery would discard it
+		}
+		info.Records += scan.records
+		info.Tuples += scan.tuples
+		note(scan.firstTsNs, scan.lastTsNs)
+	}
+	if firstNs != 0 {
+		info.First = time.Unix(0, firstNs).UTC()
+	}
+	if lastNs != 0 {
+		info.Last = time.Unix(0, lastNs).UTC()
+	}
+	return info, nil
+}
+
+// tupleBaseOf computes the stream-wide tuple ordinal at which segment
+// segs[upto] starts: the nearest earlier sidecar anchors the count and any
+// unindexed segments after it are scanned. Recovery uses it to resume the
+// tuple-ordinal chain of a crashed (or pre-index) stream.
+func tupleBaseOf(dir string, segs []int, upto int) (uint64, error) {
+	var base uint64
+	start := 0
+	for j := upto - 1; j >= 0; j-- {
+		if ix, err := readSidecar(sidecarPath(dir, segs[j])); err == nil {
+			base = ix.baseTuple + ix.tuples
+			start = j + 1
+			break
+		}
+	}
+	for j := start; j < upto; j++ {
+		scan, headerOK, err := scanSegment(segmentPath(dir, segs[j]), 0)
+		if err != nil || !headerOK {
+			return 0, fmt.Errorf("store: segment %d unreadable while rebuilding tuple ordinals: %v", segs[j], err)
+		}
+		base += scan.tuples
+	}
+	return base, nil
+}

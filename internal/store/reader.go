@@ -20,9 +20,23 @@ type Reader struct {
 
 	f          *os.File
 	sr         *segmentReader
+	started    bool // a segment has been opened; nextRecord is anchored
 	nextRecord uint64
 	records    uint64
 	tuples     uint64
+
+	meta   []segMeta // lazy per-segment metadata for seeks
+	unlock func()    // archive compaction read-lock, released on Close
+}
+
+// segMeta caches what a seek needs to know about one segment without
+// decoding it: its base record ordinal and (when present) its sparse
+// index.
+type segMeta struct {
+	index    int
+	base     uint64
+	idx      *segIndex
+	idxTried bool
 }
 
 // OpenReader opens a recorded stream for sequential reading.
@@ -70,7 +84,12 @@ func (r *Reader) openNext() error {
 		return fmt.Errorf("store: segment %d is %d fields wide, manifest declares %d",
 			index, sr.hdr.fields, len(r.man.Fields))
 	}
-	if sr.hdr.baseRecord != r.nextRecord {
+	if !r.started {
+		// The first segment anchors the ordinal chain: a compacted stream
+		// legitimately starts past record zero.
+		r.started = true
+		r.nextRecord = sr.hdr.baseRecord
+	} else if sr.hdr.baseRecord != r.nextRecord {
 		f.Close()
 		return fmt.Errorf("store: segment %d starts at record %d, expected %d (missing segment?)",
 			index, sr.hdr.baseRecord, r.nextRecord)
@@ -122,9 +141,14 @@ func (r *Reader) closeSegment() {
 	}
 }
 
-// Close releases the reader's file handle.
+// Close releases the reader's file handle (and, for readers opened
+// through an Archive, its compaction read-lock).
 func (r *Reader) Close() error {
 	r.closeSegment()
+	if r.unlock != nil {
+		r.unlock()
+		r.unlock = nil
+	}
 	return nil
 }
 

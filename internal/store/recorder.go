@@ -195,6 +195,7 @@ type Archive struct {
 	root   string
 	opts   Options
 	buffer int
+	gate   *streamGate // compaction vs. reader serialization, per stream
 
 	mu     sync.Mutex
 	open   map[string]*Recorder // by stream name (suffix included)
@@ -208,6 +209,7 @@ type Archive struct {
 func NewArchive(root string, opts Options, buffer int) *Archive {
 	return &Archive{
 		root: root, opts: opts, buffer: buffer,
+		gate:   newStreamGate(),
 		open:   make(map[string]*Recorder),
 		byName: make(map[string]*Recorder),
 		origOf: make(map[string]string),
@@ -216,6 +218,23 @@ func NewArchive(root string, opts Options, buffer int) *Archive {
 
 // Root returns the archive directory.
 func (a *Archive) Root() string { return a.root }
+
+// OpenReader opens a recorded stream for reading under the archive's
+// compaction gate: the reader holds the stream's read lock until Close, so
+// a concurrent compaction pass (Archive.NewCompactor) can never rewrite or
+// delete the stream's files while it is being read. Prefer this over the
+// package-level OpenReader whenever the archive has a compactor attached.
+func (a *Archive) OpenReader(name string) (*Reader, error) {
+	lock := a.gate.of(name)
+	lock.RLock()
+	r, err := OpenReader(a.root, name)
+	if err != nil {
+		lock.RUnlock()
+		return nil, err
+	}
+	r.unlock = lock.RUnlock
+	return r, nil
+}
 
 // Record creates a fresh recorded stream for the given session and returns
 // its recorder. If a stream of that name already exists (an earlier run,

@@ -13,14 +13,17 @@ type ReplayOptions struct {
 	// Speed scales event time to wall-clock time: 1 replays at the
 	// original rate, 2 at double speed, 0 (the default) as fast as the
 	// sink accepts. Pacing is drift-free — each tuple is scheduled against
-	// the replay start, not the previous tuple, so sleep jitter does not
-	// accumulate.
+	// the first delivered tuple, not the previous one, so sleep jitter
+	// does not accumulate; and the clock anchors at first delivery, so
+	// time spent seeking or skipping to Offset never eats the schedule.
 	Speed float64
 	// Offset skips the first Offset tuples of the recording before any is
 	// delivered to the sink. Together with Limit this gives ordinal-bounded
 	// replay [Offset, Offset+Limit) — the window a migration catch-up or a
-	// resumed backfill reads. Skipped tuples are not counted, paced or
-	// reported.
+	// resumed backfill reads. The sparse segment index positions the reader
+	// near the offset in O(log) where one exists; skipped tuples are not
+	// counted, paced or reported either way, and the delivered sequence is
+	// byte-identical to a full scan.
 	Offset uint64
 	// Limit stops the replay after this many tuples (0 = all).
 	Limit uint64
@@ -30,8 +33,13 @@ type ReplayOptions struct {
 	Progress func(tuples uint64)
 }
 
-// ReplayStats reports what a replay delivered.
+// ReplayStats reports what a replay delivered. Duration and EventSpan are
+// populated on every return path, including sink and reader errors
+// mid-replay.
 type ReplayStats struct {
+	// Records counts fully delivered records: a record Limit cuts short
+	// (or that the sink aborted inside) is not counted even though some
+	// of its tuples were.
 	Records  uint64
 	Tuples   uint64
 	Duration time.Duration
@@ -40,21 +48,47 @@ type ReplayStats struct {
 	EventSpan time.Duration
 }
 
+// testHookReplayPositioned, when non-nil, runs after the reader has been
+// positioned at Offset and before the first tuple is delivered — it lets
+// tests inject a slow skip phase and pin that pacing anchors at first
+// delivery rather than at entry.
+var testHookReplayPositioned func()
+
 // Replay streams a recorded history into sink in record order. The sink is
 // called on the calling goroutine; an error from it aborts the replay.
-func Replay(r *Reader, sink func(stream.Tuple) error, opts ReplayOptions) (ReplayStats, error) {
-	var stats ReplayStats
-	wallStart := time.Now()
+func Replay(r *Reader, sink func(stream.Tuple) error, opts ReplayOptions) (stats ReplayStats, err error) {
+	begin := time.Now()
+	var wallStart time.Time // pacing anchor: set when the first tuple is delivered
 	var eventStart, eventLast time.Time
 	first := true
-	skip := opts.Offset
-	for {
-		tuples, err := r.Next()
-		if err == io.EOF {
-			break
+	defer func() {
+		// Finalize on every return path — an aborted replay still reports
+		// how long it ran and how much event time it covered.
+		stats.Duration = time.Since(begin)
+		if !first {
+			stats.EventSpan = eventLast.Sub(eventStart)
 		}
-		if err != nil {
-			return stats, err
+	}()
+	skip := opts.Offset
+	if skip > 0 {
+		// The sparse index jumps to the nearest record boundary at or
+		// before the offset; the remainder is skipped tuple by tuple below.
+		rem, serr := r.SeekTuple(skip)
+		if serr != nil {
+			return stats, serr
+		}
+		skip = rem
+	}
+	if testHookReplayPositioned != nil {
+		testHookReplayPositioned()
+	}
+	for {
+		tuples, rerr := r.Next()
+		if rerr == io.EOF {
+			return stats, nil
+		}
+		if rerr != nil {
+			return stats, rerr
 		}
 		if skip >= uint64(len(tuples)) {
 			skip -= uint64(len(tuples))
@@ -66,6 +100,10 @@ func Replay(r *Reader, sink func(stream.Tuple) error, opts ReplayOptions) (Repla
 			t := tuples[i]
 			if first {
 				eventStart, eventLast = t.Ts, t.Ts
+				// Anchor pacing here, not at entry: however long the seek
+				// or the skip scan took, the first delivered tuple starts
+				// the schedule at zero instead of bursting a backlog.
+				wallStart = time.Now()
 				first = false
 			} else if t.Ts.After(eventLast) {
 				eventLast = t.Ts
@@ -81,12 +119,15 @@ func Replay(r *Reader, sink func(stream.Tuple) error, opts ReplayOptions) (Repla
 			}
 			stats.Tuples++
 			if opts.Limit > 0 && stats.Tuples >= opts.Limit {
-				stats.Records++
+				if i == len(tuples)-1 {
+					// The limit landed exactly on a record boundary; a cut
+					// mid-record leaves the record partially delivered and
+					// uncounted.
+					stats.Records++
+				}
 				if opts.Progress != nil {
 					opts.Progress(stats.Tuples)
 				}
-				stats.Duration = time.Since(wallStart)
-				stats.EventSpan = eventLast.Sub(eventStart)
 				return stats, nil
 			}
 		}
@@ -95,11 +136,6 @@ func Replay(r *Reader, sink func(stream.Tuple) error, opts ReplayOptions) (Repla
 			opts.Progress(stats.Tuples)
 		}
 	}
-	stats.Duration = time.Since(wallStart)
-	if !first {
-		stats.EventSpan = eventLast.Sub(eventStart)
-	}
-	return stats, nil
 }
 
 // ReplayToSession feeds a recorded history through a serving session —

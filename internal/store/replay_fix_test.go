@@ -1,0 +1,183 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"gesturecep/internal/stream"
+)
+
+// TestReplayPacingAnchorsAtFirstDelivery pins the pacing bugfix: time
+// spent positioning at Offset (seek plus skip scan) must not eat the
+// schedule. The hook simulates a 200ms skip phase; the replayed window
+// covers ~300ms of event time at 4x speed (~74ms of wall time), so the
+// old entry-anchored clock — already 200ms in arrears — would deliver the
+// whole window in a burst.
+func TestReplayPacingAnchorsAtFirstDelivery(t *testing.T) {
+	root := t.TempDir()
+	const n = 30
+	tuples := buildStream(t, root, "s", n, Options{BatchTuples: 4})
+
+	testHookReplayPositioned = func() { time.Sleep(200 * time.Millisecond) }
+	defer func() { testHookReplayPositioned = nil }()
+
+	r, err := OpenReader(root, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	const off = 20
+	var firstAt, lastAt time.Time
+	stats, err := Replay(r, func(stream.Tuple) error {
+		now := time.Now()
+		if firstAt.IsZero() {
+			firstAt = now
+		}
+		lastAt = now
+		return nil
+	}, ReplayOptions{Offset: off, Speed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tuples != n-off {
+		t.Fatalf("delivered %d tuples, want %d", stats.Tuples, n-off)
+	}
+	wantSpan := tuples[n-1].Ts.Sub(tuples[off].Ts) / 4
+	if got := lastAt.Sub(firstAt); got < wantSpan/2 {
+		t.Fatalf("paced window took %v wall time, want >= %v — pacing clock was anchored before the skip phase", got, wantSpan/2)
+	}
+}
+
+// TestReplayStatsFinalizedOnError pins the stats bugfix: a replay aborted
+// by a sink error must still report its duration and the event span it
+// covered instead of zeros.
+func TestReplayStatsFinalizedOnError(t *testing.T) {
+	root := t.TempDir()
+	buildStream(t, root, "s", 40, Options{BatchTuples: 4})
+
+	r, err := OpenReader(root, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	boom := errors.New("sink exploded")
+	seen := 0
+	stats, err := Replay(r, func(stream.Tuple) error {
+		seen++
+		if seen == 10 {
+			return boom
+		}
+		return nil
+	}, ReplayOptions{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Replay error = %v, want the sink error", err)
+	}
+	if stats.Tuples != 9 {
+		// The aborted delivery itself is not counted.
+		t.Fatalf("stats.Tuples = %d, want 9", stats.Tuples)
+	}
+	if stats.Duration <= 0 {
+		t.Fatal("stats.Duration not finalized on sink error")
+	}
+	if stats.EventSpan <= 0 {
+		t.Fatal("stats.EventSpan not finalized on sink error")
+	}
+}
+
+// TestReplayLimitCountsOnlyFullRecords pins the record-counting bugfix: a
+// record the Limit cuts mid-way is not a delivered record.
+func TestReplayLimitCountsOnlyFullRecords(t *testing.T) {
+	root := t.TempDir()
+	buildStream(t, root, "s", 30, Options{BatchTuples: 10})
+
+	for _, tc := range []struct {
+		limit       uint64
+		wantRecords uint64
+	}{
+		{limit: 15, wantRecords: 1}, // cut lands mid-record: 1 full + 1 partial
+		{limit: 20, wantRecords: 2}, // cut lands exactly on a record boundary
+		{limit: 0, wantRecords: 3},  // unlimited: all records
+	} {
+		r, err := OpenReader(root, "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := Replay(r, func(stream.Tuple) error { return nil }, ReplayOptions{Limit: tc.limit})
+		r.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTuples := tc.limit
+		if wantTuples == 0 {
+			wantTuples = 30
+		}
+		if stats.Tuples != wantTuples {
+			t.Fatalf("Limit=%d: Tuples = %d, want %d", tc.limit, stats.Tuples, wantTuples)
+		}
+		if stats.Records != tc.wantRecords {
+			t.Fatalf("Limit=%d: Records = %d, want %d", tc.limit, stats.Records, tc.wantRecords)
+		}
+	}
+}
+
+// TestWriterStickyFailAfterRollError pins the writer bugfix: a failed
+// segment roll (here: the next segment path is unexpectedly a directory)
+// must poison the writer — every later Append/Flush/Close surfaces the
+// fault instead of silently buffering into the sealed previous segment —
+// while everything sealed before the fault stays readable.
+func TestWriterStickyFailAfterRollError(t *testing.T) {
+	root := t.TempDir()
+	w, err := Create(root, "s", synthSchema, Options{SegmentBytes: 512, BatchTuples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Squat on the path openSegment will want for segment 2.
+	if err := os.MkdirAll(segmentPath(w.Dir(), 2), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	tuples := synthTuples(400)
+	var rollErr error
+	appended := 0
+	for _, tu := range tuples {
+		if err := w.Append(tu); err != nil {
+			rollErr = err
+			break
+		}
+		appended++
+	}
+	if rollErr == nil {
+		t.Fatal("no roll error after 400 appends into 512-byte segments")
+	}
+	if !strings.Contains(rollErr.Error(), "segment roll failed") {
+		t.Fatalf("roll error = %v, want a segment-roll failure", rollErr)
+	}
+
+	// Sticky: every later call surfaces the same fault.
+	for name, call := range map[string]func() error{
+		"Append": func() error { return w.Append(tuples[0]) },
+		"Flush":  w.Flush,
+		"Close":  w.Close,
+	} {
+		if err := call(); !errors.Is(err, rollErr) {
+			t.Fatalf("%s after failed roll = %v, want the sticky roll error", name, err)
+		}
+	}
+
+	// The sealed history before the fault is intact: the roll sealed
+	// segment 1 cleanly, so every record written before the fault reads
+	// back. (The Append that tripped the roll wrote its record before the
+	// roll ran, so its tuple is durable despite the error.)
+	os.Remove(segmentPath(w.Dir(), 2)) // clear the squatter so the stream lists cleanly
+	got, err := ReadAll(root, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(got) > appended+1 {
+		t.Fatalf("read back %d tuples after fault, want 1..%d", len(got), appended+1)
+	}
+	tuplesEqual(t, got, tuples[:len(got)])
+}

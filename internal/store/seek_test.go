@@ -1,0 +1,353 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gesturecep/internal/stream"
+)
+
+// smallSegOpts forces many small segments and records so seeks cross
+// plenty of segment and index-entry boundaries.
+var smallSegOpts = Options{SegmentBytes: 512, BatchTuples: 4, IndexEvery: 2}
+
+// buildStream records n synthetic tuples under the given options and
+// closes the stream (sealing every segment with a sidecar).
+func buildStream(t testing.TB, root, name string, n int, opts Options) []stream.Tuple {
+	t.Helper()
+	w, err := Create(root, name, synthSchema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := synthTuples(n)
+	for _, tu := range tuples {
+		if err := w.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return tuples
+}
+
+// dropSidecars deletes every index sidecar of a stream, simulating a
+// recording from before indexing existed.
+func dropSidecars(t testing.TB, root, name string) {
+	t.Helper()
+	dir := StreamDir(root, name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), idxSuffix) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// readFrom drains the reader into a flat tuple slice.
+func readFrom(t testing.TB, r *Reader) []stream.Tuple {
+	t.Helper()
+	var out []stream.Tuple
+	for {
+		tuples, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tuples...)
+	}
+}
+
+// TestSeekOrdinalAcrossSegments seeks to record ordinals spread over many
+// small segments — with and without sidecars — and expects Next to resume
+// at exactly the right record either way.
+func TestSeekOrdinalAcrossSegments(t *testing.T) {
+	root := t.TempDir()
+	const n = 400
+	tuples := buildStream(t, root, "s", n, smallSegOpts)
+	records := n / smallSegOpts.BatchTuples
+
+	for _, indexed := range []bool{true, false} {
+		name := "indexed"
+		if !indexed {
+			name = "scan-fallback"
+			dropSidecars(t, root, "s")
+		}
+		t.Run(name, func(t *testing.T) {
+			r, err := OpenReader(root, "s")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			for _, rec := range []uint64{0, 1, 2, 3, 17, 50, uint64(records) - 1} {
+				if err := r.SeekOrdinal(rec); err != nil {
+					t.Fatalf("SeekOrdinal(%d): %v", rec, err)
+				}
+				got, err := r.Next()
+				if err != nil {
+					t.Fatalf("Next after SeekOrdinal(%d): %v", rec, err)
+				}
+				wantFirst := tuples[int(rec)*smallSegOpts.BatchTuples]
+				if !got[0].Ts.Equal(wantFirst.Ts) || got[0].Seq != wantFirst.Seq {
+					t.Fatalf("SeekOrdinal(%d): got record starting seq %d, want %d", rec, got[0].Seq, wantFirst.Seq)
+				}
+			}
+			// Seeking backward works too (seeks reset position wholesale).
+			if err := r.SeekOrdinal(0); err != nil {
+				t.Fatal(err)
+			}
+			if got := readFrom(t, r); len(got) != n {
+				t.Fatalf("full read after rewind: %d tuples, want %d", len(got), n)
+			}
+			// Past the end: clean EOF.
+			if err := r.SeekOrdinal(uint64(records) + 100); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.Next(); err != io.EOF {
+				t.Fatalf("Next past end: %v, want io.EOF", err)
+			}
+		})
+	}
+}
+
+// TestSeekThenReplayByteIdentity pins the tentpole invariant: a replay
+// windowed with Offset over an indexed stream delivers a byte-identical
+// tuple sequence to a full-scan replay of the same window on a stream
+// with no index at all.
+func TestSeekThenReplayByteIdentity(t *testing.T) {
+	root := t.TempDir()
+	const n = 300
+	tuples := buildStream(t, root, "indexed", n, smallSegOpts)
+	buildStream(t, root, "plain", n, smallSegOpts)
+	dropSidecars(t, root, "plain")
+
+	for _, off := range []uint64{0, 1, 3, 4, 37, 128, 299, 300, 1000} {
+		collect := func(name string) []stream.Tuple {
+			r, err := OpenReader(root, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			var got []stream.Tuple
+			stats, err := Replay(r, func(tu stream.Tuple) error { got = append(got, tu); return nil },
+				ReplayOptions{Offset: off})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Tuples != uint64(len(got)) {
+				t.Fatalf("stats.Tuples %d, sink saw %d", stats.Tuples, len(got))
+			}
+			return got
+		}
+		fast, slow := collect("indexed"), collect("plain")
+		tuplesEqual(t, fast, slow)
+		want := []stream.Tuple{}
+		if off < n {
+			want = tuples[off:]
+		}
+		tuplesEqual(t, fast, want)
+	}
+}
+
+// TestSeekTime positions conservatively: every tuple at or after the
+// target time must still be readable, and the seek must land within one
+// index stride of the boundary rather than at the stream start.
+func TestSeekTime(t *testing.T) {
+	root := t.TempDir()
+	const n = 400
+	tuples := buildStream(t, root, "s", n, smallSegOpts)
+
+	r, err := OpenReader(root, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for _, target := range []int{0, 10, 57, 200, 399} {
+		at := tuples[target].Ts
+		if err := r.SeekTime(at); err != nil {
+			t.Fatalf("SeekTime(%v): %v", at, err)
+		}
+		rest := readFrom(t, r)
+		var wantAfter int
+		for _, tu := range tuples {
+			if !tu.Ts.Before(at) {
+				wantAfter++
+			}
+		}
+		after := 0
+		for _, tu := range rest {
+			if !tu.Ts.Before(at) {
+				after++
+			}
+		}
+		if after != wantAfter {
+			t.Fatalf("SeekTime(%v): %d tuples at/after target, want %d", at, after, wantAfter)
+		}
+		// Accelerated: the position may undershoot by at most one index
+		// stride of records (plus the record containing the boundary).
+		maxExtra := (smallSegOpts.IndexEvery + 1) * smallSegOpts.BatchTuples
+		if len(rest) > wantAfter+maxExtra {
+			t.Fatalf("SeekTime(%v): delivered %d tuples, want at most %d", at, len(rest), wantAfter+maxExtra)
+		}
+	}
+	// Past the newest tuple: clean EOF.
+	if err := r.SeekTime(tuples[n-1].Ts.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("Next past end: %v, want io.EOF", err)
+	}
+}
+
+// TestInfoFromIndex expects Info to report exact totals and span from the
+// sidecars alone, and to survive (and notice) their absence.
+func TestInfoFromIndex(t *testing.T) {
+	root := t.TempDir()
+	const n = 250
+	tuples := buildStream(t, root, "s", n, smallSegOpts)
+
+	info, err := Info(root, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Indexed {
+		t.Fatal("cleanly closed stream should be fully indexed")
+	}
+	if info.Tuples != n {
+		t.Fatalf("Info.Tuples = %d, want %d", info.Tuples, n)
+	}
+	if wantRecords := uint64((n + smallSegOpts.BatchTuples - 1) / smallSegOpts.BatchTuples); info.Records != wantRecords {
+		t.Fatalf("Info.Records = %d, want %d", info.Records, wantRecords)
+	}
+	if !info.First.Equal(tuples[0].Ts) || !info.Last.Equal(tuples[n-1].Ts) {
+		t.Fatalf("Info span [%v, %v], want [%v, %v]", info.First, info.Last, tuples[0].Ts, tuples[n-1].Ts)
+	}
+
+	dropSidecars(t, root, "s")
+	info2, err := Info(root, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Indexed {
+		t.Fatal("sidecar-less stream reported as indexed")
+	}
+	if info2.Tuples != info.Tuples || info2.Records != info.Records ||
+		!info2.First.Equal(info.First) || !info2.Last.Equal(info.Last) {
+		t.Fatalf("scan fallback disagrees with index: %+v vs %+v", info2, info)
+	}
+}
+
+// TestCrashRecoveryTornIndexSidecar pins that a mangled sidecar never
+// breaks a stream: reads fall back to scanning, seeks stay exact, and
+// reopening the stream for append discards and eventually rewrites the
+// sidecar of the segment it extends.
+func TestCrashRecoveryTornIndexSidecar(t *testing.T) {
+	root := t.TempDir()
+	const n = 200
+	tuples := buildStream(t, root, "s", n, smallSegOpts)
+	dir := StreamDir(root, "s")
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want >=3 segments, got %d (err %v)", len(segs), err)
+	}
+
+	// Tear the first sidecar mid-file and scribble over the second.
+	first := sidecarPath(dir, segs[0])
+	b, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(first, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	second := sidecarPath(dir, segs[1])
+	if err := os.WriteFile(second, []byte("garbage sidecar"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reads and seeks are unaffected.
+	got, err := ReadAll(root, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuplesEqual(t, got, tuples)
+	r, err := OpenReader(root, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rem, err := r.SeekTuple(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after []stream.Tuple
+	for skip := rem; ; {
+		tu, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if skip >= uint64(len(tu)) {
+			skip -= uint64(len(tu))
+			continue
+		}
+		after = append(after, tu[skip:]...)
+		skip = 0
+	}
+	r.Close()
+	tuplesEqual(t, after, tuples[100:])
+
+	// Reopen for append: recovery must not trip over either sidecar, and
+	// the extended tail segment's stale sidecar must be gone until the
+	// next seal rewrites it.
+	w, err := Open(root, "s", smallSegOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := segs[len(segs)-1]
+	if _, err := os.Stat(sidecarPath(dir, tail)); !os.IsNotExist(err) {
+		t.Fatalf("reopened segment still has a sidecar (err %v)", err)
+	}
+	more := synthTuples(n + 40)[n:]
+	for _, tu := range more {
+		if err := w.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadAll(root, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuplesEqual(t, got, append(append([]stream.Tuple(nil), tuples...), more...))
+
+	// The close resealed the tail: its sidecar is back and coherent, and
+	// tuple-ordinal seeks across the recovered boundary stay exact.
+	r2, err := OpenReader(root, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	rem2, err := r2.SeekTuple(uint64(n + 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest := readFrom(t, r2)
+	if uint64(len(rest)) < rem2 || len(rest)-int(rem2) != 20 {
+		t.Fatalf("SeekTuple after recovery: %d tuples minus %d remainder, want 20", len(rest), rem2)
+	}
+}

@@ -117,6 +117,14 @@ func newSegmentReader(r io.Reader) (*segmentReader, error) {
 	return &segmentReader{r: br, hdr: hdr, next: hdr.baseRecord}, nil
 }
 
+// newSegmentReaderAt wraps a file already positioned at a record boundary
+// mid-segment — the seek path, which validated the header and picked the
+// position from the sparse index. next is the stream-wide ordinal of the
+// record at that position.
+func newSegmentReaderAt(r io.Reader, hdr segHeader, next uint64) *segmentReader {
+	return &segmentReader{r: bufio.NewReaderSize(r, 64<<10), hdr: hdr, next: next}
+}
+
 // Next decodes one record. io.EOF signals a clean end exactly at a record
 // boundary; errTorn (wrapped) signals a truncated tail; any other error is
 // corruption.
@@ -177,6 +185,11 @@ type segScan struct {
 	records    uint64 // valid records
 	tuples     uint64
 	validBytes int64 // offset just past the last valid record
+	// Index rebuild material: one sparse entry per `every` records with a
+	// segment-relative tuple ordinal (collected only when every > 0), and
+	// the segment's event-time span.
+	idx                 []idxEntry
+	firstTsNs, lastTsNs int64
 }
 
 // scanSegment reads a segment file front to back and reports how much of
@@ -185,8 +198,10 @@ type segScan struct {
 // point — everything before it CRC-checked and decoded. A failure that is
 // not a torn tail (mid-file corruption with data behind it) is returned
 // as an error: truncating there would discard history that may still be
-// valid, so recovery refuses rather than guessing.
-func scanSegment(path string) (s segScan, headerOK bool, err error) {
+// valid, so recovery refuses rather than guessing. every > 0 additionally
+// collects sparse-index entries so recovery can resume indexing the
+// reopened segment.
+func scanSegment(path string, every int) (s segScan, headerOK bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return segScan{}, false, err
@@ -207,6 +222,23 @@ func scanSegment(path string) (s segScan, headerOK bool, err error) {
 		}
 		if err != nil {
 			return s, true, err
+		}
+		if len(b.Tuples) > 0 {
+			if every > 0 && s.records%uint64(every) == 0 {
+				s.idx = append(s.idx, idxEntry{
+					tupleOrd: s.tuples, // segment-relative; caller adds the base
+					tsNs:     b.Tuples[0].Ts.UnixNano(),
+					offset:   s.validBytes,
+				})
+			}
+			if s.firstTsNs == 0 {
+				s.firstTsNs = b.Tuples[0].Ts.UnixNano()
+			}
+			for i := range b.Tuples {
+				if ns := b.Tuples[i].Ts.UnixNano(); ns > s.lastTsNs {
+					s.lastTsNs = ns
+				}
+			}
 		}
 		s.records++
 		s.tuples += uint64(len(b.Tuples))

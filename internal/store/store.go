@@ -17,12 +17,16 @@
 //
 //	<root>/<stream>/manifest.json    immutable stream metadata
 //	<root>/<stream>/000000000001.seg append-only segment files
+//	<root>/<stream>/000000000001.idx sparse index sidecar (sealed segments)
 //	<root>/<stream>/000000000002.seg
 //	...
 //
 // The manifest is written once at creation and never mutated, so recovery
 // never depends on a mutable metadata file: the segment set is discovered
-// by directory scan and validated record by record.
+// by directory scan and validated record by record. Sealed segments carry
+// a CRC-framed sparse index sidecar (see index.go) that makes the archive
+// seekable by record ordinal, tuple ordinal and event time; sidecars are
+// pure accelerators and their absence or corruption only costs a scan.
 //
 // # Segment format
 //
@@ -94,11 +98,18 @@ type Options struct {
 	// Sync fsyncs the segment file on every Flush and segment roll.
 	// Durability against OS crashes at the price of flush latency.
 	Sync bool
+	// IndexEvery is the record stride between sparse-index entries in the
+	// sidecar written when a segment seals. Defaults to DefaultIndexEvery;
+	// a seek scans at most IndexEvery-1 records past its index entry.
+	IndexEvery int
 }
 
 func (o Options) withDefaults(fields int) Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.IndexEvery <= 0 {
+		o.IndexEvery = DefaultIndexEvery
 	}
 	if o.BatchTuples <= 0 {
 		o.BatchTuples = DefaultBatchTuples

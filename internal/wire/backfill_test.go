@@ -1,0 +1,246 @@
+package wire_test
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gesturecep/internal/anduin"
+	"gesturecep/internal/serve"
+	"gesturecep/internal/wire"
+)
+
+// Backfill protocol tests: a stub BackfillSource stands in for the archive,
+// so these pin the frame exchange itself — ordering, chunking, Missing
+// reporting, error scoping — independent of store-layer behavior.
+
+// startBackfillServer runs a wire server whose BackfillSource is the given
+// stub; the manager is incidental (backfill never touches sessions).
+func startBackfillServer(t *testing.T, source wire.BackfillFunc) string {
+	t.Helper()
+	mgr, err := serve.NewManager(serve.Config{Shards: 1}, serve.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.NewServer(mgr)
+	srv.BackfillSource = source
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		mgr.Close()
+	})
+	return ln.Addr().String()
+}
+
+// synthDets fabricates n distinguishable detections for a stream.
+func synthDets(stream string, n int) []anduin.Detection {
+	base := time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC)
+	dets := make([]anduin.Detection, n)
+	for i := range dets {
+		dets[i] = anduin.Detection{
+			Gesture:  stream + "-swipe",
+			QueryID:  i,
+			Start:    base.Add(time.Duration(i) * time.Second),
+			End:      base.Add(time.Duration(i)*time.Second + 100*time.Millisecond),
+			Measures: []float64{float64(i), 0.5},
+		}
+	}
+	return dets
+}
+
+// stubSource serves synthDets(stream, countOf[stream]) per stream, emitting
+// in chunks of emitEvery; streams absent from countOf are unknown.
+func stubSource(t *testing.T, countOf map[string]int, emitEvery int) wire.BackfillFunc {
+	return func(stream string, gestures []string, since, until time.Time,
+		emit func([]anduin.Detection) error) (uint64, uint64, error) {
+		n, ok := countOf[stream]
+		if !ok {
+			return 0, 0, fmt.Errorf("no archive for %q: %w", stream, wire.ErrUnknownStream)
+		}
+		dets := synthDets(stream, n)
+		for len(dets) > 0 {
+			c := emitEvery
+			if c > len(dets) {
+				c = len(dets)
+			}
+			if err := emit(dets[:c]); err != nil {
+				return 0, 0, err
+			}
+			dets = dets[c:]
+		}
+		return uint64(n/4 + 1), uint64(n), nil
+	}
+}
+
+func dialBackfill(t *testing.T, addr string, coalesce bool) *wire.Client {
+	t.Helper()
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coalesce {
+		cl.EnableCoalescing()
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// TestWireBackfill exercises the full request shape — multiple streams, an
+// unknown stream mid-list, detections larger than one push frame — with and
+// without write coalescing on the client.
+func TestWireBackfill(t *testing.T) {
+	counts := map[string]int{
+		"alpha": 3,
+		// > MaxDetections forces the server to chunk this stream across
+		// several FrameBackfillDet frames.
+		"bravo":   wire.MaxDetections + 37,
+		"charlie": 1,
+	}
+	addr := startBackfillServer(t, stubSource(t, counts, 500))
+
+	for _, coalesce := range []bool{false, true} {
+		t.Run(fmt.Sprintf("coalesce=%v", coalesce), func(t *testing.T) {
+			cl := dialBackfill(t, addr, coalesce)
+			streams := []string{"alpha", "ghost", "bravo", "charlie"}
+			got := make(map[int][]anduin.Detection)
+			var order []int
+			reply, err := cl.Backfill(wire.BackfillRequest{Streams: streams},
+				func(idx int, dets []anduin.Detection) {
+					if len(got[idx]) == 0 {
+						order = append(order, idx)
+					}
+					got[idx] = append(got[idx], dets...)
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(reply.Missing) != 1 || reply.Missing[0] != 1 {
+				t.Errorf("Missing = %v, want [1]", reply.Missing)
+			}
+			wantDets := uint64(counts["alpha"] + counts["bravo"] + counts["charlie"])
+			if reply.Detections != wantDets {
+				t.Errorf("reply.Detections = %d, want %d", reply.Detections, wantDets)
+			}
+			if reply.Tuples != wantDets || reply.Records == 0 {
+				t.Errorf("reply counters = %+v", reply)
+			}
+			// Pushes arrive grouped per stream, in request order, unknown
+			// stream skipped.
+			if want := []int{0, 2, 3}; fmt.Sprint(order) != fmt.Sprint(want) {
+				t.Errorf("stream delivery order = %v, want %v", order, want)
+			}
+			for i, name := range streams {
+				if i == 1 {
+					if len(got[i]) != 0 {
+						t.Errorf("unknown stream %q delivered %d detections", name, len(got[i]))
+					}
+					continue
+				}
+				want := synthDets(name, counts[name])
+				if len(got[i]) != len(want) {
+					t.Fatalf("stream %q: %d detections, want %d", name, len(got[i]), len(want))
+				}
+				for j := range want {
+					g, w := got[i][j], want[j]
+					if g.Gesture != w.Gesture || g.QueryID != w.QueryID ||
+						!g.Start.Equal(w.Start) || !g.End.Equal(w.End) ||
+						len(g.Measures) != len(w.Measures) {
+						t.Fatalf("stream %q detection %d = %+v, want %+v", name, j, g, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWireBackfillErrors pins failure scoping: no source configured and a
+// source that fails mid-stream both abort the request with a FrameError, and
+// the connection stays usable for ordinary control traffic afterwards.
+func TestWireBackfillErrors(t *testing.T) {
+	t.Run("no source", func(t *testing.T) {
+		addr := startBackfillServer(t, nil)
+		cl := dialBackfill(t, addr, false)
+		_, err := cl.Backfill(wire.BackfillRequest{Streams: []string{"x"}}, nil)
+		var er *wire.ErrorReply
+		if !errors.As(err, &er) {
+			t.Fatalf("backfill without a source: err = %v, want *wire.ErrorReply", err)
+		}
+		if _, err := cl.Ping(1); err != nil {
+			t.Errorf("connection dead after refused backfill: %v", err)
+		}
+	})
+
+	t.Run("source error mid-request", func(t *testing.T) {
+		source := func(stream string, _ []string, _, _ time.Time,
+			emit func([]anduin.Detection) error) (uint64, uint64, error) {
+			if stream == "bad" {
+				return 0, 0, errors.New("disk exploded")
+			}
+			if err := emit(synthDets(stream, 2)); err != nil {
+				return 0, 0, err
+			}
+			return 1, 2, nil
+		}
+		addr := startBackfillServer(t, source)
+		cl := dialBackfill(t, addr, false)
+		var delivered int
+		_, err := cl.Backfill(wire.BackfillRequest{Streams: []string{"ok", "bad", "never"}},
+			func(int, []anduin.Detection) { delivered++ })
+		var er *wire.ErrorReply
+		if !errors.As(err, &er) || !strings.Contains(er.Msg, "disk exploded") {
+			t.Fatalf("err = %v, want *wire.ErrorReply wrapping the source error", err)
+		}
+		if delivered != 1 {
+			t.Errorf("delivered %d pushes before the abort, want 1 (stream \"ok\" only)", delivered)
+		}
+		if _, err := cl.Ping(2); err != nil {
+			t.Errorf("connection dead after aborted backfill: %v", err)
+		}
+	})
+}
+
+// TestWireBackfillTimeBounds verifies Since/Until cross the wire intact and
+// unset bounds arrive as zero times.
+func TestWireBackfillTimeBounds(t *testing.T) {
+	since := time.Date(2014, 3, 24, 10, 0, 0, 0, time.UTC)
+	until := since.Add(time.Hour)
+	var mu sync.Mutex
+	var gotSince, gotUntil []time.Time
+	source := func(_ string, _ []string, s, u time.Time,
+		_ func([]anduin.Detection) error) (uint64, uint64, error) {
+		mu.Lock()
+		gotSince = append(gotSince, s)
+		gotUntil = append(gotUntil, u)
+		mu.Unlock()
+		return 0, 0, nil
+	}
+	addr := startBackfillServer(t, source)
+	cl := dialBackfill(t, addr, false)
+
+	if _, err := cl.Backfill(wire.BackfillRequest{
+		Streams: []string{"s"},
+		SinceNs: since.UnixNano(),
+		UntilNs: until.UnixNano(),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Backfill(wire.BackfillRequest{Streams: []string{"s"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !gotSince[0].Equal(since) || !gotUntil[0].Equal(until) {
+		t.Errorf("bounded call saw [%v, %v), want [%v, %v)", gotSince[0], gotUntil[0], since, until)
+	}
+	if !gotSince[1].IsZero() || !gotUntil[1].IsZero() {
+		t.Errorf("unbounded call saw [%v, %v), want zero times", gotSince[1], gotUntil[1])
+	}
+}

@@ -47,9 +47,12 @@ type Client struct {
 	// waiters is the FIFO of in-flight control round trips; the read loop
 	// dispatches each control reply to the head. Appends happen in the same
 	// critical section as the request's write (or enqueue), so queue order
-	// always matches wire order.
+	// always matches wire order. A backfill request additionally carries a
+	// detection callback: its FrameBackfillDet frames arrive while the
+	// request is the queue head and are delivered through the callback
+	// WITHOUT popping it — only the summarizing reply (or an error) pops.
 	pmu     sync.Mutex
-	waiters []chan controlResp
+	waiters []pendingReq
 
 	mu       sync.Mutex
 	sessions map[uint32]*RemoteSession
@@ -62,6 +65,14 @@ type Client struct {
 type controlResp struct {
 	frameType FrameType
 	payload   []byte // copied out of the reader buffer
+}
+
+// pendingReq is one in-flight control round trip. onDets is non-nil only
+// for backfill requests; the read loop calls it for every FrameBackfillDet
+// frame that arrives while this request heads the queue.
+type pendingReq struct {
+	ch     chan controlResp
+	onDets func(streamIdx uint32, dets []anduin.Detection)
 }
 
 // Dial connects to a gestured server.
@@ -208,13 +219,34 @@ func (cl *Client) readLoop() {
 			if rs != nil {
 				rs.deliver(dropped, dets)
 			}
+		case FrameBackfillDet:
+			// Detections of the head backfill request: deliver through its
+			// callback without popping — the summarizing FrameBackfillOK
+			// (or a FrameError) completes the round trip.
+			streamIdx, _, dets, err := DecodeDetections(f.Payload)
+			if err != nil {
+				cl.fail(err)
+				return
+			}
+			cl.pmu.Lock()
+			var onDets func(uint32, []anduin.Detection)
+			if len(cl.waiters) > 0 {
+				onDets = cl.waiters[0].onDets
+			}
+			cl.pmu.Unlock()
+			if onDets == nil {
+				cl.fail(fmt.Errorf("wire: unsolicited %s frame", f.Type))
+				return
+			}
+			onDets(streamIdx, dets)
 		case FrameAttachOK, FrameFlushOK, FrameDetachOK, FrameMetricsOK, FramePong,
-			FrameMigrateBeginOK, FrameMigrateStateOK, FrameMigrateCommitOK, FrameError:
+			FrameMigrateBeginOK, FrameMigrateStateOK, FrameMigrateCommitOK,
+			FrameBackfillOK, FrameError:
 			payload := append([]byte(nil), f.Payload...)
 			cl.pmu.Lock()
 			var waiter chan controlResp
 			if len(cl.waiters) > 0 {
-				waiter = cl.waiters[0]
+				waiter = cl.waiters[0].ch
 				cl.waiters = cl.waiters[1:]
 			}
 			cl.pmu.Unlock()
@@ -235,10 +267,18 @@ func (cl *Client) readLoop() {
 // their request's position in wire order. A FrameError reply is surfaced
 // as *ErrorReply.
 func (cl *Client) roundTrip(req FrameType, v any, wantReply FrameType, out any) error {
+	return cl.roundTripWith(req, v, wantReply, out, nil)
+}
+
+// roundTripWith is roundTrip with an optional per-request detection
+// callback (backfill requests stream detections before their reply).
+func (cl *Client) roundTripWith(req FrameType, v any, wantReply FrameType, out any,
+	onDets func(uint32, []anduin.Detection)) error {
 	if cl.closed.Load() {
 		return cl.closedErr()
 	}
 	ch := make(chan controlResp, 1)
+	pr := pendingReq{ch: ch, onDets: onDets}
 	if cl.co != nil {
 		payload, err := json.Marshal(v)
 		if err != nil {
@@ -246,13 +286,13 @@ func (cl *Client) roundTrip(req FrameType, v any, wantReply FrameType, out any) 
 		}
 		// The marshalled payload is freshly allocated, so the coalescer may
 		// reference it until flushed without a copy.
-		if err := cl.co.enqueue(req, payload, false, ch); err != nil {
+		if err := cl.co.enqueue(req, payload, false, &pr); err != nil {
 			return err
 		}
 	} else {
 		cl.wmu.Lock()
 		cl.pmu.Lock()
-		cl.waiters = append(cl.waiters, ch)
+		cl.waiters = append(cl.waiters, pr)
 		cl.pmu.Unlock()
 		err := cl.w.WriteJSON(req, v)
 		cl.wmu.Unlock()
@@ -291,18 +331,19 @@ func (cl *Client) roundTripRaw(req FrameType, v any, wantReply FrameType) ([]byt
 		return nil, cl.closedErr()
 	}
 	ch := make(chan controlResp, 1)
+	pr := pendingReq{ch: ch}
 	if cl.co != nil {
 		payload, err := json.Marshal(v)
 		if err != nil {
 			return nil, err
 		}
-		if err := cl.co.enqueue(req, payload, false, ch); err != nil {
+		if err := cl.co.enqueue(req, payload, false, &pr); err != nil {
 			return nil, err
 		}
 	} else {
 		cl.wmu.Lock()
 		cl.pmu.Lock()
-		cl.waiters = append(cl.waiters, ch)
+		cl.waiters = append(cl.waiters, pr)
 		cl.pmu.Unlock()
 		err := cl.w.WriteJSON(req, v)
 		cl.wmu.Unlock()
@@ -683,6 +724,27 @@ func (rs *RemoteSession) MigrateCommit(ordinal uint64) (SessionCounters, error) 
 	err := rs.cl.roundTrip(FrameMigrateCommit,
 		&MigrateCommitRequest{Handle: rs.handle, Ordinal: ordinal}, FrameMigrateCommitOK, &counters)
 	return counters, err
+}
+
+// Backfill asks the server to evaluate plans over recorded streams it
+// archives. onDets, when non-nil, runs on the client's read goroutine for
+// every detection push with the index into req.Streams the detections
+// belong to; pushes arrive in stream order, each stream's detections in
+// evaluation order, all before Backfill returns. The reply lists streams
+// the server does not archive in Missing — those produced no detections
+// and should be retried against the backend that has them. Note the
+// request holds the server connection's reader goroutine for its whole
+// run; use a dedicated connection when live traffic shares the client.
+func (cl *Client) Backfill(req BackfillRequest, onDets func(streamIdx int, dets []anduin.Detection)) (BackfillReply, error) {
+	var reply BackfillReply
+	var cb func(uint32, []anduin.Detection)
+	if onDets != nil {
+		cb = func(idx uint32, dets []anduin.Detection) { onDets(int(idx), dets) }
+	} else {
+		cb = func(uint32, []anduin.Detection) {}
+	}
+	err := cl.roundTripWith(FrameBackfill, &req, FrameBackfillOK, &reply, cb)
+	return reply, err
 }
 
 // MigrateAbort cancels a migration on the source: the history reader is

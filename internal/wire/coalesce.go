@@ -58,7 +58,7 @@ func newCoalescer(cl *Client) *coalescer {
 // reply order matches wire order even with concurrent producers. enqueue
 // blocks while maxCoalescedBytes are already pending. On error, payload
 // ownership stays with the caller.
-func (co *coalescer) enqueue(t FrameType, payload []byte, owned bool, waiter chan controlResp) error {
+func (co *coalescer) enqueue(t FrameType, payload []byte, owned bool, waiter *pendingReq) error {
 	co.mu.Lock()
 	for co.queue >= maxCoalescedBytes && co.err == nil && !co.stopd && !co.cl.closed.Load() {
 		co.cond.Wait()
@@ -88,7 +88,7 @@ func (co *coalescer) enqueue(t FrameType, payload []byte, owned bool, waiter cha
 	co.queue += headerSize + len(payload)
 	if waiter != nil {
 		co.cl.pmu.Lock()
-		co.cl.waiters = append(co.cl.waiters, waiter)
+		co.cl.waiters = append(co.cl.waiters, *waiter)
 		co.cl.pmu.Unlock()
 	}
 	co.cond.Broadcast()

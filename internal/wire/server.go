@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -54,6 +55,19 @@ type Server struct {
 	// stream-store archive without the wire layer knowing about disks.
 	// Set it before Serve; it must be safe for concurrent use.
 	TapSessions func(sessionID string) (tap func(stream.Tuple), release func(aborted bool), err error)
+
+	// BackfillSource, when non-nil, serves FrameBackfill requests: it must
+	// evaluate the named plans over the named recorded stream within the
+	// given event-time window, calling emit (possibly repeatedly, in order)
+	// with the detections as they fire, and return the records and tuples
+	// evaluated. A stream the server does not archive is reported by
+	// returning (or wrapping) ErrUnknownStream — the request then lists it
+	// as missing instead of failing, which is how a fleet coordinator
+	// discovers it must retry the stream elsewhere. The standard
+	// implementation is store.NewWireBackfillSource over the server's
+	// archive. Runs on the connection's reader goroutine; set before Serve,
+	// safe for concurrent use.
+	BackfillSource BackfillFunc
 
 	// MigrateSource, when non-nil, makes this server's sessions migratable:
 	// on FrameMigrateBegin it must return a reader over the session's
@@ -191,6 +205,13 @@ type HistoryReader interface {
 	Close() error
 }
 
+// BackfillFunc evaluates plans over one recorded stream for a backfill
+// request — the Server.BackfillSource contract, declared here so the wire
+// layer can serve offline evaluation without importing the store. A zero
+// since or until leaves that side of the event-time window unbounded.
+type BackfillFunc func(stream string, gestures []string, since, until time.Time,
+	emit func([]anduin.Detection) error) (records, tuples uint64, err error)
+
 // connSession is one attached session with its detection push state.
 type connSession struct {
 	handle  uint32
@@ -275,6 +296,8 @@ func (c *conn) handle(f Frame) error {
 		return c.handleMigrateState(f.Payload)
 	case FrameMigrateCommit:
 		return c.handleMigrateCommit(f.Payload)
+	case FrameBackfill:
+		return c.handleBackfill(f.Payload)
 	case FrameMetricsReq:
 		c.wmu.Lock()
 		defer c.wmu.Unlock()
@@ -615,6 +638,69 @@ func (c *conn) handleMigrateCommit(payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	return c.w.WriteJSON(FrameMigrateCommitOK, &counters)
+}
+
+// handleBackfill evaluates plans over recorded streams on the connection's
+// reader goroutine: per stream, detections go out as FrameBackfillDet
+// frames addressed by the stream's request index, then one FrameBackfillOK
+// summarizes the run. Unknown streams are collected in Missing; any other
+// per-stream failure aborts the request with a FrameError (the connection
+// and its sessions survive).
+func (c *conn) handleBackfill(payload []byte) error {
+	var req BackfillRequest
+	if err := unmarshalStrict(payload, &req); err != nil {
+		return fmt.Errorf("backfill: %w", err)
+	}
+	if c.srv.BackfillSource == nil {
+		return c.sessionError(0, fmt.Errorf("wire: server has no backfill source"))
+	}
+	var since, until time.Time
+	if req.SinceNs != 0 {
+		since = decodeTime(req.SinceNs)
+	}
+	if req.UntilNs != 0 {
+		until = decodeTime(req.UntilNs)
+	}
+	var reply BackfillReply
+	var encBuf []byte
+	for i, name := range req.Streams {
+		idx := uint32(i)
+		emit := func(dets []anduin.Detection) error {
+			for len(dets) > 0 {
+				n := len(dets)
+				if n > MaxDetections {
+					n = MaxDetections
+				}
+				buf, err := AppendDetections(encBuf[:0], idx, 0, dets[:n])
+				if err != nil {
+					return err
+				}
+				encBuf = buf[:0]
+				c.wmu.Lock()
+				err = c.w.WriteFrame(FrameBackfillDet, buf)
+				c.wmu.Unlock()
+				if err != nil {
+					return err
+				}
+				reply.Detections += uint64(n)
+				dets = dets[n:]
+			}
+			return nil
+		}
+		records, tuples, err := c.srv.BackfillSource(name, req.Gestures, since, until, emit)
+		reply.Records += records
+		reply.Tuples += tuples
+		if err != nil {
+			if errors.Is(err, ErrUnknownStream) {
+				reply.Missing = append(reply.Missing, i)
+				continue
+			}
+			return c.sessionError(0, fmt.Errorf("wire: backfill stream %q: %w", name, err))
+		}
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.w.WriteJSON(FrameBackfillOK, &reply)
 }
 
 func (c *conn) session(handle uint32) *connSession {

@@ -49,6 +49,7 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
@@ -105,7 +106,16 @@ const (
 	FrameMigrateCommit   FrameType = 18 // JSON MigrateCommitRequest
 	FrameMigrateCommitOK FrameType = 19 // JSON SessionCounters
 
-	frameTypeEnd FrameType = 20
+	// Offline backfill: a client (the fleet coordinator, or gesturereplay
+	// directly) asks a server to evaluate compiled plans over recorded
+	// streams it archives. Detections stream back per request-stream index
+	// (FrameBackfillDet), then one FrameBackfillOK summarizes the run. See
+	// BackfillRequest/BackfillReply.
+	FrameBackfill    FrameType = 20 // JSON BackfillRequest
+	FrameBackfillDet FrameType = 21 // binary detections payload (handle = stream index)
+	FrameBackfillOK  FrameType = 22 // JSON BackfillReply
+
+	frameTypeEnd FrameType = 23
 )
 
 // String implements fmt.Stringer.
@@ -115,6 +125,7 @@ func (t FrameType) String() string {
 		"detections", "flush", "flush-ok", "metrics-req", "metrics-ok", "error",
 		"ping", "pong", "migrate-begin", "migrate-begin-ok", "migrate-state",
 		"migrate-state-ok", "migrate-commit", "migrate-commit-ok",
+		"backfill", "backfill-det", "backfill-ok",
 	}
 	if int(t) < len(names) {
 		return names[t]
@@ -219,6 +230,37 @@ type MigrateCommitRequest struct {
 	Ordinal uint64 `json:"ordinal"`
 	Abort   bool   `json:"abort,omitempty"`
 }
+
+// BackfillRequest asks a server to evaluate compiled plans over recorded
+// streams from its archive. Gestures names the plans (empty = every
+// registered plan); SinceNs/UntilNs bound evaluation to event times in
+// [Since, Until) (0 = unbounded). Detections stream back in
+// FrameBackfillDet frames whose handle is the index into Streams — in
+// stream order, each stream's detections in evaluation order — followed by
+// one FrameBackfillOK. Streams the server does not archive are reported in
+// the reply's Missing list rather than failing the request, so a fleet
+// coordinator can retry just those on other backends.
+type BackfillRequest struct {
+	Streams  []string `json:"streams"`
+	Gestures []string `json:"gestures,omitempty"`
+	SinceNs  int64    `json:"since_ns,omitempty"`
+	UntilNs  int64    `json:"until_ns,omitempty"`
+}
+
+// BackfillReply summarizes a backfill run: totals across the evaluated
+// streams plus the request indices of streams this server has no recording
+// of (their detections were not produced).
+type BackfillReply struct {
+	Records    uint64 `json:"records"`
+	Tuples     uint64 `json:"tuples"`
+	Detections uint64 `json:"detections"`
+	Missing    []int  `json:"missing,omitempty"`
+}
+
+// ErrUnknownStream is the sentinel a Server.BackfillSource wraps (or
+// returns) for a stream the server does not archive; the request reports
+// the stream in BackfillReply.Missing instead of failing.
+var ErrUnknownStream = errors.New("wire: unknown stream")
 
 // ErrorReply reports a request failure. Handle 0 addresses the connection
 // itself (protocol violations; the server closes the connection after).
