@@ -24,6 +24,7 @@ import (
 	"gesturecep/internal/experiments"
 	"gesturecep/internal/kinect"
 	"gesturecep/internal/learn"
+	"gesturecep/internal/lint"
 	"gesturecep/internal/query"
 	"gesturecep/internal/serve"
 	"gesturecep/internal/stream"
@@ -453,5 +454,27 @@ func BenchmarkE10WindowMode(b *testing.B) {
 		if _, err := experiments.E10WindowMode(int64(i + 1)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestHotPathManifestInSync keeps the bench harness and the static
+// hot-path gate pointed at the same functions: every entry of
+// internal/lint/hotpaths.txt must still resolve to a declared function.
+// Renaming a benched hot function without updating the manifest fails
+// here (and in gesturelint) instead of silently un-gating the path.
+func TestHotPathManifestInSync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the hot-path packages from source; skipped in -short")
+	}
+	entries := lint.HotPathManifest()
+	if len(entries) == 0 {
+		t.Fatal("hot-path manifest is empty; the hotpathalloc gate is gating nothing")
+	}
+	pkgs, err := lint.NewLoader().Load(lint.ManifestPackages()...)
+	if err != nil {
+		t.Fatalf("loading manifest packages: %v", err)
+	}
+	for _, d := range lint.StaleManifest(pkgs) {
+		t.Error(d.Message)
 	}
 }

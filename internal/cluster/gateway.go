@@ -1144,6 +1144,7 @@ func (fc *frontConn) handleBatch(payload []byte) error {
 		fc.gw.eject(ps.be, ps)
 		if ps.be.isEjected() && ps.rehomeErr == nil {
 			if attempt >= batchRetryLimit {
+				//lint:ignore hotpathalloc sticky give-up after batchRetryLimit backend deaths; runs at most once per session, never per frame
 				ps.rehomeErr = fmt.Errorf("cluster: session %q: batch failed on %d backend incarnations, giving up", ps.id, attempt)
 			} else {
 				ps.rehomeErr = fc.gw.rehomeLocked(ps)

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// sharedLoader caches the from-source type-check of the standard library
+// across every test in the package; building one per test would redo that
+// work each time.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+)
+
+func testLoader() *Loader {
+	loaderOnce.Do(func() { loader = NewLoader() })
+	return loader
+}
+
+// TestFixtures runs every analyzer over its deliberate-violation fixture
+// package (each also containing a clean twin file) and checks the
+// reported diagnostics against the // want comments.
+func TestFixtures(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", a.Name)
+			problems, err := CheckFixture(testLoader(), a, dir, "gesturecep/internal/lintfixture/"+a.Name)
+			if err != nil {
+				t.Fatalf("fixture %s: %v", a.Name, err)
+			}
+			for _, p := range problems {
+				t.Error(p)
+			}
+		})
+	}
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces atomics-only access to counter fields, in two
+// halves:
+//
+//  1. Any struct field whose address is passed to a sync/atomic function
+//     (atomic.AddUint64(&s.n, 1), atomic.LoadInt64(&s.v), ...) must never
+//     be read or written plainly anywhere in the package — a plain access
+//     racing an atomic one is undefined, and unlike a mutex the race
+//     detector only catches it when the interleaving actually happens.
+//     Composite-literal initialisation is exempt (pre-publication).
+//
+//  2. A method with a value receiver on a struct containing
+//     atomic.Int64-style fields copies the atomic out from under
+//     concurrent writers; such receivers must be pointers.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must never be accessed plainly; no copied receivers with atomic fields",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: find fields used atomically, remembering the sanctioned
+	// &x.f selector nodes so pass 2 can skip them.
+	atomicFields := map[*types.Var]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods of atomic.Int64 etc. are the safe API
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldVarOf(pass.Info, sel); fv != nil {
+					atomicFields[fv] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every other access to those fields is a race waiting for
+	// its interleaving.
+	if len(atomicFields) > 0 {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				fv := fieldVarOf(pass.Info, sel)
+				if fv == nil || !atomicFields[fv] {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package; plain access races it (use atomic.Load/Store)", fv.Name())
+				return true
+			})
+		}
+	}
+
+	// Value receivers copying atomic fields.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			t := pass.Info.TypeOf(recv.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if name := atomicFieldIn(t); name != "" {
+				pass.Reportf(fd.Name.Pos(), "method %s has a value receiver but %s contains atomic field %s; copying it tears concurrent updates (use a pointer receiver)",
+					fd.Name.Name, types.TypeString(t, types.RelativeTo(pass.Pkg)), name)
+			}
+		}
+	}
+	return nil
+}
+
+// fieldVarOf resolves a selector to the struct field it denotes, or nil.
+func fieldVarOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s := info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	// Qualified (pkg.Var) and other non-field selections land here.
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// atomicFieldIn reports the name of the first direct field of struct type
+// t (or a descriptive path for embedded structs) whose type comes from
+// sync/atomic, or "".
+func atomicFieldIn(t types.Type) string {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if named := namedOf(f.Type()); named != nil {
+			if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+				return f.Name()
+			}
+		}
+		if _, isStruct := f.Type().Underlying().(*types.Struct); isStruct && f.Embedded() {
+			if inner := atomicFieldIn(f.Type()); inner != "" {
+				return fmt.Sprintf("%s.%s", f.Name(), inner)
+			}
+		}
+	}
+	return ""
+}

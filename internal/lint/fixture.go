@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// wantRe matches expectation comments in fixture files:
+//
+//	x := foo() // want `regexp` `second regexp`
+//
+// Each backquoted pattern must match one diagnostic reported on that line.
+var wantRe = regexp.MustCompile("// want((?: `[^`]*`)+)\\s*$")
+
+// CheckFixture runs one analyzer over the fixture package in dir and
+// compares the diagnostics against the package's // want comments. It
+// returns a list of human-readable mismatches (empty means the fixture
+// passed) so the caller — a test — can report them; a non-nil error means
+// the fixture could not be loaded or the analyzer failed outright.
+func CheckFixture(l *Loader, a *Analyzer, dir, importPath string) ([]string, error) {
+	pkg, err := l.LoadDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		return nil, err
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+
+	want := map[key][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, pat := range strings.Split(strings.TrimSpace(m[1]), "` `") {
+					want[k] = append(want[k], strings.Trim(pat, "`"))
+				}
+			}
+		}
+	}
+
+	var problems []string
+	for k, pats := range want {
+		msgs := got[k]
+		for _, pat := range pats {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", k.file, k.line, pat, err)
+			}
+			idx := -1
+			for i, msg := range msgs {
+				if re.MatchString(msg) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q (got %v)", k.file, k.line, pat, msgs))
+				continue
+			}
+			msgs = append(msgs[:idx], msgs[idx+1:]...)
+		}
+		if len(msgs) > 0 {
+			problems = append(problems, fmt.Sprintf("%s:%d: unexpected diagnostics %v", k.file, k.line, msgs))
+		}
+		delete(got, k)
+	}
+	for k, msgs := range got {
+		problems = append(problems, fmt.Sprintf("%s:%d: unexpected diagnostics %v", k.file, k.line, msgs))
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// FormatDiagnostic renders a diagnostic the way the multichecker prints
+// it: file:line:col: [analyzer] message.
+func FormatDiagnostic(fset *token.FileSet, d Diagnostic) string {
+	if !d.Pos.IsValid() {
+		return fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)
+	}
+	pos := fset.Position(d.Pos)
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+}

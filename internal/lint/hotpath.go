@@ -1,0 +1,316 @@
+package lint
+
+import (
+	_ "embed"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc flags per-call allocation sources inside functions named
+// in the checked-in hot-path manifest (hotpaths.txt) or annotated with a
+// //lint:hotpath doc comment. The runtime allocation gates (codec
+// 0-allocs/frame, gateway forward-path ≤450 allocs/op) catch regressions
+// that actually execute in a benchmark; this analyzer catches them at
+// review time and on paths the benchmarks do not drive.
+//
+// Flagged inside a hot function:
+//   - a closure capturing a variable declared inside an enclosing loop
+//     (the capture forces a per-iteration heap allocation);
+//   - fmt.Sprintf/Sprint/Sprintln/Errorf and errors.New, unless the call
+//     is part of a return statement (a cold error exit);
+//   - map and chan construction (literals or make);
+//   - interface boxing: passing or converting a non-pointer-shaped,
+//     non-constant value to an interface type (each boxing heap-allocates
+//     the value), with the same return-statement exemption.
+//
+// Genuinely cold spots inside hot functions are suppressed inline with
+// //lint:ignore hotpathalloc <reason>.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flag allocation sources inside manifest-listed hot-path functions",
+	Run:  runHotPathAlloc,
+}
+
+//go:embed hotpaths.txt
+var hotPathManifestRaw string
+
+// HotPathManifest returns the embedded manifest entries (fully qualified
+// function names, comments stripped).
+func HotPathManifest() []string {
+	var entries []string
+	for _, line := range strings.Split(hotPathManifestRaw, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entries = append(entries, line)
+	}
+	return entries
+}
+
+// manifestPkgPath extracts the package path of a manifest entry:
+// "(*pkg/path.Type).Func" or "pkg/path.Func".
+func manifestPkgPath(entry string) string {
+	s := entry
+	if strings.HasPrefix(s, "(") {
+		s = strings.TrimPrefix(s, "(")
+		s = strings.TrimPrefix(s, "*")
+		if i := strings.IndexByte(s, ')'); i >= 0 {
+			s = s[:i]
+		}
+	}
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// ManifestPackages returns the distinct package paths named by manifest
+// entries, in manifest order — the load set for a drift check.
+func ManifestPackages() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range HotPathManifest() {
+		p := manifestPkgPath(e)
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// StaleManifest cross-checks the manifest against the loaded packages:
+// an entry whose package was loaded but whose function no longer exists
+// is reported, so renaming a hot function without updating the manifest
+// fails the lint run instead of silently un-gating the path.
+func StaleManifest(pkgs []*Package) []Diagnostic {
+	declared := map[string]bool{}
+	loaded := map[string]bool{}
+	for _, pkg := range pkgs {
+		loaded[pkg.Path] = true
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					if name := funcFullName(pkg.Info, fd); name != "" {
+						declared[name] = true
+					}
+				}
+			}
+		}
+	}
+	var diags []Diagnostic
+	for _, entry := range HotPathManifest() {
+		if !loaded[manifestPkgPath(entry)] {
+			continue // package outside this run's patterns; cannot judge
+		}
+		if !declared[entry] {
+			diags = append(diags, Diagnostic{
+				Analyzer: "hotpathalloc",
+				Message:  "stale hot-path manifest entry " + entry + ": no such function (update internal/lint/hotpaths.txt)",
+			})
+		}
+	}
+	return diags
+}
+
+var hotSprintfFuncs = map[string]bool{
+	"fmt.Sprintf":  true,
+	"fmt.Sprint":   true,
+	"fmt.Sprintln": true,
+	"fmt.Errorf":   true,
+	"errors.New":   true,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	manifest := map[string]bool{}
+	for _, e := range HotPathManifest() {
+		manifest[e] = true
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !manifest[funcFullName(pass.Info, fd)] && !hasHotPathAnnotation(fd.Doc) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func hasHotPathAnnotation(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == "//lint:hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	// Walk with an explicit parent stack so each node knows whether it
+	// sits inside a loop or a return statement.
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if v := loopCapture(pass, n, stack, fd); v != "" {
+				pass.Reportf(n.Pos(), "hot path %s: closure captures loop variable %s, allocating per iteration", name, v)
+			}
+		case *ast.CallExpr:
+			callee := calleeName(pass.Info, n)
+			if hotSprintfFuncs[callee] {
+				if !inReturn(stack) {
+					pass.Reportf(n.Pos(), "hot path %s: %s allocates; format off the hot path or return the error directly", name, callee)
+				}
+				return true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "make" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) > 0 {
+					switch pass.Info.TypeOf(n.Args[0]).Underlying().(type) {
+					case *types.Map:
+						pass.Reportf(n.Pos(), "hot path %s: make(map) allocates; hoist it out of the hot path", name)
+					case *types.Chan:
+						pass.Reportf(n.Pos(), "hot path %s: make(chan) allocates; hoist it out of the hot path", name)
+					}
+				}
+			}
+			checkBoxing(pass, name, n, stack)
+		case *ast.CompositeLit:
+			if t := pass.Info.TypeOf(n); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "hot path %s: map literal allocates; hoist it out of the hot path", name)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+}
+
+// inReturn reports whether the innermost statement on the stack is a
+// return — the canonical cold error exit.
+func inReturn(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ReturnStmt:
+			return true
+		case ast.Stmt:
+			return false
+		}
+	}
+	return false
+}
+
+// loopCapture reports the name of a variable that the closure captures
+// from an enclosing loop body (declared inside the loop, outside the
+// closure), or "".
+func loopCapture(pass *Pass, lit *ast.FuncLit, stack []ast.Node, fd *ast.FuncDecl) string {
+	// Find the innermost enclosing loop, if any.
+	var loop ast.Node
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loop = stack[i]
+		}
+	}
+	if loop == nil {
+		return ""
+	}
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, okv := pass.Info.Uses[id].(*types.Var)
+		if !okv || v.IsField() {
+			return true
+		}
+		// Declared inside the loop but outside the closure.
+		if v.Pos() >= loop.Pos() && v.Pos() < loop.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			captured = v.Name()
+		}
+		return true
+	})
+	return captured
+}
+
+// checkBoxing flags call arguments that convert a non-pointer-shaped,
+// non-constant value to an interface parameter: each such conversion
+// heap-allocates a copy of the value. Pointer-shaped kinds (pointers,
+// maps, chans, funcs) fit the interface word and stay allocation-free.
+func checkBoxing(pass *Pass, hot string, call *ast.CallExpr, stack []ast.Node) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	if hotSprintfFuncs[fn.FullName()] {
+		return // the whole call was already reported once
+	}
+	if inReturn(stack) {
+		return // cold error exits wrap concrete values into error
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			st, okSlice := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !okSlice {
+				continue
+			}
+			pt = st.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		tv, okTV := pass.Info.Types[arg]
+		if !okTV || tv.Value != nil || tv.IsNil() {
+			continue // constants and nil never box at runtime
+		}
+		at := tv.Type
+		if at == nil || boxingFree(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "hot path %s: passing %s to interface parameter boxes it on the heap", hot, types.TypeString(at, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// boxingFree reports whether storing a value of type t in an interface
+// avoids a heap allocation: interfaces themselves, and pointer-shaped
+// single-word kinds.
+func boxingFree(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,269 @@
+// Package lint is a suite of custom static analyzers that enforce, at
+// compile time, the concurrency and performance contracts the runtime
+// otherwise enforces only by tests and -race soaks: frame-pool buffer
+// ownership (framepool), the documented ps.mu → be.mu lock order
+// (lockorder), atomics-only counter fields (atomicfield), structured
+// logging in internal packages (obslog), and allocation-free hot paths
+// (hotpathalloc).
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis —
+// Analyzer, Pass, Diagnostic — but is built on the standard library alone
+// (go/parser, go/types and the source importer), so the module stays
+// dependency-free. Analyzers are per-package and purely syntactic +
+// type-informed; none require facts from dependencies.
+//
+// A diagnostic may be suppressed with a directive comment on the same
+// line or the line immediately above:
+//
+//	//lint:ignore framepool reason the buffer is owned by the arena
+//
+// The reason is mandatory: an unexplained suppression is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Analyzer is one named check. Run inspects a single type-checked package
+// and reports findings through the Pass. A non-nil error means the
+// analyzer itself could not run (distinct from "found violations").
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FramePool,
+		LockOrder,
+		AtomicField,
+		ObsLog,
+		HotPathAlloc,
+	}
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// diagnostics sorted by position, after applying //lint:ignore directives.
+// Analyzer errors (not findings) are returned as the error.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var errs []string
+	for _, pkg := range pkgs {
+		// Production contracts only: when the loader (or the go vet
+		// protocol) hands us test files, the analyzers do not inspect
+		// them. They still participate in type-checking.
+		var prodFiles []*ast.File
+		for _, f := range pkg.Files {
+			if !strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+				prodFiles = append(prodFiles, f)
+			}
+		}
+		ignores := collectIgnores(pkg.Fset, prodFiles)
+		for _, a := range analyzers {
+			var raw []Diagnostic
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    prodFiles,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				errs = append(errs, fmt.Sprintf("%s: %s: %v", a.Name, pkg.Path, err))
+				continue
+			}
+			for _, d := range raw {
+				if !ignores.suppresses(pkg.Fset, d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+		diags = append(diags, ignores.malformed...)
+	}
+	sortDiagnostics(diags, pkgs)
+	if len(errs) > 0 {
+		return diags, fmt.Errorf("%s", strings.Join(errs, "\n"))
+	}
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic, pkgs []*Package) {
+	if len(pkgs) == 0 {
+		return
+	}
+	fset := pkgs[0].Fset
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}
+
+// --- suppression directives ---
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
+
+type ignoreSet struct {
+	// byLine maps file → line → analyzer names suppressed there. A
+	// directive at line L covers diagnostics on L (trailing comment) and
+	// L+1 (comment line above the statement).
+	byLine    map[string]map[int]map[string]bool
+	malformed []Diagnostic
+}
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	ig := &ignoreSet{byLine: map[string]map[int]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				if strings.TrimSpace(m[2]) == "" {
+					ig.malformed = append(ig.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lintdirective",
+						Message:  "//lint:ignore directive needs a reason: //lint:ignore <analyzer> <why>",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := ig.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					ig.byLine[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					for _, ln := range []int{pos.Line, pos.Line + 1} {
+						if lines[ln] == nil {
+							lines[ln] = map[string]bool{}
+						}
+						lines[ln][strings.TrimSpace(name)] = true
+					}
+				}
+			}
+		}
+	}
+	return ig
+}
+
+func (ig *ignoreSet) suppresses(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	lines := ig.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	names := lines[pos.Line]
+	return names[d.Analyzer] || names["all"]
+}
+
+// --- shared type/AST helpers used by the analyzers ---
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil
+// for builtins, conversions, function-typed variables and method values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeName returns the fully qualified name of the called function —
+// e.g. "gesturecep/internal/wire.GetFrameBuf" or
+// "(*gesturecep/internal/wire.Reader).Detach" — or "" when unresolvable.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		return fn.FullName()
+	}
+	return ""
+}
+
+// funcFullName returns the manifest-style fully qualified name of a
+// declared function: pkgpath.Name, (pkgpath.Recv).Name or
+// (*pkgpath.Recv).Name.
+func funcFullName(info *types.Info, decl *ast.FuncDecl) string {
+	fn, _ := info.Defs[decl.Name].(*types.Func)
+	if fn == nil {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// identVar resolves an expression to the *types.Var of a plain local
+// identifier, or nil (selectors, indexes and globals are not tracked).
+func identVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.ObjectOf(id).(*types.Var)
+	if v == nil || v.IsField() || v.Parent() == nil || v.Parent().Parent() == types.Universe {
+		return nil
+	}
+	return v
+}
+
+// namedOf unwraps pointers and aliases down to a *types.Named, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsLog forbids ad-hoc printing in internal packages: production code
+// logs through obs.Logger (structured, leveled, ring-buffered, served at
+// /events), never by writing to the process's stdout/stderr directly. The
+// check covers fmt.Print/Printf/Println, the log package's printers, the
+// print/println builtins, and fmt.Fprint* targeting os.Stdout/os.Stderr.
+//
+// Scope: packages under internal/ only — commands and examples are CLIs
+// and print freely — and internal/obs itself is exempt (it implements the
+// sink).
+var ObsLog = &Analyzer{
+	Name: "obslog",
+	Doc:  "forbid fmt.Print*/log.Print* in internal packages; use obs.Logger",
+	Run:  runObsLog,
+}
+
+var obslogForbidden = map[string]string{
+	"fmt.Print":   "fmt.Print",
+	"fmt.Printf":  "fmt.Printf",
+	"fmt.Println": "fmt.Println",
+	"log.Print":   "log.Print",
+	"log.Printf":  "log.Printf",
+	"log.Println": "log.Println",
+	"log.Fatal":   "log.Fatal",
+	"log.Fatalf":  "log.Fatalf",
+	"log.Fatalln": "log.Fatalln",
+	"log.Panic":   "log.Panic",
+	"log.Panicf":  "log.Panicf",
+	"log.Panicln": "log.Panicln",
+}
+
+func runObsLog(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "/internal/") || strings.HasSuffix(path, "/internal/obs") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// print/println builtins write to stderr and allocate. A
+			// user-defined shadow resolves to *types.Func instead.
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin &&
+					(id.Name == "print" || id.Name == "println") {
+					pass.Reportf(call.Pos(), "builtin %s in internal package: use obs.Logger", id.Name)
+					return true
+				}
+			}
+			name := calleeName(pass.Info, call)
+			if want, bad := obslogForbidden[name]; bad {
+				pass.Reportf(call.Pos(), "%s in internal package: use obs.Logger", want)
+				return true
+			}
+			// fmt.Fprint*(os.Stdout|os.Stderr, ...) is the same thing with
+			// extra steps.
+			if strings.HasPrefix(name, "fmt.Fprint") && len(call.Args) > 0 {
+				if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+					if base, ok := sel.X.(*ast.Ident); ok && base.Name == "os" &&
+						(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+						pass.Reportf(call.Pos(), "%s to os.%s in internal package: use obs.Logger", name, sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

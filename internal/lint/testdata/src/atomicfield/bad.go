@@ -1,0 +1,34 @@
+// Deliberate mixed atomic/plain field access and copied-receiver
+// violations for the atomicfield analyzer.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	drops uint64
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.drops, 1)
+}
+
+// hits is updated atomically in bump; reading it plainly races that.
+func (c *counters) read() uint64 {
+	return c.hits // want `field hits is accessed with sync/atomic elsewhere in this package; plain access races it`
+}
+
+// A plain write races the atomic adds just the same.
+func (c *counters) reset() {
+	c.drops = 0 // want `field drops is accessed with sync/atomic elsewhere in this package; plain access races it`
+}
+
+type gauge struct {
+	val atomic.Int64
+}
+
+// A value receiver copies the atomic out from under concurrent writers.
+func (g gauge) Read() int64 { // want `value receiver .* contains atomic field val`
+	return g.val.Load()
+}

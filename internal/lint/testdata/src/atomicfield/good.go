@@ -1,0 +1,61 @@
+// Clean twins for the atomicfield analyzer: typed atomics with pointer
+// receivers, mutex-guarded plain fields, and pre-publication
+// composite-literal initialisation.
+package atomicfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type typedCounters struct {
+	hits  atomic.Uint64
+	drops atomic.Uint64
+}
+
+// Typed atomics make plain access impossible by construction; pointer
+// receivers never copy them.
+func (c *typedCounters) bump() {
+	c.hits.Add(1)
+	c.drops.Add(1)
+}
+
+func (c *typedCounters) read() uint64 {
+	return c.hits.Load()
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// Plain fields are fine when they are never touched via sync/atomic.
+func (g *guarded) bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+type freeCounter struct {
+	n uint64
+}
+
+func (f *freeCounter) bump() {
+	atomic.AddUint64(&f.n, 1)
+}
+
+// Composite-literal initialisation happens before the value is
+// published, so it is exempt from the mixed-access rule.
+func newFreeCounter() *freeCounter {
+	return &freeCounter{n: 0}
+}
+
+type config struct {
+	window int
+	depth  int
+}
+
+// A value receiver is fine on a struct without atomic fields.
+func (c config) slots() int {
+	return c.window * c.depth
+}

@@ -1,0 +1,58 @@
+// Deliberate allocation sources inside hot-annotated functions. The
+// //lint:hotpath doc annotation stands in for a hotpaths.txt manifest
+// entry so the fixture does not depend on the real manifest.
+package hotpathalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+func consume(v interface{}) { _ = v }
+
+func observe(f func() int) { _ = f() }
+
+//lint:hotpath
+func sprintfOnHotPath(id int) string {
+	tag := fmt.Sprintf("session-%d", id) // want `fmt\.Sprintf allocates`
+	return tag
+}
+
+//lint:hotpath
+func errorsOffReturn(n int) error {
+	err := errors.New("overflow") // want `errors\.New allocates`
+	if n > 0 {
+		return err
+	}
+	return nil
+}
+
+//lint:hotpath
+func mapPerCall(keys []string) int {
+	seen := map[string]bool{} // want `map literal allocates`
+	for _, k := range keys {
+		seen[k] = true
+	}
+	return len(seen)
+}
+
+//lint:hotpath
+func makePerCall(n int) int {
+	idx := make(map[int]int, n) // want `make\(map\) allocates`
+	ch := make(chan int, 1)     // want `make\(chan\) allocates`
+	idx[0] = n
+	ch <- n
+	return idx[0] + <-ch
+}
+
+//lint:hotpath
+func closureInLoop(xs []int) {
+	for _, x := range xs {
+		observe(func() int { return x }) // want `closure captures loop variable x, allocating per iteration`
+	}
+}
+
+//lint:hotpath
+func boxesInt(n int) {
+	consume(n) // want `passing int to interface parameter boxes it on the heap`
+}

@@ -1,0 +1,50 @@
+// Clean twins: allocation-free shapes and the sanctioned cold exits
+// that hotpathalloc must accept inside hot functions.
+package hotpathalloc
+
+import "fmt"
+
+//lint:hotpath
+func okErrorReturn(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d", n) // cold error exit
+	}
+	return nil
+}
+
+//lint:hotpath
+func okReusedScratch(scratch map[int]int, xs []int) int {
+	for i, x := range xs {
+		scratch[i] = x // writing into a caller-owned map does not allocate here
+	}
+	return len(scratch)
+}
+
+//lint:hotpath
+func okPointerToInterface(v *int) {
+	consume(v) // pointers fit the interface word without boxing
+}
+
+//lint:hotpath
+func okConstantToInterface() {
+	consume(42) // constants never box at runtime
+}
+
+//lint:hotpath
+func okClosureOutsideLoop(base int) {
+	observe(func() int { return base }) // captures a parameter, not a loop variable
+}
+
+// Sprintf is fine in functions that are not on the hot-path manifest.
+func coldFormat(id int) string {
+	return fmt.Sprintf("cold-%d", id)
+}
+
+//lint:hotpath
+func okSuppressed(id int) string {
+	// This path runs once per re-home, not per frame; the annotation keeps
+	// the function gated while excusing the one cold format.
+	//lint:ignore hotpathalloc re-home is rare; formatting here is off the per-frame path
+	s := fmt.Sprintf("rehome-%d", id)
+	return s
+}

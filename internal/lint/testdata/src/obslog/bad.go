@@ -1,0 +1,22 @@
+// Package obslog is a deliberate-violation fixture for the obslog
+// analyzer: every flagged line carries a // want expectation.
+package obslog
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func adHocPrinting(err error) {
+	fmt.Println("server started")                 // want `fmt.Println in internal package: use obs.Logger`
+	fmt.Printf("listening on %s\n", "addr")       // want `fmt.Printf in internal package: use obs.Logger`
+	fmt.Print("no newline")                       // want `fmt.Print in internal package: use obs.Logger`
+	log.Printf("backend ejected: %v", err)        // want `log.Printf in internal package: use obs.Logger`
+	log.Println("probe failed")                   // want `log.Println in internal package: use obs.Logger`
+	log.Fatalf("cannot bind: %v", err)            // want `log.Fatalf in internal package: use obs.Logger`
+	println("debug left behind")                  // want `builtin println in internal package: use obs.Logger`
+	fmt.Fprintf(os.Stderr, "oops: %v\n", err)     // want `fmt.Fprintf to os.Stderr in internal package: use obs.Logger`
+	fmt.Fprintln(os.Stdout, "session attached")   // want `fmt.Fprintln to os.Stdout in internal package: use obs.Logger`
+	fmt.Fprintf(os.Stderr, "suppressed: %v", err) //lint:ignore obslog fixture demonstrates an explained suppression
+}

@@ -1,0 +1,25 @@
+package obslog
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Clean twin: building strings with fmt, writing to an arbitrary
+// io.Writer (an HTTP response, a buffer) and shadowing the builtin are
+// all fine — only process-stdout/stderr printing is flagged.
+
+func formatting(w io.Writer, n int) string {
+	fmt.Fprintf(w, "rows: %d\n", n) // any non-os.Std* writer is fine
+	var sb strings.Builder
+	fmt.Fprintln(&sb, "header")
+	return fmt.Sprintf("%d sessions", n)
+}
+
+func localPrintln(s string) int { return len(s) }
+
+func shadowed() {
+	println := localPrintln
+	_ = println("not the builtin")
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTreeClean is the gate: the full analyzer suite plus the
+// stale-manifest check must report nothing on the real tree. A finding
+// here is either a genuine contract violation to fix or a cold spot to
+// suppress with //lint:ignore and a reason.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short")
+	}
+	pkgs, err := testLoader().Load("./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	diags = append(diags, StaleManifest(pkgs)...)
+	for _, d := range diags {
+		t.Errorf("%s", FormatDiagnostic(pkgs[0].Fset, d))
+	}
+}
+
+// TestSeededViolation proves the gate gates: a copy of a fixture file
+// with a deliberate violation is planted in a temporary package inside
+// the module, and the suite must report it. If this fails, a broken
+// loader or analyzer could silently let CI pass on a dirty tree.
+func TestSeededViolation(t *testing.T) {
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", "obslog")
+	src, err := os.ReadFile(filepath.Join(dir, "bad.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the want comments so only the violations themselves remain,
+	// and plant the file in a fresh temp dir loaded as a module-internal
+	// package path.
+	var kept []string
+	for _, line := range strings.Split(string(src), "\n") {
+		if i := strings.Index(line, "// want"); i >= 0 {
+			line = strings.TrimRight(line[:i], " \t")
+		}
+		kept = append(kept, line)
+	}
+	seeded := t.TempDir()
+	if err := os.WriteFile(filepath.Join(seeded, "seeded.go"), []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := testLoader().LoadDir(seeded, "gesturecep/internal/seededviolation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("seeded violations produced zero diagnostics; the gate is not gating")
+	}
+	for _, d := range diags {
+		if d.Analyzer == "obslog" {
+			return
+		}
+	}
+	t.Fatalf("no obslog diagnostic among %d findings", len(diags))
+}
